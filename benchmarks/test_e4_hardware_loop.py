@@ -1,0 +1,127 @@
+"""E4 — hardware in the simulation loop (paper §3.3, Figures 2 & 5).
+
+Claims reproduced:
+
+* the real-time verification process alternates software and hardware
+  activity cycles; the duration of a hardware test cycle is bounded by
+  the board's memory configuration;
+* longer hardware activity cycles amortise the SW-activity (SCSI
+  download/upload + host) overhead — the effective DUT clock rate
+  climbs towards the 20 MHz board clock as cycle duration grows;
+* the Figure-5 configuration data set correctly maps logical ports
+  onto byte lanes in both directions, including bidirectional ports.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentResult, format_table
+from repro.atm import AtmCell
+from repro.board import (ConfigurationDataSet, CtrlPortMapping,
+                         HardwareTestBoard, IoPortMapping, LoopbackDevice,
+                         PinSegment, PortMapping)
+from repro.core import BoardInterfaceModel, cell_stream_pin_config
+
+from .common import save_table, scaled
+
+CYCLE_LENGTHS = (64, 256, 1024, 4096, 16384)
+
+
+def loopback_board(memory_depth=1 << 17):
+    config = ConfigurationDataSet()
+    config.add_inport(PortMapping(0, 8, (PinSegment(0, 7, 8),)))
+    config.add_outport(PortMapping(0, 8, (PinSegment(0, 7, 8),)))
+    config.add_ctrlport(CtrlPortMapping(0, 1, (PinSegment(15, 0, 1),)))
+    config.add_io_port(IoPortMapping(0, 0, 0))
+    return HardwareTestBoard(config, memory_depth=memory_depth)
+
+
+def test_e4_cycle_duration_sweep(benchmark):
+    """Effective clock rate vs hardware test-cycle duration."""
+    rows = []
+    rates = []
+    for clocks in CYCLE_LENGTHS:
+        board = loopback_board()
+        result = board.run_test_cycle(LoopbackDevice(),
+                                      [{0: i % 256} for i in range(clocks)])
+        stats = result.stats
+        rates.append(stats.effective_clock_hz)
+        rows.append(ExperimentResult(f"{clocks} clocks/cycle", {
+            "hw_time_ms": stats.hw_time * 1e3,
+            "sw_time_ms": (stats.sw_load_time + stats.sw_read_time
+                           + stats.sw_overhead_time) * 1e3,
+            "effective_MHz": stats.effective_clock_hz / 1e6,
+            "hw_utilization": stats.hw_utilization,
+        }))
+    save_table("e4_cycle_sweep.txt", format_table(
+        "E4a: effective DUT clock vs test-cycle duration (board 20 MHz)",
+        ["hw_time_ms", "sw_time_ms", "effective_MHz", "hw_utilization"],
+        rows))
+    # monotone amortisation, approaching the board clock
+    assert rates == sorted(rates)
+    assert rates[-1] > 10 * rates[0]
+    assert rates[-1] < 20e6
+
+    benchmark.pedantic(
+        lambda: loopback_board().run_test_cycle(
+            LoopbackDevice(), [{0: 0}] * 1024),
+        rounds=1, iterations=1)
+
+
+def test_e4_memory_bounds_cycle_duration(benchmark):
+    """Test cycle durations are limited by the memory configuration."""
+    from repro.board import BoardError
+    board = loopback_board(memory_depth=256)
+
+    def run_once():
+        with pytest.raises(BoardError):
+            board.load_port_vectors([{0: 0}] * 257)
+        board.load_port_vectors([{0: 0}] * 256)
+        return board.run_hardware_cycle(LoopbackDevice())
+
+    hw_time = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    assert hw_time == pytest.approx(256 / board.clock_hz)
+
+
+def test_e4_bidirectional_port_round_trip(benchmark):
+    """I/O ports: the direction control (read/write flags) lets one
+    byte lane carry stimulus and response alternately."""
+    board = loopback_board()
+    device = LoopbackDevice(latency=1)
+
+    def run_once():
+        # write phase (ctrl=1 means board drives), then read back
+        vectors = [{0: value} for value in (0x11, 0x22, 0x33)]
+        ctrl = [{0: 1}, {0: 1}, {0: 0}]
+        result = board.run_test_cycle(device, vectors, ctrl=ctrl)
+        return [frame[0] for frame in result.responses]
+
+    echoed = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    assert echoed == [0, 0x11, 0x22]  # latency-1 echo through the lane
+
+
+def test_e4_cell_stream_through_board_with_gating(benchmark):
+    """The CASTANET board interface sweep: clock gating stretches the
+    stimulus, trading wall-clock for slower DUT interfaces."""
+    cells = scaled(12)
+    rows = []
+    for gating in (1, 2, 4):
+        board = HardwareTestBoard(cell_stream_pin_config(),
+                                  memory_depth=1 << 17)
+        device = LoopbackDevice()
+        interface = BoardInterfaceModel(board, device,
+                                        cycle_clocks=2048,
+                                        clock_gating=gating)
+        for i in range(cells):
+            interface.queue_cell(AtmCell.with_payload(1, 100, [i % 256]))
+        interface.flush()
+        rows.append(ExperimentResult(f"gating={gating}", {
+            "board_clocks": sum(s.clocks for s in interface.cycle_stats),
+            "wall_ms": interface.total_wall_time() * 1e3,
+            "effective_MHz": interface.effective_clock_hz() / 1e6,
+        }))
+    save_table("e4_clock_gating.txt", format_table(
+        f"E4b: clock-gating factor vs board clocks for {cells} cells",
+        ["board_clocks", "wall_ms", "effective_MHz"], rows))
+    assert rows[2]["board_clocks"] > 3 * rows[0]["board_clocks"]
+    benchmark.pedantic(lambda: cell_stream_pin_config(), rounds=1,
+                       iterations=1)

@@ -1,0 +1,127 @@
+"""E7 — system-level design exploration (paper §2 advantage list).
+
+"Support of iterations between system and implementation-level design
+tools to explore the design trade-offs" and "because there exists
+strong dependencies between decisions at the system level and hardware
+costs of their actual implementation there is no one way (top-down)
+transition" — the reason the algorithm reference lives in a network
+simulator at all.
+
+Two representative explorations, both pure system level (the stage
+*before* committing a buffer-acceptance circuit or a UPC block to
+RTL):
+
+* partial-buffer-sharing threshold sweep: CLP0 vs CLP1 loss as the
+  reservation headroom changes;
+* UPC tagging + PBS interplay: cells tagged by the policer become the
+  ones the buffer sacrifices under overload.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentResult, format_table
+from repro.atm import AtmCell, PbsQueueModule, STM1_CELL_TIME, \
+    VirtualScheduling
+from repro.netsim import Network, SinkModule
+from repro.traffic import OnOffSource
+
+from .common import save_table, scaled
+
+CELLS = scaled(4000)
+CAPACITY = 16
+
+
+def overload_workload(seed=5):
+    """A bursty ~1.5x-overload cell stream, 50% of it CLP=1."""
+    source = OnOffSource(peak_period=STM1_CELL_TIME,
+                         mean_on=60 * STM1_CELL_TIME,
+                         mean_off=30 * STM1_CELL_TIME, seed=seed)
+    t = 0.0
+    cells = []
+    for index in range(CELLS):
+        t += source.next_interarrival()
+        cells.append((t, index % 2))  # alternate CLP 0/1
+    return cells
+
+
+def run_pbs(threshold, workload):
+    net = Network()
+    node = net.add_node("n")
+    queue = PbsQueueModule("pbs", capacity=CAPACITY,
+                           clp1_threshold=threshold,
+                           service_time=1.5 * STM1_CELL_TIME)
+    sink = SinkModule("sink")
+    node.add_module(queue)
+    node.add_module(sink)
+    node.connect(queue, 0, sink, 0)
+    for t, clp in workload:
+        net.kernel.schedule(t, lambda clp=clp: queue.receive(
+            AtmCell.with_payload(1, 100, [], clp=clp).to_packet(), 0))
+    net.run()
+    return queue
+
+
+def test_e7_pbs_threshold_sweep(benchmark):
+    workload = overload_workload()
+    rows = []
+    clp0_losses = []
+    clp1_losses = []
+    for threshold in (0, 4, 8, 12, 16):
+        queue = run_pbs(threshold, workload)
+        clp0 = queue.dropped_clp0 / max(1, queue.dropped_clp0
+                                        + queue.accepted_clp0)
+        clp1 = queue.dropped_clp1 / max(1, queue.dropped_clp1
+                                        + queue.accepted_clp1)
+        clp0_losses.append(clp0)
+        clp1_losses.append(clp1)
+        rows.append(ExperimentResult(f"T={threshold}", {
+            "clp0_loss": clp0, "clp1_loss": clp1,
+            "max_occupancy": queue.max_occupancy}))
+    save_table("e7_pbs_sweep.txt", format_table(
+        f"E7a: PBS threshold sweep (K={CAPACITY}, ~1.5x overload, "
+        f"{CELLS} cells)",
+        ["clp0_loss", "clp1_loss", "max_occupancy"], rows))
+    # the design trade-off: raising T admits more CLP1 ...
+    assert clp1_losses[0] == 1.0           # T=0 blocks all CLP1
+    assert clp1_losses == sorted(clp1_losses, reverse=True)
+    # ... at the cost of CLP0 protection
+    assert clp0_losses[-1] >= clp0_losses[0]
+    # a mid threshold protects CLP0 strictly better than no threshold
+    assert clp0_losses[1] < clp0_losses[-1]
+
+    benchmark.pedantic(lambda: run_pbs(8, workload[:500]),
+                       rounds=1, iterations=1)
+
+
+def test_e7_tagging_feeds_pbs(benchmark):
+    """UPC tagging upstream of a PBS buffer: tagged (non-conforming)
+    cells are exactly the ones sacrificed under overload."""
+    workload = overload_workload(seed=9)
+
+    def run_once():
+        # stage 1: GCRA tagging at the contract rate (2 x cell time)
+        gcra = VirtualScheduling(increment=2 * STM1_CELL_TIME,
+                                 limit=10 * STM1_CELL_TIME)
+        tagged_stream = [(t, 0 if gcra.arrival(t) else 1)
+                         for t, _clp in workload]
+        # stage 2: PBS buffer under the same overload
+        queue = run_pbs(CAPACITY // 2, tagged_stream)
+        return gcra, queue
+
+    gcra, queue = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    tagged_fraction = gcra.non_conforming / (gcra.conforming
+                                             + gcra.non_conforming)
+    clp0_loss = queue.dropped_clp0 / max(1, queue.dropped_clp0
+                                         + queue.accepted_clp0)
+    clp1_loss = queue.dropped_clp1 / max(1, queue.dropped_clp1
+                                         + queue.accepted_clp1)
+    rows = [ExperimentResult("UPC tagging stage", {
+                "value": tagged_fraction}),
+            ExperimentResult("conforming (CLP0) loss", {
+                "value": clp0_loss}),
+            ExperimentResult("tagged (CLP1) loss", {
+                "value": clp1_loss})]
+    save_table("e7_tagging_pbs.txt", format_table(
+        "E7b: UPC tagging + PBS interplay", ["value"], rows))
+    assert tagged_fraction > 0.1
+    assert clp1_loss > clp0_loss  # tagged cells bear the loss

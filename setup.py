@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package that PEP 660
+editable installs require, so ``pip install -e .`` is routed through the
+classic ``setup.py develop`` path (see ``pip config``).  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

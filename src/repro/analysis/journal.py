@@ -1,0 +1,124 @@
+"""Run journal: time-stamped, categorised event logging.
+
+The "representation of errors and results" side of the environment: a
+bounded journal that any layer can log into, with attach helpers for
+the common sources (network-simulator taps, HDL signals, comparator
+verdicts).  Dumps to plain text for post-mortem reading.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Deque, Iterable, List, Optional, Sequence, Union
+
+__all__ = ["JournalEntry", "RunJournal"]
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journal line."""
+
+    time: float
+    category: str
+    message: str
+
+    def render(self) -> str:
+        """Fixed-layout text form."""
+        return f"{self.time:>16.9f}  {self.category:<10} {self.message}"
+
+
+class RunJournal:
+    """A bounded, categorised event log.
+
+    Args:
+        capacity: entries retained (oldest evicted first).
+
+    Example:
+        >>> journal = RunJournal()
+        >>> journal.log(0.5, "cell", "VPI/VCI 1/100 tapped")
+        >>> len(journal)
+        1
+    """
+
+    def __init__(self, capacity: int = 100000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: Deque[JournalEntry] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def log(self, time: float, category: str, message: str) -> None:
+        """Append one entry (evicting the oldest when full)."""
+        if len(self._entries) == self.capacity:
+            self.dropped += 1
+        self._entries.append(JournalEntry(time=time, category=category,
+                                          message=message))
+
+    def entries(self, category: Optional[str] = None,
+                since: Optional[float] = None) -> List[JournalEntry]:
+        """Entries, optionally filtered by category and start time."""
+        result = []
+        for entry in self._entries:
+            if category is not None and entry.category != category:
+                continue
+            if since is not None and entry.time < since:
+                continue
+            result.append(entry)
+        return result
+
+    def categories(self) -> List[str]:
+        """Distinct categories seen, sorted."""
+        return sorted({entry.category for entry in self._entries})
+
+    # ------------------------------------------------------------------
+    # Attach helpers
+    # ------------------------------------------------------------------
+    def attach_tap(self, tap, category: str = "cell") -> None:
+        """Log every packet observed by a
+        :class:`~repro.core.environment.TapModule`."""
+        tap.add_hook(lambda t, pkt: self.log(
+            t, category,
+            f"packet id={pkt.id} VPI={pkt.get('VPI')} "
+            f"VCI={pkt.get('VCI')} CLP={pkt.get('CLP', 0)}"))
+
+    def attach_hdl_signals(self, sim, signals,
+                           category: str = "hdl") -> None:
+        """Log value changes of selected HDL signals (times converted
+        with the simulator's time unit)."""
+        tracked = {id(s) for s in signals}
+
+        def hook(signal):
+            if id(signal) in tracked:
+                shown = signal.value if signal.width is None \
+                    else "".join(signal.value)
+                self.log(sim.now * sim.time_unit, category,
+                         f"{signal.name} -> {shown}")
+
+        sim.signal_hooks.append(hook)
+
+    def note_report(self, time: float, report,
+                    category: str = "compare") -> None:
+        """Log a :class:`~repro.core.comparison.VerificationReport`."""
+        self.log(time, category, report.summary())
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def render(self, category: Optional[str] = None) -> str:
+        """The journal as text, one entry per line."""
+        lines = [entry.render()
+                 for entry in self.entries(category=category)]
+        if self.dropped:
+            lines.insert(0, f"... {self.dropped} earlier entries "
+                            f"evicted ...")
+        return "\n".join(lines)
+
+    def save(self, path: Union[str, Path],
+             category: Optional[str] = None) -> None:
+        """Write the rendered journal to *path*."""
+        Path(path).write_text(self.render(category=category) + "\n")

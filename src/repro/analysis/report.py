@@ -1,0 +1,109 @@
+"""Experiment result collection and plain-text rendering.
+
+The benchmarks print their tables through these helpers so that the
+rows EXPERIMENTS.md quotes come from one formatting path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["EventAccounting", "ExperimentResult", "format_table",
+           "histogram", "speedup"]
+
+
+@dataclass
+class EventAccounting:
+    """Event/cycle counters gathered from the two simulators."""
+
+    netsim_events: int = 0
+    hdl_events: int = 0
+    hdl_delta_cycles: int = 0
+    hdl_process_runs: int = 0
+
+    @property
+    def event_ratio(self) -> float:
+        """HDL events per network-simulator event (the paper's 'order
+        of magnitude higher' observation)."""
+        if self.netsim_events == 0:
+            return float("inf") if self.hdl_events else 0.0
+        return self.hdl_events / self.netsim_events
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment row: a label plus named measurements."""
+
+    label: str
+    values: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]
+
+
+def speedup(baseline_seconds: float, improved_seconds: float) -> float:
+    """Baseline-over-improved speed-up factor (inf when improved is
+    instantaneous)."""
+    if improved_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / improved_seconds
+
+
+def histogram(values: Sequence[float], bins: int = 10,
+              width: int = 40, title: str = "") -> str:
+    """Render a plain-text histogram of *values*.
+
+    Example:
+        >>> print(histogram([1, 1, 2, 5], bins=2))  # doctest: +SKIP
+    """
+    if bins < 1:
+        raise ValueError(f"need >= 1 bin, got {bins}")
+    lines = [title] if title else []
+    if not values:
+        lines.append("(no samples)")
+        return "\n".join(lines)
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        lines.append(f"{lo:>12.4g} | {'#' * width} {len(values)}")
+        return "\n".join(lines)
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - lo) / span * bins))
+        counts[index] += 1
+    peak = max(counts)
+    for index, count in enumerate(counts):
+        left = lo + span * index / bins
+        bar = "#" * int(round(count / peak * width)) if peak else ""
+        lines.append(f"{left:>12.4g} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def format_table(title: str, columns: Sequence[str],
+                 rows: Sequence[ExperimentResult],
+                 floatfmt: str = "{:.3g}") -> str:
+    """Render rows as a fixed-width text table.
+
+    Example:
+        >>> rows = [ExperimentResult("a", {"x": 1.0})]
+        >>> print(format_table("T", ["x"], rows))  # doctest: +SKIP
+    """
+    header = ["case"] + list(columns)
+    body: List[List[str]] = []
+    for row in rows:
+        cells = [row.label]
+        for column in columns:
+            value = row.values.get(column, "")
+            if isinstance(value, float):
+                cells.append(floatfmt.format(value))
+            else:
+                cells.append(str(value))
+        body.append(cells)
+    widths = [max(len(header[i]), *(len(r[i]) for r in body))
+              if body else len(header[i]) for i in range(len(header))]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for cells in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)

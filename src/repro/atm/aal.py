@@ -1,0 +1,134 @@
+"""AAL5 segmentation and reassembly.
+
+Higher-layer PDUs (e.g. the MPEG frames used as board stimuli) ride on
+ATM as AAL5: the CPCS-PDU is padded so that payload + 8-octet trailer
+fills a whole number of 48-octet cells; the trailer carries
+CPCS-UU, CPI, a 16-bit length and a CRC-32; the last cell of a PDU is
+marked with the AUU bit (PT bit 0).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cell import AtmCell, PAYLOAD_OCTETS
+
+__all__ = ["crc32_aal5", "segment", "Reassembler", "AalError",
+           "TRAILER_OCTETS"]
+
+TRAILER_OCTETS = 8
+_CRC_POLY = 0x04C11DB7
+
+
+class AalError(Exception):
+    """Raised on CRC/length failures or oversized PDUs."""
+
+
+def _build_crc_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte << 24
+        for _ in range(8):
+            if crc & 0x80000000:
+                crc = ((crc << 1) ^ _CRC_POLY) & 0xFFFFFFFF
+            else:
+                crc = (crc << 1) & 0xFFFFFFFF
+        table.append(crc)
+    return table
+
+
+_CRC_TABLE = _build_crc_table()
+
+
+def crc32_aal5(data: Sequence[int]) -> int:
+    """AAL5 CRC-32 (MSB-first, init all-ones, complemented result)."""
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc = (((crc << 8) & 0xFFFFFFFF)
+               ^ _CRC_TABLE[((crc >> 24) ^ byte) & 0xFF])
+    return crc ^ 0xFFFFFFFF
+
+
+def segment(vpi: int, vci: int, pdu: Sequence[int],
+            uu: int = 0, cpi: int = 0) -> List[AtmCell]:
+    """Segment *pdu* (bytes) into AAL5 cells on connection (vpi, vci).
+
+    The last cell carries PT=1 (AUU set).
+
+    Raises:
+        AalError: PDU longer than the 16-bit length field allows.
+    """
+    pdu = list(pdu)
+    if len(pdu) > 0xFFFF:
+        raise AalError(f"PDU of {len(pdu)} octets exceeds AAL5 maximum")
+    content = len(pdu) + TRAILER_OCTETS
+    pad = (-content) % PAYLOAD_OCTETS
+    padded = pdu + [0] * pad
+    trailer_wo_crc = [uu & 0xFF, cpi & 0xFF,
+                      (len(pdu) >> 8) & 0xFF, len(pdu) & 0xFF]
+    crc = crc32_aal5(padded + trailer_wo_crc)
+    trailer = trailer_wo_crc + [(crc >> 24) & 0xFF, (crc >> 16) & 0xFF,
+                                (crc >> 8) & 0xFF, crc & 0xFF]
+    stream = padded + trailer
+    cells = []
+    for offset in range(0, len(stream), PAYLOAD_OCTETS):
+        chunk = stream[offset:offset + PAYLOAD_OCTETS]
+        last = offset + PAYLOAD_OCTETS >= len(stream)
+        cells.append(AtmCell.with_payload(vpi, vci, chunk,
+                                          pt=1 if last else 0))
+    return cells
+
+
+class Reassembler:
+    """Per-connection AAL5 reassembly.
+
+    Feed cells in arrival order with :meth:`push`; completed PDUs are
+    returned (and CRC/length verified).  Cells of different connections
+    may interleave freely.
+    """
+
+    def __init__(self, max_pdu_octets: int = 65535) -> None:
+        self.max_pdu_octets = max_pdu_octets
+        self._partial: Dict[Tuple[int, int], List[int]] = {}
+        self.completed = 0
+        self.crc_errors = 0
+
+    def push(self, cell: AtmCell) -> Optional[List[int]]:
+        """Add *cell*; returns the reassembled PDU when it completes.
+
+        Raises:
+            AalError: on CRC or length mismatch of a completed PDU, or
+                when a partial PDU exceeds the size bound.
+        """
+        key = cell.connection()
+        buffer = self._partial.setdefault(key, [])
+        buffer.extend(cell.payload)
+        if len(buffer) > self.max_pdu_octets + PAYLOAD_OCTETS + TRAILER_OCTETS:
+            del self._partial[key]
+            raise AalError(f"PDU on {key} exceeds {self.max_pdu_octets} "
+                           f"octets without completing")
+        if not cell.pt & 1:
+            return None
+        # AUU set: this cell ends the CPCS-PDU.
+        del self._partial[key]
+        return self._finish(key, buffer)
+
+    def pending_connections(self) -> int:
+        """Number of connections with an incomplete PDU."""
+        return len(self._partial)
+
+    def _finish(self, key, buffer: List[int]) -> List[int]:
+        trailer = buffer[-TRAILER_OCTETS:]
+        body = buffer[:-TRAILER_OCTETS]
+        length = (trailer[2] << 8) | trailer[3]
+        received_crc = ((trailer[4] << 24) | (trailer[5] << 16)
+                        | (trailer[6] << 8) | trailer[7])
+        computed = crc32_aal5(body + trailer[:4])
+        if computed != received_crc:
+            self.crc_errors += 1
+            raise AalError(f"CRC-32 mismatch on {key}")
+        if length > len(body):
+            self.crc_errors += 1
+            raise AalError(f"length field {length} exceeds PDU body on {key}")
+        self.completed += 1
+        return body[:length]

@@ -1,0 +1,61 @@
+"""Header Error Control (HEC) computation.
+
+ITU-T I.432 protects the first four octets of the ATM cell header with
+a CRC-8 over generator polynomial x^8 + x^2 + x + 1 (0x07), XORed with
+the coset leader 0x55 to improve delineation robustness.  The same
+algorithm is implemented twice in this repository: here (reference,
+byte-at-a-time) and as a bit-serial RTL circuit in
+:mod:`repro.rtl.hec_circuit`; E5-style tests check them against each
+other.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["crc8", "hec_octet", "check_hec", "HEC_POLY", "HEC_COSET"]
+
+HEC_POLY = 0x07
+HEC_COSET = 0x55
+
+
+def _build_table() -> list:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 0x80:
+                crc = ((crc << 1) ^ HEC_POLY) & 0xFF
+            else:
+                crc = (crc << 1) & 0xFF
+        table.append(crc)
+    return table
+
+
+_CRC_TABLE = _build_table()
+
+
+def crc8(data: Sequence[int]) -> int:
+    """CRC-8 (poly 0x07, init 0) over *data* bytes, MSB first."""
+    crc = 0
+    for byte in data:
+        if not 0 <= byte <= 0xFF:
+            raise ValueError(f"byte value {byte} out of range")
+        crc = _CRC_TABLE[(crc ^ byte) & 0xFF]
+    return crc
+
+
+def hec_octet(header4: Sequence[int]) -> int:
+    """HEC octet for the first four header octets (CRC-8 XOR 0x55)."""
+    if len(header4) != 4:
+        raise ValueError(
+            f"HEC covers exactly 4 header octets, got {len(header4)}")
+    return crc8(header4) ^ HEC_COSET
+
+
+def check_hec(header5: Sequence[int]) -> bool:
+    """True when the 5-octet header carries a consistent HEC."""
+    if len(header5) != 5:
+        raise ValueError(
+            f"an ATM header is 5 octets, got {len(header5)}")
+    return hec_octet(header5[:4]) == header5[4]

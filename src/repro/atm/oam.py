@@ -1,0 +1,238 @@
+"""OAM F5 fault management: loopback cells.
+
+Operation-and-maintenance flows are the in-band self-test machinery of
+an ATM network: an F5 loopback cell travels the same VPI/VCI as user
+traffic (distinguished by its payload type), gets looped back at the
+far end, and its return within a timeout proves connectivity — the
+network-level sibling of the board's functional chip verification.
+
+Cell format (ITU-T I.610):
+
+* PT = 0b100 (segment F5) or 0b101 (end-to-end F5);
+* payload octet 0: OAM type (high nibble, 0b0001 = fault management)
+  and function type (low nibble, 0b1000 = loopback);
+* octet 1: loopback indication (1 = please loop me back);
+* octets 2..5: correlation tag;
+* octets 6..21: loopback location ID;
+* the last two octets carry a CRC-10 over the payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..netsim.kernel import Kernel
+from ..netsim.node import Module
+from ..netsim.packet import Packet
+from .cell import AtmCell, PAYLOAD_OCTETS
+
+__all__ = ["crc10", "check_crc10", "make_loopback_cell",
+           "parse_oam_cell", "OamInfo", "OamError",
+           "LoopbackResponder", "LoopbackInitiator",
+           "PT_SEGMENT_F5", "PT_END_TO_END_F5",
+           "OAM_FAULT_MANAGEMENT", "FUNC_LOOPBACK"]
+
+PT_SEGMENT_F5 = 0b100
+PT_END_TO_END_F5 = 0b101
+OAM_FAULT_MANAGEMENT = 0b0001
+FUNC_LOOPBACK = 0b1000
+
+_CRC10_POLY = 0x633
+
+
+class OamError(ValueError):
+    """Raised on malformed OAM cells (bad CRC-10, wrong type)."""
+
+
+def crc10(data: Sequence[int]) -> int:
+    """CRC-10 (generator x^10+x^9+x^5+x^4+x+1) over *data* bytes."""
+    crc = 0
+    for byte in data:
+        if not 0 <= byte <= 0xFF:
+            raise OamError(f"byte {byte} out of range")
+        crc ^= byte << 2
+        for _ in range(8):
+            if crc & 0x200:
+                crc = ((crc << 1) ^ _CRC10_POLY) & 0x3FF
+            else:
+                crc = (crc << 1) & 0x3FF
+    return crc
+
+
+def check_crc10(payload: Sequence[int]) -> bool:
+    """True when the 48-octet OAM payload carries a consistent CRC-10
+    in its last 10 bits."""
+    if len(payload) != PAYLOAD_OCTETS:
+        raise OamError(f"OAM payload must be {PAYLOAD_OCTETS} octets")
+    body = list(payload[:-2])
+    received = ((payload[-2] & 0x03) << 8) | payload[-1]
+    return crc10(body) == received
+
+
+@dataclass(frozen=True)
+class OamInfo:
+    """Decoded contents of an OAM loopback cell."""
+
+    vpi: int
+    vci: int
+    end_to_end: bool
+    loopback_indication: int
+    correlation_tag: int
+    location_id: Tuple[int, ...]
+
+
+def make_loopback_cell(vpi: int, vci: int, correlation_tag: int,
+                       end_to_end: bool = True,
+                       loopback_indication: int = 1,
+                       location_id: Sequence[int] = ()) -> AtmCell:
+    """Build an F5 loopback cell ready to transmit."""
+    if not 0 <= correlation_tag <= 0xFFFFFFFF:
+        raise OamError(f"correlation tag {correlation_tag} out of range")
+    location = list(location_id)[:16]
+    location += [0x6A] * (16 - len(location))  # 0x6A = I.610 filler
+    payload = [0] * PAYLOAD_OCTETS
+    payload[0] = (OAM_FAULT_MANAGEMENT << 4) | FUNC_LOOPBACK
+    payload[1] = 1 if loopback_indication else 0
+    payload[2] = (correlation_tag >> 24) & 0xFF
+    payload[3] = (correlation_tag >> 16) & 0xFF
+    payload[4] = (correlation_tag >> 8) & 0xFF
+    payload[5] = correlation_tag & 0xFF
+    payload[6:22] = location
+    payload[22:46] = [0x6A] * 24
+    crc = crc10(payload[:-2])
+    payload[-2] = (crc >> 8) & 0x03
+    payload[-1] = crc & 0xFF
+    return AtmCell(vpi=vpi, vci=vci,
+                   pt=PT_END_TO_END_F5 if end_to_end else PT_SEGMENT_F5,
+                   payload=tuple(payload))
+
+
+def is_oam_cell(cell: AtmCell) -> bool:
+    """True for F5 OAM payload types."""
+    return cell.pt in (PT_SEGMENT_F5, PT_END_TO_END_F5)
+
+
+def parse_oam_cell(cell: AtmCell) -> OamInfo:
+    """Decode and validate an F5 loopback cell.
+
+    Raises:
+        OamError: not an OAM cell, not a loopback function, or CRC-10
+            failure.
+    """
+    if not is_oam_cell(cell):
+        raise OamError(f"PT {cell.pt:#05b} is not an F5 OAM flow")
+    payload = list(cell.payload)
+    if not check_crc10(payload):
+        raise OamError("OAM CRC-10 mismatch")
+    oam_type = (payload[0] >> 4) & 0xF
+    function = payload[0] & 0xF
+    if oam_type != OAM_FAULT_MANAGEMENT or function != FUNC_LOOPBACK:
+        raise OamError(
+            f"not a loopback cell (type {oam_type}, func {function})")
+    tag = ((payload[2] << 24) | (payload[3] << 16) | (payload[4] << 8)
+           | payload[5])
+    return OamInfo(vpi=cell.vpi, vci=cell.vci,
+                   end_to_end=cell.pt == PT_END_TO_END_F5,
+                   loopback_indication=payload[1],
+                   correlation_tag=tag,
+                   location_id=tuple(payload[6:22]))
+
+
+class LoopbackResponder(Module):
+    """Loops OAM loopback cells back; forwards everything else.
+
+    Input stream 0 carries the connection's cell flow; user cells pass
+    through to output stream 0, loopback cells with indication=1 are
+    returned on output stream 1 (the reverse direction) with the
+    indication cleared and the CRC-10 recomputed.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.looped = 0
+        self.forwarded = 0
+        self.bad_oam = 0
+
+    def receive(self, packet: Packet, stream: int) -> None:
+        self.packets_in += 1
+        cell = AtmCell.from_packet(packet)
+        if not is_oam_cell(cell):
+            self.forwarded += 1
+            self.send(packet, stream=0)
+            return
+        try:
+            info = parse_oam_cell(cell)
+        except OamError:
+            self.bad_oam += 1
+            return
+        if not info.loopback_indication:
+            # already-looped cell passing a responder: forward onwards
+            self.forwarded += 1
+            self.send(packet, stream=0)
+            return
+        response = make_loopback_cell(
+            cell.vpi, cell.vci, info.correlation_tag,
+            end_to_end=info.end_to_end, loopback_indication=0,
+            location_id=info.location_id)
+        self.looped += 1
+        self.send(response.to_packet(), stream=1)
+
+
+class LoopbackInitiator(Module):
+    """Originates loopback cells and supervises their return.
+
+    :meth:`probe` transmits a loopback cell on output stream 0 and
+    arms a timeout; returned cells arrive on input stream 0.  Results
+    accumulate in :attr:`round_trips` (tag -> RTT seconds) and
+    :attr:`timeouts`.
+    """
+
+    def __init__(self, name: str, vpi: int, vci: int,
+                 timeout: float = 1e-3,
+                 on_result: Optional[Callable[[int, Optional[float]],
+                                              None]] = None) -> None:
+        super().__init__(name)
+        if timeout <= 0:
+            raise OamError(f"non-positive loopback timeout {timeout}")
+        self.vpi = vpi
+        self.vci = vci
+        self.timeout = timeout
+        self.on_result = on_result
+        self._next_tag = 1
+        self._outstanding = {}
+        self.round_trips = {}
+        self.timeouts = 0
+
+    def probe(self) -> int:
+        """Send one loopback cell; returns its correlation tag."""
+        tag = self._next_tag
+        self._next_tag += 1
+        kernel = self._kernel()
+        cell = make_loopback_cell(self.vpi, self.vci, tag)
+        self._outstanding[tag] = kernel.now
+        self.send(cell.to_packet(kernel.now), stream=0)
+        kernel.schedule_after(self.timeout,
+                              lambda: self._expire(tag))
+        return tag
+
+    def receive(self, packet: Packet, stream: int) -> None:
+        self.packets_in += 1
+        try:
+            info = parse_oam_cell(AtmCell.from_packet(packet))
+        except OamError:
+            return
+        sent_at = self._outstanding.pop(info.correlation_tag, None)
+        if sent_at is None or info.loopback_indication:
+            return
+        rtt = self._kernel().now - sent_at
+        self.round_trips[info.correlation_tag] = rtt
+        if self.on_result is not None:
+            self.on_result(info.correlation_tag, rtt)
+
+    def _expire(self, tag: int) -> None:
+        if tag in self._outstanding:
+            del self._outstanding[tag]
+            self.timeouts += 1
+            if self.on_result is not None:
+                self.on_result(tag, None)

@@ -1,0 +1,168 @@
+"""Call-control signalling as communicating extended FSMs.
+
+The paper's introduction places "call admission control agents and
+signaling protocols" in the embedded-software / higher-layer part of
+an ATM system — exactly the kind of behaviour the process domain's
+extended FSMs exist to model.  :class:`CallControlProcess` is a
+Q.2931-flavoured connection agent:
+
+    idle ──(call request)──> setup-sent ──(ack)──> connected
+      ▲                        │  (timeout: retry up to N, then fail)
+      └──(release done)── teardown <──(hold timer expires)
+
+The switch side is :class:`~repro.atm.switch.GlobalControlUnit`, which
+acknowledges setups/teardowns on its control interface when the
+``ack_port`` of the hosting node is wired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..netsim.events import InterruptKind
+from ..netsim.packet import Packet
+from ..netsim.process import ProcessModel, State
+from .accounting import Tariff
+from .switch import make_setup_packet, make_teardown_packet
+
+__all__ = ["CallControlProcess", "CallRequest", "CALL_TIMER",
+           "HOLD_TIMER"]
+
+#: SELF-interrupt codes
+CALL_TIMER = 1
+HOLD_TIMER = 2
+
+
+@dataclass
+class CallRequest:
+    """One connection the agent should establish and hold."""
+
+    in_port: int
+    vpi: int
+    vci: int
+    out_port: int
+    out_vpi: int
+    out_vci: int
+    hold_time: float
+    tariff: Optional[Tariff] = None
+
+
+class CallControlProcess(ProcessModel):
+    """A signalling agent establishing calls through a switch GCU.
+
+    Args:
+        requests: the calls to place, one after the other.
+        setup_timeout: seconds to wait for an acknowledgement.
+        max_retries: setup retransmissions before declaring failure.
+
+    The process sends control messages on output stream 0 (wire it to
+    the switch's control port) and expects acknowledgement packets —
+    ``{"op": "ack", "vpi": ..., "vci": ...}`` — on input stream 0.
+
+    Outcome counters: :attr:`calls_established`, :attr:`calls_failed`,
+    :attr:`calls_released`.
+    """
+
+    def __init__(self, requests: List[CallRequest],
+                 setup_timeout: float = 1e-3,
+                 max_retries: int = 3) -> None:
+        super().__init__("call-control")
+        if setup_timeout <= 0:
+            raise ValueError("non-positive setup timeout")
+        if max_retries < 0:
+            raise ValueError("negative retry limit")
+        self.requests = list(requests)
+        self.setup_timeout = setup_timeout
+        self.max_retries = max_retries
+        self.calls_established = 0
+        self.calls_failed = 0
+        self.calls_released = 0
+        self._active_request: Optional[CallRequest] = None
+        self._retries = 0
+        self._build_fsm()
+
+    # ------------------------------------------------------------------
+    # FSM construction
+    # ------------------------------------------------------------------
+    def _build_fsm(self) -> None:
+        self.add_state(State("init", forced=True,
+                             enter=self._next_call), initial=True)
+        self.add_state(State("idle"))
+        self.add_state(State("setup_sent"))
+        self.add_state(State("retry", forced=True,
+                             enter=self._on_retry))
+        self.add_state(State("connected", enter=self._on_connected))
+        self.add_state(State("release", forced=True,
+                             enter=self._on_release))
+        self.add_state(State("failed", forced=True,
+                             enter=self._on_failed))
+        self.add_state(State("done"))
+
+        self.add_transition("init", "setup_sent",
+                            guard=lambda p, i: p._active_request is not None)
+        self.add_transition("init", "done")
+
+        self.add_transition(
+            "setup_sent", "connected",
+            guard=lambda p, i: (i.kind == InterruptKind.STREAM
+                                and p._is_my_ack(i.data)))
+        self.add_transition(
+            "setup_sent", "retry",
+            guard=lambda p, i: (i.kind == InterruptKind.SELF
+                                and i.code == CALL_TIMER
+                                and p._retries < p.max_retries))
+        self.add_transition(
+            "setup_sent", "failed",
+            guard=lambda p, i: (i.kind == InterruptKind.SELF
+                                and i.code == CALL_TIMER))
+        self.add_transition("retry", "setup_sent")
+
+        self.add_transition(
+            "connected", "release",
+            guard=lambda p, i: (i.kind == InterruptKind.SELF
+                                and i.code == HOLD_TIMER))
+        self.add_transition("release", "init")
+        self.add_transition("failed", "init")
+
+    # ------------------------------------------------------------------
+    # State executives
+    # ------------------------------------------------------------------
+    def _next_call(self, _p: ProcessModel) -> None:
+        self._active_request = (self.requests.pop(0) if self.requests else None)
+        self._retries = 0
+        if self._active_request is not None:
+            self._send_setup()
+
+    def _send_setup(self) -> None:
+        request = self._active_request
+        self.send(make_setup_packet(
+            request.in_port, request.vpi, request.vci,
+            request.out_port, request.out_vpi, request.out_vci,
+            tariff=request.tariff))
+        self.schedule_self(self.setup_timeout, code=CALL_TIMER)
+
+    def _on_retry(self, _p: ProcessModel) -> None:
+        self._retries += 1
+        self._send_setup()
+
+    def _is_my_ack(self, packet: Packet) -> bool:
+        return (isinstance(packet, Packet)
+                and packet.get("op") == "ack"
+                and packet.get("vpi") == self._active_request.vpi
+                and packet.get("vci") == self._active_request.vci)
+
+    def _on_connected(self, _p: ProcessModel) -> None:
+        self.cancel_self_interrupts()
+        self.calls_established += 1
+        self.schedule_self(self._active_request.hold_time, code=HOLD_TIMER)
+
+    def _on_release(self, _p: ProcessModel) -> None:
+        request = self._active_request
+        self.send(make_teardown_packet(request.in_port, request.vpi,
+                                       request.vci))
+        self.calls_released += 1
+
+    def _on_failed(self, _p: ProcessModel) -> None:
+        self.cancel_self_interrupts()
+        self.calls_failed += 1

@@ -1,0 +1,268 @@
+"""Abstract (system-level) ATM switch model.
+
+The configuration the paper benchmarks: "an ATM switch consisting of
+four port modules, one global control unit".  At the network-simulator
+level the switch is a node containing
+
+* one :class:`PortModule` per port — fast-path cell handling: HEC-valid
+  cell in, connection-table lookup, VPI/VCI translation, accounting
+  notification, hand-off to the destination port's output queue;
+* one output :class:`~repro.netsim.node.QueueModule` per port, draining
+  at the line cell rate;
+* one :class:`GlobalControlUnit` — an extended-FSM process owning the
+  connection table and the accounting unit, processing control messages
+  (connection setup / teardown) and the tariff-interval timer.
+
+This model is the *algorithm reference* the RTL implementations in
+:mod:`repro.rtl` are verified against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..netsim.events import InterruptKind
+from ..netsim.node import Module, Node, ProcessorModule, QueueModule
+from ..netsim.packet import Packet
+from ..netsim.process import ProcessModel, State
+from ..netsim.topology import Network
+from .accounting import AccountingUnit, Tariff
+from .cell import AtmCell, CELL_BITS
+from .switching import ConnectionTable, RoutingEntry, RoutingError
+
+__all__ = ["AtmSwitch", "PortModule", "GlobalControlUnit",
+           "STM1_CELL_TIME", "make_setup_packet", "make_teardown_packet"]
+
+#: Cell slot time on a 155.52 Mbit/s STM-1 line (seconds).
+STM1_CELL_TIME = CELL_BITS / 155.52e6
+
+
+def make_setup_packet(in_port: int, vpi: int, vci: int, out_port: int,
+                      out_vpi: int, out_vci: int,
+                      tariff: Optional[Tariff] = None) -> Packet:
+    """Control message asking the GCU to install a connection."""
+    return Packet(size_bits=CELL_BITS, fields={
+        "op": "setup", "in_port": in_port, "vpi": vpi, "vci": vci,
+        "out_port": out_port, "out_vpi": out_vpi, "out_vci": out_vci,
+        "tariff": tariff})
+
+
+def make_teardown_packet(in_port: int, vpi: int, vci: int) -> Packet:
+    """Control message asking the GCU to remove a connection."""
+    return Packet(size_bits=CELL_BITS, fields={
+        "op": "teardown", "in_port": in_port, "vpi": vpi, "vci": vci})
+
+
+class PortModule(Module):
+    """Fast-path cell processing for one switch port."""
+
+    def __init__(self, name: str, port_index: int,
+                 switch: "AtmSwitch") -> None:
+        super().__init__(name)
+        self.port_index = port_index
+        self.switch = switch
+        self.cells_routed = 0
+        self.cells_misrouted = 0
+        self.idle_cells = 0
+
+    def receive(self, packet: Packet, stream: int) -> None:
+        self.packets_in += 1
+        cell = AtmCell.from_packet(packet)
+        if cell.is_idle:
+            # Idle cells are stripped at the port; they never cross the
+            # fabric (the paper's "time-periods where idle cells are
+            # inserted into the ATM cell stream").
+            self.idle_cells += 1
+            return
+        try:
+            entry = self.switch.table.lookup(self.port_index,
+                                             cell.vpi, cell.vci)
+        except RoutingError:
+            self.cells_misrouted += 1
+            self.switch.cells_dropped += 1
+            return
+        if self.switch.accounting is not None:
+            self.switch.accounting.cell_arrival(cell.vpi, cell.vci,
+                                                clp=cell.clp)
+        translated = AtmCell(vpi=entry.out_vpi, vci=entry.out_vci,
+                             pt=cell.pt, clp=cell.clp, gfc=cell.gfc,
+                             payload=cell.payload)
+        out = translated.to_packet(creation_time=packet.creation_time)
+        self.cells_routed += 1
+        self.switch.cells_switched += 1
+        self.switch.output_queue(entry.out_port).receive(out, 0)
+
+
+class GlobalControlUnit(ProcessModel):
+    """Extended-FSM control process: connection management + tariffs.
+
+    FSM: ``init`` (forced) → ``idle``; STREAM interrupts (control
+    messages) visit the forced ``control`` state; SELF interrupts close
+    the current tariff interval and re-arm the timer.
+    """
+
+    def __init__(self, switch: "AtmSwitch",
+                 tariff_interval: Optional[float] = None) -> None:
+        super().__init__("gcu")
+        self.switch = switch
+        self.tariff_interval = tariff_interval
+        self.control_messages = 0
+        self.rejected_messages = 0
+        self._build_fsm()
+
+    def _build_fsm(self) -> None:
+        self.add_state(State("init", forced=True, enter=self._on_init),
+                       initial=True)
+        self.add_state(State("idle"))
+        self.add_state(State("control", forced=True,
+                             enter=self._on_control))
+        self.add_state(State("tariff", forced=True,
+                             enter=self._on_tariff))
+        self.add_transition("init", "idle")
+        self.add_transition(
+            "idle", "control",
+            guard=lambda pr, it: it.kind == InterruptKind.STREAM)
+        self.add_transition(
+            "idle", "tariff",
+            guard=lambda pr, it: it.kind == InterruptKind.SELF)
+        self.add_transition("control", "idle")
+        self.add_transition("tariff", "idle")
+
+    # -- state executives ----------------------------------------------
+    def _on_init(self, _pr: ProcessModel) -> None:
+        if self.tariff_interval is not None:
+            self.schedule_self(self.tariff_interval)
+
+    def _on_control(self, _pr: ProcessModel) -> None:
+        message = self.interrupt.data
+        self.control_messages += 1
+        op = message.get("op")
+        if op == "setup":
+            self._setup(message)
+            self._acknowledge(message)
+        elif op == "teardown":
+            self._teardown(message)
+            self._acknowledge(message)
+        else:
+            self.rejected_messages += 1
+
+    def _acknowledge(self, message: Packet) -> None:
+        """Reply with an acknowledgement when a control link exists
+        (signalling agents wait for these); with an input-only control
+        hookup the acknowledgement is silently skipped."""
+        node = self.switch.node
+        if not node.has_link(self.switch.control_port):
+            return
+        self.send(Packet(size_bits=CELL_BITS, fields={
+            "op": "ack", "vpi": message["vpi"], "vci": message["vci"]}))
+
+    def _setup(self, message: Packet) -> None:
+        entry = RoutingEntry(out_port=message["out_port"],
+                             out_vpi=message["out_vpi"],
+                             out_vci=message["out_vci"])
+        self.switch.table.install(message["in_port"], message["vpi"],
+                                  message["vci"], entry)
+        tariff = message.get("tariff")
+        accounting = self.switch.accounting
+        if accounting is not None and tariff is not None:
+            if not accounting.is_registered(message["vpi"], message["vci"]):
+                accounting.register(message["vpi"], message["vci"], tariff)
+
+    def _teardown(self, message: Packet) -> None:
+        try:
+            self.switch.table.remove(message["in_port"], message["vpi"],
+                                     message["vci"])
+        except RoutingError:
+            self.rejected_messages += 1
+            return
+        accounting = self.switch.accounting
+        if (accounting is not None
+                and accounting.is_registered(message["vpi"],
+                                             message["vci"])):
+            accounting.deregister(message["vpi"], message["vci"])
+
+    def _on_tariff(self, _pr: ProcessModel) -> None:
+        if self.switch.accounting is not None:
+            self.switch.accounting.close_interval()
+        self.schedule_self(self.tariff_interval)
+
+
+class AtmSwitch:
+    """An N-port output-queued ATM switch inside a network model.
+
+    Node port layout: port *i* (0 <= i < num_ports) is the cell
+    interface of switch port *i* (both directions); node port
+    ``num_ports`` is the control interface delivering setup/teardown
+    messages to the global control unit.
+
+    Example:
+        >>> net = Network()
+        >>> switch = AtmSwitch(net, "sw", num_ports=4)
+        >>> switch.install_connection(0, 1, 100, 2, 1, 200)
+    """
+
+    def __init__(self, network: Network, name: str, num_ports: int = 4,
+                 cell_time: float = STM1_CELL_TIME,
+                 queue_capacity: Optional[int] = 64,
+                 accounting: Optional[AccountingUnit] = None,
+                 tariff_interval: Optional[float] = None) -> None:
+        if num_ports < 1:
+            raise ValueError(f"switch needs >= 1 port, got {num_ports}")
+        self.name = name
+        self.num_ports = num_ports
+        self.cell_time = cell_time
+        self.table = ConnectionTable()
+        self.accounting = accounting
+        self.cells_switched = 0
+        self.cells_dropped = 0
+
+        self.node: Node = network.add_node(name)
+        self.ports: List[PortModule] = []
+        self._queues: List[QueueModule] = []
+        for index in range(num_ports):
+            port = PortModule(f"port{index}", index, self)
+            queue = QueueModule(f"outq{index}", capacity=queue_capacity,
+                                service_time=cell_time)
+            self.node.add_module(port)
+            self.node.add_module(queue)
+            self.node.bind_port_input(index, port, 0)
+            self.node.bind_port_output(index, queue, 0)
+            self.ports.append(port)
+            self._queues.append(queue)
+
+        self.gcu = GlobalControlUnit(self, tariff_interval=tariff_interval)
+        gcu_module = ProcessorModule("gcu", self.gcu)
+        self.node.add_module(gcu_module)
+        self.node.bind_port_input(num_ports, gcu_module, 0)
+        # acknowledgements leave through the same control interface
+        self.node.bind_port_output(num_ports, gcu_module, 0)
+
+    @property
+    def control_port(self) -> int:
+        """Node port index of the control (signalling) interface."""
+        return self.num_ports
+
+    def output_queue(self, port: int) -> QueueModule:
+        """The output queue feeding switch port *port*."""
+        return self._queues[port]
+
+    def install_connection(self, in_port: int, vpi: int, vci: int,
+                           out_port: int, out_vpi: int, out_vci: int,
+                           tariff: Optional[Tariff] = None) -> None:
+        """Directly install a connection (management interface).
+
+        Equivalent to delivering a setup message to the GCU, for test
+        benches that configure the switch before the run starts.
+        """
+        if not 0 <= out_port < self.num_ports:
+            raise ValueError(f"output port {out_port} out of range")
+        self.table.install(in_port, vpi, vci,
+                           RoutingEntry(out_port, out_vpi, out_vci))
+        if self.accounting is not None and tariff is not None:
+            if not self.accounting.is_registered(vpi, vci):
+                self.accounting.register(vpi, vci, tariff)
+
+    def total_queue_drops(self) -> int:
+        """Cells lost to output-queue overflow across all ports."""
+        return sum(queue.dropped for queue in self._queues)

@@ -1,0 +1,244 @@
+"""The hardware test board: memories, clocking and test cycles.
+
+Models the RAVEN board of [16]: a control part and multiple memory
+units for intermediate test-vector storage, a 128-pin bit-stream
+interface (16 byte lanes, each configurable in direction and speed)
+and a clock interface, maximum board clock 20 MHz.
+
+"The real-time verification process consists of repeated hardware
+activity cycles, interrupted by a software activity cycle, in which
+the hardware is stopped immediately.  One test cycle contains a
+software activity cycle to generate stimuli, configure the board and
+store stimuli to the hardware test board.  This is followed by a
+hardware activity cycle to run the hardware under test and a software
+activity cycle to read the results back to the simulator."
+:meth:`HardwareTestBoard.run_test_cycle` is exactly that loop body;
+:class:`TestCycleStats` carries the timing split the E4 benchmark
+sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .device import PinLevelDevice
+from .pinmap import (ConfigurationDataSet, NUM_BYTE_LANES, PinMapError)
+from .scsi import ScsiBus
+
+__all__ = ["HardwareTestBoard", "TestCycleStats", "BoardError",
+           "MAX_BOARD_CLOCK_HZ", "MIN_CYCLE_CLOCKS", "MAX_CYCLE_CLOCKS"]
+
+MAX_BOARD_CLOCK_HZ = 20e6
+#: test-cycle duration limits from the board's memory configuration
+MIN_CYCLE_CLOCKS = 1
+MAX_CYCLE_CLOCKS = 1 << 20
+
+
+class BoardError(Exception):
+    """Raised on invalid board configuration or operation."""
+
+
+@dataclass
+class TestCycleStats:
+    """Timing breakdown of one complete test cycle."""
+
+    clocks: int
+    hw_time: float           # hardware activity (real-time run)
+    sw_load_time: float      # stimulus download over SCSI
+    sw_read_time: float      # response upload over SCSI
+    sw_overhead_time: float  # host-side stimulus generation/configure
+
+    @property
+    def total_time(self) -> float:
+        """Wall-clock of the full cycle."""
+        return (self.hw_time + self.sw_load_time + self.sw_read_time
+                + self.sw_overhead_time)
+
+    @property
+    def effective_clock_hz(self) -> float:
+        """DUT clocks per second of wall-clock, the E4 metric."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.clocks / self.total_time
+
+    @property
+    def hw_utilization(self) -> float:
+        """Fraction of the cycle spent actually clocking the DUT."""
+        total = self.total_time
+        return self.hw_time / total if total > 0 else 0.0
+
+
+class HardwareTestBoard:
+    """The board model.
+
+    Args:
+        config: pin-mapping configuration data set (validated here).
+        clock_hz: board clock; must not exceed 20 MHz.
+        memory_depth: stimulus/response vectors storable per test
+            cycle; bounds the hardware-activity-cycle duration.
+        scsi: the host attachment (a default bus is created if
+            omitted).
+        sw_overhead_s: host software cost per cycle (stimulus
+            generation + board configuration), charged to the SW
+            activity phase.
+    """
+
+    def __init__(self, config: ConfigurationDataSet,
+                 clock_hz: float = MAX_BOARD_CLOCK_HZ,
+                 memory_depth: int = MAX_CYCLE_CLOCKS,
+                 scsi: Optional[ScsiBus] = None,
+                 sw_overhead_s: float = 2e-3) -> None:
+        if not 0 < clock_hz <= MAX_BOARD_CLOCK_HZ:
+            raise BoardError(
+                f"board clock {clock_hz} outside (0, {MAX_BOARD_CLOCK_HZ}]")
+        if not MIN_CYCLE_CLOCKS <= memory_depth <= MAX_CYCLE_CLOCKS:
+            raise BoardError(
+                f"memory depth {memory_depth} outside "
+                f"{MIN_CYCLE_CLOCKS}..{MAX_CYCLE_CLOCKS}")
+        config.validate()
+        self.config = config
+        self.clock_hz = clock_hz
+        self.memory_depth = memory_depth
+        self.scsi = scsi if scsi is not None else ScsiBus()
+        self.sw_overhead_s = sw_overhead_s
+        self._stimulus_memory: List[List[int]] = []
+        self._response_memory: List[List[int]] = []
+        #: byte lane -> clock divisor ("each of 16 byte lanes is
+        #: configurable in direction and speed"); a lane with divisor N
+        #: updates its driven value every Nth board clock.
+        self._lane_speed: Dict[int, int] = {}
+        self.cycles_run = 0
+        self.total_clocks = 0
+
+    # ------------------------------------------------------------------
+    # Byte-lane speed configuration
+    # ------------------------------------------------------------------
+    def set_lane_speed(self, lane: int, divisor: int) -> None:
+        """Clock byte *lane* at 1/*divisor* of the board clock: its
+        driven value is held for *divisor* board clocks."""
+        if not 0 <= lane < NUM_BYTE_LANES:
+            raise BoardError(f"byte lane {lane} outside 0..15")
+        if divisor < 1:
+            raise BoardError(f"lane divisor must be >= 1, got {divisor}")
+        if divisor == 1:
+            self._lane_speed.pop(lane, None)
+        else:
+            self._lane_speed[lane] = divisor
+
+    def lane_speed(self, lane: int) -> int:
+        """The configured divisor of byte *lane* (1 = full speed)."""
+        return self._lane_speed.get(lane, 1)
+
+    def _effective_frame(self, index: int) -> List[int]:
+        """The pin frame the DUT sees at clock *index*, with slow
+        lanes holding their last update."""
+        frame = list(self._stimulus_memory[index])
+        for lane, divisor in self._lane_speed.items():
+            held = index - (index % divisor)
+            frame[lane] = self._stimulus_memory[held][lane]
+        return frame
+
+    # ------------------------------------------------------------------
+    # Software activity: load / read
+    # ------------------------------------------------------------------
+    def load_stimuli(self, frames: Sequence[Sequence[int]]) -> float:
+        """Store stimulus pin frames into board memory (SW activity).
+
+        Returns the SCSI transfer time.
+
+        Raises:
+            BoardError: more frames than the memory holds, or malformed
+                frames.
+        """
+        frames = [list(frame) for frame in frames]
+        if len(frames) > self.memory_depth:
+            raise BoardError(
+                f"{len(frames)} stimulus vectors exceed memory depth "
+                f"{self.memory_depth}")
+        for frame in frames:
+            if len(frame) != NUM_BYTE_LANES:
+                raise BoardError(
+                    f"a pin frame has {NUM_BYTE_LANES} lanes, "
+                    f"got {len(frame)}")
+        self._stimulus_memory = frames
+        return self.scsi.transfer("LOAD_STIMULI",
+                                  len(frames) * NUM_BYTE_LANES)
+
+    def load_port_vectors(self, vectors: Sequence[Dict[int, int]],
+                          ctrl: Optional[Sequence[Dict[int, int]]] = None
+                          ) -> float:
+        """Convenience: pack per-clock logical port values and load
+        them (one dict of {inport: value} per clock)."""
+        ctrl = list(ctrl) if ctrl is not None else [None] * len(vectors)
+        if len(ctrl) != len(vectors):
+            raise BoardError("ctrl vector list length mismatch")
+        frames = [self.config.pack_stimulus(values, ctrl_values)
+                  for values, ctrl_values in zip(vectors, ctrl)]
+        return self.load_stimuli(frames)
+
+    def read_responses(self) -> List[List[int]]:
+        """Read captured response frames back (SW activity)."""
+        self.scsi.transfer("READ_RESPONSES",
+                           len(self._response_memory) * NUM_BYTE_LANES)
+        return [list(frame) for frame in self._response_memory]
+
+    def read_port_responses(self) -> List[Dict[int, int]]:
+        """Responses unpacked through the outport mappings."""
+        return [self.config.unpack_response(frame)
+                for frame in self.read_responses()]
+
+    # ------------------------------------------------------------------
+    # Hardware activity
+    # ------------------------------------------------------------------
+    def run_hardware_cycle(self, device: PinLevelDevice,
+                           clocks: Optional[int] = None) -> float:
+        """Clock the DUT through the stored stimuli at board speed.
+
+        The duration is "automatically calculated" as the number of
+        stored stimulus vectors unless *clocks* trims it.  Returns the
+        (modelled) real-time duration in seconds.
+        """
+        available = len(self._stimulus_memory)
+        if available == 0:
+            raise BoardError("no stimuli loaded")
+        n = available if clocks is None else clocks
+        if not MIN_CYCLE_CLOCKS <= n <= available:
+            raise BoardError(
+                f"cycle of {n} clocks outside 1..{available}")
+        self._response_memory = []
+        for index in range(n):
+            response = device.clock(self._effective_frame(index))
+            self._response_memory.append(list(response))
+        self.cycles_run += 1
+        self.total_clocks += n
+        return n / self.clock_hz
+
+    # ------------------------------------------------------------------
+    # Complete test cycle
+    # ------------------------------------------------------------------
+    def run_test_cycle(self, device: PinLevelDevice,
+                       vectors: Sequence[Dict[int, int]],
+                       ctrl: Optional[Sequence[Dict[int, int]]] = None
+                       ) -> "TestCycleResult":
+        """One full SW → HW → SW test cycle.
+
+        Returns the responses and the timing breakdown.
+        """
+        load_time = self.load_port_vectors(vectors, ctrl)
+        hw_time = self.run_hardware_cycle(device)
+        responses = self.read_port_responses()
+        read_time = self.scsi.log[-1].duration
+        stats = TestCycleStats(clocks=len(vectors), hw_time=hw_time,
+                               sw_load_time=load_time,
+                               sw_read_time=read_time,
+                               sw_overhead_time=self.sw_overhead_s)
+        return TestCycleResult(responses=responses, stats=stats)
+
+
+@dataclass
+class TestCycleResult:
+    """Responses plus timing of one test cycle."""
+
+    responses: List[Dict[int, int]]
+    stats: TestCycleStats

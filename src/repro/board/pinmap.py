@@ -1,0 +1,337 @@
+"""Pin-mapping configuration data set (the paper's Figure 5).
+
+The hardware test board exposes 128 bit-stream I/O pins organised as
+16 byte lanes.  The *configuration data set* tells the board how the
+DUT's logical ports map onto physical pins:
+
+* **Inport mappings** — DUT inputs the board drives: port number, port
+  width and one or more pin segments (byte lane ID, start bit position,
+  number of bits).
+* **Outport mappings** — DUT outputs the board samples; same shape.
+* **I/O port mappings** — bidirectional DUT ports modelled "by three
+  bit-level signals input, output and a control signal indicating the
+  direction through predefined read/write flags".
+* **Ctrl-port mappings** — the control ports with their write flag
+  value.
+
+``pack_stimulus`` and ``unpack_response`` are the two directions of
+the mapping, and a round-trip property test in ``tests/board`` checks
+they are inverse to each other for every legal configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["PinSegment", "PortMapping", "IoPortMapping", "CtrlPortMapping",
+           "ConfigurationDataSet", "PinMapError",
+           "NUM_BYTE_LANES", "LANE_WIDTH", "NUM_PINS"]
+
+NUM_BYTE_LANES = 16
+LANE_WIDTH = 8
+NUM_PINS = NUM_BYTE_LANES * LANE_WIDTH  # 128 I/O pins
+
+
+class PinMapError(ValueError):
+    """Raised for malformed or conflicting pin mappings."""
+
+
+@dataclass(frozen=True)
+class PinSegment:
+    """A contiguous run of pins inside one byte lane.
+
+    ``start_bit`` is the *highest* bit index of the run (Figure 5
+    writes "Start Bit Position 7, Number of Bits 8" for a full lane),
+    so a segment covers bits ``start_bit .. start_bit-num_bits+1``.
+    """
+
+    byte_lane: int
+    start_bit: int
+    num_bits: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.byte_lane < NUM_BYTE_LANES:
+            raise PinMapError(
+                f"byte lane {self.byte_lane} outside 0..{NUM_BYTE_LANES-1}")
+        if not 0 <= self.start_bit < LANE_WIDTH:
+            raise PinMapError(
+                f"start bit {self.start_bit} outside 0..{LANE_WIDTH-1}")
+        if self.num_bits < 1:
+            raise PinMapError(f"segment needs >= 1 bit")
+        if self.start_bit - self.num_bits + 1 < 0:
+            raise PinMapError(
+                f"segment (start {self.start_bit}, {self.num_bits} bits) "
+                f"runs below bit 0 of lane {self.byte_lane}")
+
+    def bit_positions(self) -> List[int]:
+        """Absolute pin indices, MSB of the segment first."""
+        base = self.byte_lane * LANE_WIDTH
+        return [base + self.start_bit - offset
+                for offset in range(self.num_bits)]
+
+
+@dataclass(frozen=True)
+class PortMapping:
+    """A logical DUT port mapped onto pin segments.
+
+    Segment bit widths must sum to the port width; the first segment
+    carries the most-significant port bits.
+    """
+
+    port_number: int
+    width: int
+    segments: Tuple[PinSegment, ...]
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise PinMapError(f"port width must be >= 1")
+        total = sum(seg.num_bits for seg in self.segments)
+        if total != self.width:
+            raise PinMapError(
+                f"port {self.port_number}: segments carry {total} bits "
+                f"but the port is {self.width} bits wide")
+
+    def bit_positions(self) -> List[int]:
+        """Absolute pin indices, port MSB first."""
+        positions: List[int] = []
+        for segment in self.segments:
+            positions.extend(segment.bit_positions())
+        return positions
+
+
+@dataclass(frozen=True)
+class CtrlPortMapping:
+    """A direction-control port for a bidirectional interface.
+
+    ``write_value`` is the control-port value that means "board drives
+    the DUT" (the predefined write flag).
+    """
+
+    ctrlport_number: int
+    width: int
+    segments: Tuple[PinSegment, ...]
+    write_value: int = 1
+
+    def as_port_mapping(self) -> PortMapping:
+        """The plain (board-driven) port view of the control pins."""
+        return PortMapping(self.ctrlport_number, self.width, self.segments)
+
+
+@dataclass(frozen=True)
+class IoPortMapping:
+    """Links an inport, an outport and a ctrl port into one
+    bidirectional DUT interface."""
+
+    inport_number: int
+    outport_number: int
+    ctrlport_number: int
+
+
+class ConfigurationDataSet:
+    """The complete Figure-5 configuration of one DUT hookup."""
+
+    def __init__(self) -> None:
+        self.inports: Dict[int, PortMapping] = {}
+        self.outports: Dict[int, PortMapping] = {}
+        self.ctrlports: Dict[int, CtrlPortMapping] = {}
+        self.io_ports: List[IoPortMapping] = []
+
+    # -- construction ------------------------------------------------------
+    def add_inport(self, mapping: PortMapping) -> None:
+        """Register a DUT-input mapping (board drives these pins)."""
+        self._add(self.inports, mapping, "inport")
+
+    def add_outport(self, mapping: PortMapping) -> None:
+        """Register a DUT-output mapping (board samples these pins)."""
+        self._add(self.outports, mapping, "outport")
+
+    def add_ctrlport(self, mapping: CtrlPortMapping) -> None:
+        """Register a direction-control port (board drives it)."""
+        if mapping.ctrlport_number in self.ctrlports:
+            raise PinMapError(
+                f"duplicate ctrlport {mapping.ctrlport_number}")
+        self.ctrlports[mapping.ctrlport_number] = mapping
+
+    def add_io_port(self, mapping: IoPortMapping) -> None:
+        """Tie an inport + outport + ctrlport into a bidir interface."""
+        for attr, number in (("inports", mapping.inport_number),
+                             ("outports", mapping.outport_number),
+                             ("ctrlports", mapping.ctrlport_number)):
+            if number not in getattr(self, attr):
+                raise PinMapError(
+                    f"I/O port references unknown {attr[:-1]} {number}")
+        self.io_ports.append(mapping)
+
+    @staticmethod
+    def _add(table: Dict[int, PortMapping], mapping: PortMapping,
+             kind: str) -> None:
+        if mapping.port_number in table:
+            raise PinMapError(f"duplicate {kind} {mapping.port_number}")
+        table[mapping.port_number] = mapping
+
+    # -- validation ---------------------------------------------------------
+    def validate(self) -> None:
+        """Check that no two same-direction ports share a pin and that
+        driven pins never collide with sampled pins (except through a
+        declared I/O port)."""
+        io_inports = {m.inport_number for m in self.io_ports}
+        io_outports = {m.outport_number for m in self.io_ports}
+
+        driven: Dict[int, str] = {}
+        for mapping in self.inports.values():
+            label = f"inport {mapping.port_number}"
+            for pin in mapping.bit_positions():
+                if pin in driven:
+                    raise PinMapError(
+                        f"pin {pin} driven by both {driven[pin]} and "
+                        f"{label}")
+                driven[pin] = label
+        for mapping in self.ctrlports.values():
+            label = f"ctrlport {mapping.ctrlport_number}"
+            for pin in mapping.as_port_mapping().bit_positions():
+                if pin in driven:
+                    raise PinMapError(
+                        f"pin {pin} driven by both {driven[pin]} and "
+                        f"{label}")
+                driven[pin] = label
+
+        sampled: Dict[int, str] = {}
+        for mapping in self.outports.values():
+            label = f"outport {mapping.port_number}"
+            for pin in mapping.bit_positions():
+                if pin in sampled:
+                    raise PinMapError(
+                        f"pin {pin} sampled by both {sampled[pin]} and "
+                        f"{label}")
+                sampled[pin] = label
+
+        for mapping in self.outports.values():
+            if mapping.port_number in io_outports:
+                continue  # shares pins with its inport by design
+            label = f"outport {mapping.port_number}"
+            for pin in mapping.bit_positions():
+                if pin in driven:
+                    raise PinMapError(
+                        f"pin {pin}: {label} collides with {driven[pin]} "
+                        f"(no I/O port declared)")
+
+    # -- frame packing --------------------------------------------------------
+    def pack_stimulus(self, inport_values: Dict[int, int],
+                      ctrlport_values: Optional[Dict[int, int]] = None
+                      ) -> List[int]:
+        """Pack logical port values into a 16-byte-lane pin frame.
+
+        Unspecified ports contribute zeros.  Values must fit their
+        port width.
+        """
+        frame = [0] * NUM_BYTE_LANES
+        for number, value in inport_values.items():
+            mapping = self._require(self.inports, number, "inport")
+            self._scatter(frame, mapping.bit_positions(), value,
+                          mapping.width, f"inport {number}")
+        for number, value in (ctrlport_values or {}).items():
+            mapping = self._require(self.ctrlports, number, "ctrlport")
+            port_view = mapping.as_port_mapping()
+            self._scatter(frame, port_view.bit_positions(), value,
+                          port_view.width, f"ctrlport {number}")
+        return frame
+
+    def unpack_response(self, frame: Sequence[int]) -> Dict[int, int]:
+        """Extract every outport's value from a pin frame."""
+        if len(frame) != NUM_BYTE_LANES:
+            raise PinMapError(
+                f"a pin frame has {NUM_BYTE_LANES} byte lanes, "
+                f"got {len(frame)}")
+        return {number: self._gather(frame, mapping.bit_positions())
+                for number, mapping in self.outports.items()}
+
+    def unpack_inports(self, frame: Sequence[int]) -> Dict[int, int]:
+        """Extract every inport's value from a stimulus frame (the DUT
+        adapter's view of what the board drove)."""
+        return {number: self._gather(frame, mapping.bit_positions())
+                for number, mapping in self.inports.items()}
+
+    def unpack_ctrlports(self, frame: Sequence[int]) -> Dict[int, int]:
+        """Extract every ctrlport's value from a stimulus frame."""
+        return {number: self._gather(
+                    frame, mapping.as_port_mapping().bit_positions())
+                for number, mapping in self.ctrlports.items()}
+
+    # -- helpers -----------------------------------------------------------
+    @staticmethod
+    def _require(table, number, kind):
+        try:
+            return table[number]
+        except KeyError:
+            raise PinMapError(f"unknown {kind} {number}") from None
+
+    @staticmethod
+    def _scatter(frame: List[int], positions: Sequence[int], value: int,
+                 width: int, label: str) -> None:
+        if not 0 <= value < (1 << width):
+            raise PinMapError(
+                f"{label}: value {value} does not fit in {width} bits")
+        for offset, pin in enumerate(positions):
+            bit = (value >> (width - 1 - offset)) & 1
+            lane, lane_bit = divmod(pin, LANE_WIDTH)
+            if bit:
+                frame[lane] |= 1 << lane_bit
+            else:
+                frame[lane] &= ~(1 << lane_bit)
+
+    @staticmethod
+    def _gather(frame: Sequence[int], positions: Sequence[int]) -> int:
+        value = 0
+        for pin in positions:
+            lane, lane_bit = divmod(pin, LANE_WIDTH)
+            value = (value << 1) | ((frame[lane] >> lane_bit) & 1)
+        return value
+
+    # -- serialisation --------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready image of the configuration data set."""
+
+        def seg(s: PinSegment) -> dict:
+            return {"byte_lane": s.byte_lane, "start_bit": s.start_bit,
+                    "num_bits": s.num_bits}
+
+        def port(m: PortMapping) -> dict:
+            return {"port": m.port_number, "width": m.width,
+                    "segments": [seg(s) for s in m.segments]}
+
+        return {
+            "inports": [port(m) for m in self.inports.values()],
+            "outports": [port(m) for m in self.outports.values()],
+            "ctrlports": [dict(port(m.as_port_mapping()),
+                               write_value=m.write_value)
+                          for m in self.ctrlports.values()],
+            "io_ports": [{"inport": m.inport_number,
+                          "outport": m.outport_number,
+                          "ctrlport": m.ctrlport_number}
+                         for m in self.io_ports],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConfigurationDataSet":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+
+        def segs(items) -> Tuple[PinSegment, ...]:
+            return tuple(PinSegment(**item) for item in items)
+
+        config = cls()
+        for item in data.get("inports", []):
+            config.add_inport(PortMapping(item["port"], item["width"],
+                                          segs(item["segments"])))
+        for item in data.get("outports", []):
+            config.add_outport(PortMapping(item["port"], item["width"],
+                                           segs(item["segments"])))
+        for item in data.get("ctrlports", []):
+            config.add_ctrlport(CtrlPortMapping(
+                item["port"], item["width"], segs(item["segments"]),
+                write_value=item.get("write_value", 1)))
+        for item in data.get("io_ports", []):
+            config.add_io_port(IoPortMapping(item["inport"],
+                                             item["outport"],
+                                             item["ctrlport"]))
+        return config

@@ -1,0 +1,63 @@
+"""SCSI-bus transport model.
+
+The board hangs off the workstation's SCSI bus; every software
+activity cycle pays command latency plus payload transfer time.  The
+model is deliberately simple — fixed per-command overhead plus
+bytes/bandwidth — because that is all experiment E4 needs: the
+SW-activity cost that long hardware test cycles amortise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["ScsiBus", "ScsiTransfer"]
+
+
+@dataclass(frozen=True)
+class ScsiTransfer:
+    """One completed bus transaction."""
+
+    command: str
+    payload_bytes: int
+    duration: float
+
+
+class ScsiBus:
+    """A latency/bandwidth model of the board's SCSI attachment.
+
+    Args:
+        bandwidth_bytes_per_s: sustained transfer rate (default 10 MB/s,
+            fast SCSI-2 of the paper's era).
+        command_overhead_s: fixed cost per command (arbitration,
+            selection, status).
+    """
+
+    def __init__(self, bandwidth_bytes_per_s: float = 10e6,
+                 command_overhead_s: float = 500e-6) -> None:
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError("non-positive SCSI bandwidth")
+        if command_overhead_s < 0:
+            raise ValueError("negative SCSI command overhead")
+        self.bandwidth = bandwidth_bytes_per_s
+        self.overhead = command_overhead_s
+        self.log: List[ScsiTransfer] = []
+
+    def transfer(self, command: str, payload_bytes: int) -> float:
+        """Execute one transaction; returns its duration in seconds."""
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload {payload_bytes}")
+        duration = self.overhead + payload_bytes / self.bandwidth
+        self.log.append(ScsiTransfer(command, payload_bytes, duration))
+        return duration
+
+    @property
+    def total_time(self) -> float:
+        """Accumulated bus time over all transactions."""
+        return sum(item.duration for item in self.log)
+
+    @property
+    def total_bytes(self) -> int:
+        """Accumulated payload bytes over all transactions."""
+        return sum(item.payload_bytes for item in self.log)

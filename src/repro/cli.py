@@ -1,0 +1,129 @@
+"""Command-line interface: ``python -m repro``.
+
+Small operational conveniences for exploring the reproduction:
+
+* ``inventory`` — the package map (what substitutes what);
+* ``examples`` — list runnable example scripts;
+* ``example NAME`` — run one example;
+* ``results`` — print the experiment tables of the last benchmark run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import runpy
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+__all__ = ["main"]
+
+_SUBPACKAGES = [
+    ("netsim", "OPNET-equivalent discrete-event network simulator"),
+    ("traffic", "traffic model library (CBR/Poisson/on-off/MMPP/MPEG)"),
+    ("atm", "ATM model suite (cells, switching, policing, accounting)"),
+    ("hdl", "VSS-equivalent event-driven HDL simulation kernel"),
+    ("rtl", "RTL device-under-test designs"),
+    ("board", "RAVEN-equivalent hardware test board model"),
+    ("core", "CASTANET: coupling, sync protocol, interfaces, compare"),
+    ("analysis", "result collection and report rendering"),
+]
+
+
+def _repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def _examples_dir() -> Path:
+    return _repo_root() / "examples"
+
+
+def _results_dir() -> Path:
+    return _repo_root() / "benchmarks" / "results"
+
+
+def _cmd_inventory(_args: argparse.Namespace) -> int:
+    print("repro — CASTANET reproduction (DATE 1998)\n")
+    for name, blurb in _SUBPACKAGES:
+        module = importlib.import_module(f"repro.{name}")
+        exported = len(getattr(module, "__all__", []))
+        print(f"  repro.{name:<10} {blurb}  [{exported} exports]")
+    return 0
+
+
+def _list_examples() -> List[Path]:
+    directory = _examples_dir()
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.py"))
+
+
+def _cmd_examples(_args: argparse.Namespace) -> int:
+    scripts = _list_examples()
+    if not scripts:
+        print("no examples directory found")
+        return 1
+    for script in scripts:
+        doc = ""
+        for line in script.read_text().splitlines():
+            stripped = line.strip().strip('"').strip()
+            if stripped and not stripped.startswith(("#", "!")):
+                doc = stripped
+                break
+        print(f"  {script.stem:<28} {doc}")
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    target = _examples_dir() / f"{args.name}.py"
+    if not target.is_file():
+        known = ", ".join(p.stem for p in _list_examples())
+        print(f"unknown example {args.name!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    try:
+        runpy.run_path(str(target), run_name="__main__")
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    return 0
+
+
+def _cmd_results(_args: argparse.Namespace) -> int:
+    directory = _results_dir()
+    tables = sorted(directory.glob("*.txt")) if directory.is_dir() \
+        else []
+    if not tables:
+        print("no benchmark results found — run:\n"
+              "  pytest benchmarks/ --benchmark-only")
+        return 1
+    for table in tables:
+        print(table.read_text().rstrip())
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CASTANET reproduction utilities")
+    commands = parser.add_subparsers(dest="command")
+    commands.add_parser("inventory",
+                        help="show the package map").set_defaults(
+        fn=_cmd_inventory)
+    commands.add_parser("examples",
+                        help="list example scripts").set_defaults(
+        fn=_cmd_examples)
+    example = commands.add_parser("example", help="run one example")
+    example.add_argument("name")
+    example.set_defaults(fn=_cmd_example)
+    commands.add_parser(
+        "results",
+        help="print the latest benchmark tables").set_defaults(
+        fn=_cmd_results)
+    args = parser.parse_args(argv)
+    if not getattr(args, "fn", None):
+        parser.print_help()
+        return 2
+    return args.fn(args)

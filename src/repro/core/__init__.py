@@ -1,0 +1,50 @@
+"""CASTANET — the co-verification core.
+
+Time-stamped message queues, the conservative timing-window
+synchronisation protocol, abstraction interfaces (struct ↔ bit-level
+conversion), the co-simulation entity, the board interface model,
+reference-vs-DUT stream comparison and the top-level
+:class:`CoVerificationEnvironment` façade.
+"""
+
+from .board_interface import (BoardInterfaceModel, IN_ATMDATA, IN_CELLSYNC,
+                              IN_TICK, IN_VALID, OUT_REC_VALID,
+                              OUT_REC_WORD, cell_stream_pin_config)
+from .comparison import Mismatch, StreamComparator, VerificationReport
+from .cosim import CELL_MSG, CosimulationEntity, TICK_MSG
+from .environment import CoVerificationEnvironment, TapModule
+from .ifgen import (GeneratedBundle, GeneratedReceiver, GeneratedSender,
+                    InterfaceDescription, atm_cell_interface,
+                    charging_record_interface)
+from .mapping import CellMapper, FieldSpec, MappingError, StructMapper
+from .messages import (CausalityError, MessageQueue, MessageQueueSet,
+                       TimestampedMessage)
+from .regression import (CaseResult, RegressionError, RegressionReport,
+                         RegressionSuite)
+from .sync import (ConservativeSynchronizer, LockstepSynchronizer,
+                   SyncStatistics)
+from .timebase import CELL_BITS, CELL_OCTETS, STM1_LINE_RATE, TimeBase
+from .vectors import (ConformanceReport, ConformanceVector,
+                      VectorBuilder, run_cell_conformance,
+                      standard_conformance_suite)
+
+__all__ = [
+    "BoardInterfaceModel", "IN_ATMDATA", "IN_CELLSYNC", "IN_TICK",
+    "IN_VALID", "OUT_REC_VALID", "OUT_REC_WORD",
+    "cell_stream_pin_config",
+    "Mismatch", "StreamComparator", "VerificationReport",
+    "CELL_MSG", "CosimulationEntity", "TICK_MSG",
+    "CoVerificationEnvironment", "TapModule",
+    "GeneratedBundle", "GeneratedReceiver", "GeneratedSender",
+    "InterfaceDescription", "atm_cell_interface",
+    "charging_record_interface",
+    "CellMapper", "FieldSpec", "MappingError", "StructMapper",
+    "CausalityError", "MessageQueue", "MessageQueueSet",
+    "TimestampedMessage",
+    "CaseResult", "RegressionError", "RegressionReport",
+    "RegressionSuite",
+    "ConservativeSynchronizer", "LockstepSynchronizer", "SyncStatistics",
+    "CELL_BITS", "CELL_OCTETS", "STM1_LINE_RATE", "TimeBase",
+    "ConformanceReport", "ConformanceVector", "VectorBuilder",
+    "run_cell_conformance", "standard_conformance_suite",
+]

@@ -1,0 +1,181 @@
+"""CASTANET ↔ hardware-test-board interface model (§3.3).
+
+"The hardware that is hooked to the hardware test board is connected
+to the OPNET simulation via a CASTANET interface model that is
+configurable with respect to the clock gating factor and the duration
+of one hardware test cycle."
+
+:class:`BoardInterfaceModel` buffers cells produced at the network
+level, converts them into per-clock pin vectors with the standard
+cell-stream pin convention, runs bounded hardware test cycles and
+converts captured responses back to the abstract level — so the *same*
+network-level test bench drives the physical (here: pin-accurate
+behavioural) device that drove the RTL co-simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..atm.cell import AtmCell, CELL_OCTETS
+from ..board.board import HardwareTestBoard, TestCycleStats
+from ..board.device import PinLevelDevice
+from ..board.pinmap import (ConfigurationDataSet, PinSegment, PortMapping)
+
+__all__ = ["BoardInterfaceModel", "cell_stream_pin_config",
+           "IN_ATMDATA", "IN_CELLSYNC", "IN_VALID", "IN_TICK",
+           "OUT_REC_VALID", "OUT_REC_WORD"]
+
+# Logical port numbers of the standard cell-stream pin convention.
+IN_ATMDATA = 1
+IN_CELLSYNC = 2
+IN_VALID = 3
+IN_TICK = 4
+OUT_REC_VALID = 1
+OUT_REC_WORD = 2
+
+
+def cell_stream_pin_config() -> ConfigurationDataSet:
+    """The standard DUT hookup: octet-serial cell stream in, record
+    words out.
+
+    ======== ======================= =========================
+    port     pins                    meaning
+    ======== ======================= =========================
+    inport 1 byte lane 0, bits 7..0  atmdata[7:0]
+    inport 2 byte lane 1, bit 0      cellsync
+    inport 3 byte lane 1, bit 1      valid
+    inport 4 byte lane 1, bit 2      tariff_tick
+    outport 1 byte lane 2, bit 0     rec_valid
+    outport 2 byte lanes 3..6        rec_word[31:0]
+    ======== ======================= =========================
+    """
+    config = ConfigurationDataSet()
+    config.add_inport(PortMapping(IN_ATMDATA, 8, (PinSegment(0, 7, 8),)))
+    config.add_inport(PortMapping(IN_CELLSYNC, 1, (PinSegment(1, 0, 1),)))
+    config.add_inport(PortMapping(IN_VALID, 1, (PinSegment(1, 1, 1),)))
+    config.add_inport(PortMapping(IN_TICK, 1, (PinSegment(1, 2, 1),)))
+    config.add_outport(PortMapping(OUT_REC_VALID, 1,
+                                   (PinSegment(2, 0, 1),)))
+    config.add_outport(PortMapping(OUT_REC_WORD, 32,
+                                   (PinSegment(3, 7, 8), PinSegment(4, 7, 8),
+                                    PinSegment(5, 7, 8),
+                                    PinSegment(6, 7, 8))))
+    config.validate()
+    return config
+
+
+class BoardInterfaceModel:
+    """Drives a board-hosted DUT from abstract cells.
+
+    Args:
+        board: the hardware test board (its configuration must be the
+            :func:`cell_stream_pin_config` convention).
+        device: the pin-level DUT mounted on the board.
+        cycle_clocks: duration of one hardware test cycle in board
+            clocks; stimuli accumulate until a cycle fills (or
+            :meth:`flush` forces a partial cycle).
+        clock_gating: emit one stimulus vector every *clock_gating*
+            board clocks, idling the DUT in between (the configurable
+            "clock gating factor").
+    """
+
+    def __init__(self, board: HardwareTestBoard, device: PinLevelDevice,
+                 cycle_clocks: int = 4096, clock_gating: int = 1) -> None:
+        if cycle_clocks < 1:
+            raise ValueError("cycle_clocks must be >= 1")
+        if not 1 <= cycle_clocks <= board.memory_depth:
+            raise ValueError(
+                f"cycle of {cycle_clocks} clocks exceeds board memory "
+                f"depth {board.memory_depth}")
+        if clock_gating < 1:
+            raise ValueError("clock gating factor must be >= 1")
+        self.board = board
+        self.device = device
+        self.cycle_clocks = cycle_clocks
+        self.clock_gating = clock_gating
+        self._pending_vectors: List[Dict[int, int]] = []
+        self.record_words: List[int] = []
+        self.cycle_stats: List[TestCycleStats] = []
+        self.cells_sent = 0
+        self.ticks_sent = 0
+
+    # ------------------------------------------------------------------
+    # Stimulus accumulation (abstract level)
+    # ------------------------------------------------------------------
+    def queue_cell(self, cell: AtmCell) -> None:
+        """Append one cell's worth of per-clock stimulus vectors."""
+        octets = cell.to_octets()
+        for index, octet in enumerate(octets):
+            self._append_vector({IN_ATMDATA: octet,
+                                 IN_CELLSYNC: 1 if index == 0 else 0,
+                                 IN_VALID: 1, IN_TICK: 0})
+        self.cells_sent += 1
+        self._maybe_run_cycles()
+
+    def queue_tariff_tick(self) -> None:
+        """Append a one-clock tariff tick (idle data)."""
+        self._append_vector({IN_ATMDATA: 0, IN_CELLSYNC: 0,
+                             IN_VALID: 0, IN_TICK: 1})
+        self.ticks_sent += 1
+        self._maybe_run_cycles()
+
+    def queue_idle(self, clocks: int) -> None:
+        """Append idle clocks (the inter-cell gaps of the stream)."""
+        for _ in range(clocks):
+            self._append_vector({IN_ATMDATA: 0, IN_CELLSYNC: 0,
+                                 IN_VALID: 0, IN_TICK: 0})
+        self._maybe_run_cycles()
+
+    def _append_vector(self, vector: Dict[int, int]) -> None:
+        self._pending_vectors.append(vector)
+        for _ in range(self.clock_gating - 1):
+            self._pending_vectors.append({IN_ATMDATA: 0, IN_CELLSYNC: 0,
+                                          IN_VALID: 0, IN_TICK: 0})
+
+    # ------------------------------------------------------------------
+    # Test-cycle execution
+    # ------------------------------------------------------------------
+    def _maybe_run_cycles(self) -> None:
+        while len(self._pending_vectors) >= self.cycle_clocks:
+            chunk = self._pending_vectors[:self.cycle_clocks]
+            self._pending_vectors = self._pending_vectors[
+                self.cycle_clocks:]
+            self._run_cycle(chunk)
+
+    def flush(self, settle_clocks: int = 64) -> None:
+        """Force out all buffered stimuli plus settle time for the DUT
+        to finish draining its outputs."""
+        self.queue_idle(settle_clocks)
+        while self._pending_vectors:
+            chunk = self._pending_vectors[:self.cycle_clocks]
+            self._pending_vectors = self._pending_vectors[
+                self.cycle_clocks:]
+            self._run_cycle(chunk)
+
+    def _run_cycle(self, vectors: List[Dict[int, int]]) -> None:
+        result = self.board.run_test_cycle(self.device, vectors)
+        self.cycle_stats.append(result.stats)
+        for response in result.responses:
+            if response.get(OUT_REC_VALID, 0) == 1:
+                self.record_words.append(response[OUT_REC_WORD])
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def records(self, words_per_record: int = 6) -> List[Tuple[int, ...]]:
+        """Group captured record words into fixed-size records."""
+        whole = len(self.record_words) // words_per_record
+        return [tuple(self.record_words[i * words_per_record:
+                                        (i + 1) * words_per_record])
+                for i in range(whole)]
+
+    def total_wall_time(self) -> float:
+        """Modelled wall-clock across all executed test cycles."""
+        return sum(stats.total_time for stats in self.cycle_stats)
+
+    def effective_clock_hz(self) -> float:
+        """DUT clocks per wall-clock second over the whole run."""
+        total = self.total_wall_time()
+        clocks = sum(stats.clocks for stats in self.cycle_stats)
+        return clocks / total if total > 0 else 0.0

@@ -1,0 +1,120 @@
+"""Reference-vs-DUT stream comparison (the "=?" of Figure 1).
+
+"The responses from the device under test (DUT) are sent back to the
+CASTANET interface node and can be compared to the reference model's
+responses at the system level."
+
+:class:`StreamComparator` collects two streams — reference and
+observed — and produces a :class:`VerificationReport`.  Ordering
+policies cover the realistic cases: strict in-order comparison, and
+comparison after normalisation (sorting) for DUTs whose emission order
+within a batch is an implementation detail (e.g. accounting records
+within one tariff interval).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["StreamComparator", "VerificationReport", "Mismatch"]
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One divergence between the streams."""
+
+    index: int
+    expected: Any
+    observed: Any
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one reference-vs-DUT comparison."""
+
+    name: str
+    compared: int
+    matched: int
+    mismatches: List[Mismatch]
+    missing: int          # reference items the DUT never produced
+    unexpected: int       # DUT items with no reference counterpart
+
+    @property
+    def passed(self) -> bool:
+        """True when the streams agree completely."""
+        return (not self.mismatches and self.missing == 0
+                and self.unexpected == 0)
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        verdict = "PASS" if self.passed else "FAIL"
+        return (f"[{verdict}] {self.name}: {self.matched}/{self.compared} "
+                f"matched, {len(self.mismatches)} mismatched, "
+                f"{self.missing} missing, {self.unexpected} unexpected")
+
+
+class StreamComparator:
+    """Collects reference and observed items, then compares.
+
+    Args:
+        name: label for the report.
+        key: optional projection applied to every item before
+            comparison (e.g. drop a timestamp field).
+        normalize: "ordered" for strict sequence comparison, or
+            "sorted" to compare as multisets (sorted by the projected
+            value) when emission order is not part of the contract.
+    """
+
+    def __init__(self, name: str = "dut-vs-reference",
+                 key: Optional[Callable[[Any], Any]] = None,
+                 normalize: str = "ordered") -> None:
+        if normalize not in ("ordered", "sorted"):
+            raise ValueError(f"unknown normalisation {normalize!r}")
+        self.name = name
+        self.key = key if key is not None else lambda item: item
+        self.normalize = normalize
+        self.reference: List[Any] = []
+        self.observed: List[Any] = []
+
+    # -- collection ---------------------------------------------------------
+    def add_reference(self, item: Any) -> None:
+        """Record one reference-model output."""
+        self.reference.append(self.key(item))
+
+    def add_observed(self, item: Any) -> None:
+        """Record one DUT output."""
+        self.observed.append(self.key(item))
+
+    def extend_reference(self, items: Sequence[Any]) -> None:
+        """Record many reference outputs."""
+        for item in items:
+            self.add_reference(item)
+
+    def extend_observed(self, items: Sequence[Any]) -> None:
+        """Record many DUT outputs."""
+        for item in items:
+            self.add_observed(item)
+
+    # -- verdict ------------------------------------------------------------
+    def compare(self) -> VerificationReport:
+        """Produce the verification report for everything collected."""
+        expected = list(self.reference)
+        observed = list(self.observed)
+        if self.normalize == "sorted":
+            expected.sort(key=repr)
+            observed.sort(key=repr)
+        mismatches: List[Mismatch] = []
+        matched = 0
+        compared = min(len(expected), len(observed))
+        for index in range(compared):
+            if expected[index] == observed[index]:
+                matched += 1
+            else:
+                mismatches.append(Mismatch(index, expected[index],
+                                           observed[index]))
+        return VerificationReport(
+            name=self.name, compared=compared, matched=matched,
+            mismatches=mismatches,
+            missing=max(0, len(expected) - len(observed)),
+            unexpected=max(0, len(observed) - len(expected)))

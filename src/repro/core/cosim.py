@@ -1,0 +1,164 @@
+"""The co-simulation entity (§3, Figure 2).
+
+"In the VSS simulation a C-language based co-simulation entity is
+instantiated, that receives messages from [the] OPNET-side interface
+process.  It also performs signal conditioning, e.g. mapping a data
+structure to bit or word-level signal streams and generation of
+additional control signals."
+
+:class:`CosimulationEntity` is that component: it owns the HDL-side
+machinery (cell sender on the DUT input port, cell receiver on the DUT
+output port, the conservative synchroniser) and exposes the
+message-level API the network-simulator side drives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..atm.cell import AtmCell
+from ..hdl.signal import Signal
+from ..hdl.simulator import Simulator
+from ..netsim.packet import Packet
+from ..rtl.cell_stream import CellReceiver, CellSender, CellStreamPort
+from .mapping import CellMapper
+from .messages import TimestampedMessage
+from .sync import ConservativeSynchronizer, LockstepSynchronizer
+from .timebase import TimeBase
+
+__all__ = ["CosimulationEntity", "CELL_MSG", "TICK_MSG"]
+
+#: message type of a data cell crossing into the HDL simulator
+CELL_MSG = "cell"
+#: message type of a tariff-interval tick (accounting case study)
+TICK_MSG = "tariff_tick"
+
+
+class CosimulationEntity:
+    """The HDL-side endpoint of the simulator coupling.
+
+    Args:
+        hdl: the HDL simulator hosting the DUT.
+        clk: the DUT clock signal.
+        timebase: second/tick conversion (must match *clk*'s period).
+        rx_port: the DUT's input cell-stream port (stimulus side).
+        tx_port: the DUT's output cell-stream port (response side),
+            optional for sink-only DUTs such as the accounting unit.
+        tick_signal: optional scalar DUT input pulsed by TICK_MSG
+            messages (the accounting unit's ``tariff_tick``).
+        deltas: per-message-type processing delays δ_j in DUT clocks;
+            defaults cover CELL_MSG (53 octet clocks + pipeline slack)
+            and TICK_MSG.
+        lockstep: use the naive per-clock synchroniser instead of the
+            conservative timing-window protocol (the E2 ablation).
+
+    Outputs captured from ``tx_port`` are collected in
+    :attr:`output_cells` as ``(hdl_seconds, AtmCell)`` tuples and
+    passed to :attr:`on_output` when set.
+    """
+
+    def __init__(self, hdl: Simulator, clk: Signal, timebase: TimeBase,
+                 rx_port: CellStreamPort,
+                 tx_port: Optional[CellStreamPort] = None,
+                 tick_signal: Optional[Signal] = None,
+                 deltas: Optional[Dict[str, int]] = None,
+                 lockstep: bool = False) -> None:
+        self.hdl = hdl
+        self.clk = clk
+        self.timebase = timebase
+        self.mapper = CellMapper()
+        self.sender = CellSender(hdl, "castanet.stim", clk, port=rx_port)
+        self.tick_signal = tick_signal
+        self.output_cells: List[Tuple[float, AtmCell]] = []
+        self.on_output: Optional[Callable[[float, AtmCell], None]] = None
+        self.receiver: Optional[CellReceiver] = None
+        if tx_port is not None:
+            self.receiver = CellReceiver(hdl, "castanet.resp", clk,
+                                         tx_port, on_cell=self._on_cell_out)
+
+        if deltas is None:
+            deltas = {CELL_MSG: timebase.clocks_per_cell + 2}
+            if tick_signal is not None:
+                deltas[TICK_MSG] = 2
+        self.lockstep = lockstep
+        if lockstep:
+            self.sync = LockstepSynchronizer(hdl, timebase,
+                                             handler=self._deliver)
+        else:
+            handlers = {CELL_MSG: self._deliver}
+            if TICK_MSG in deltas:
+                handlers[TICK_MSG] = self._deliver
+            self.sync = ConservativeSynchronizer(hdl, timebase, deltas,
+                                                 handlers=handlers)
+        self.cells_in = 0
+        self.ticks_in = 0
+
+    # ------------------------------------------------------------------
+    # Network-simulator-side API
+    # ------------------------------------------------------------------
+    def send_cell(self, time: float, cell) -> None:
+        """Post one cell (an :class:`AtmCell` or a netsim packet)
+        stamped with netsim *time*."""
+        if isinstance(cell, Packet):
+            cell = AtmCell.from_packet(cell)
+        self.sync.post(CELL_MSG, time, cell)
+
+    def send_tariff_tick(self, time: float) -> None:
+        """Post a tariff-interval tick stamped with netsim *time*."""
+        if self.tick_signal is None:
+            raise ValueError("entity has no tick signal configured")
+        self.sync.post(TICK_MSG, time, None)
+
+    def advance_time(self, time: float) -> None:
+        """Null message: the network simulator reached *time*."""
+        self.sync.advance_time(time)
+
+    def finish(self, time: Optional[float] = None,
+               max_settle_cells: int = 64) -> None:
+        """Release all pending messages and settle the DUT.
+
+        After the protocol drain, the DUT may still be clocking its
+        last responses out (a cell in flight on ``tx_port``); the
+        entity keeps the clock running, one cell time per round, until
+        the output has been quiet for a full cell time.
+        """
+        if isinstance(self.sync, ConservativeSynchronizer):
+            self.sync.drain(time)
+        elif time is not None:
+            self.sync.advance_time(time)
+        cell_ticks = self.timebase.cell_time_ticks
+        for _ in range(max_settle_cells):
+            before = len(self.output_cells)
+            target = self.hdl.now + cell_ticks
+            # Keep the lag invariant formally intact while settling.
+            self.sync.originator_time = max(
+                self.sync.originator_time,
+                self.timebase.to_seconds(target))
+            self.hdl.run(until=target)
+            still_busy = (self.sender.backlog > 0
+                          or (self.receiver is not None
+                              and self.receiver.collecting))
+            if not still_busy and len(self.output_cells) == before:
+                break
+
+    # ------------------------------------------------------------------
+    # HDL-side internals
+    # ------------------------------------------------------------------
+    def _deliver(self, message: TimestampedMessage) -> None:
+        if message.msg_type == CELL_MSG:
+            self.cells_in += 1
+            self.sender.send(self.mapper.cell_to_octets(message.payload))
+        elif message.msg_type == TICK_MSG:
+            self.ticks_in += 1
+            self.tick_signal.drive("1")
+            self.tick_signal.drive(
+                "0", delay=self.timebase.clock_period_ticks)
+        else:  # pragma: no cover - future message types
+            raise KeyError(f"unhandled message type {message.msg_type!r}")
+
+    def _on_cell_out(self, octets: List[int]) -> None:
+        cell = self.mapper.octets_to_cell(octets)
+        when = self.timebase.to_seconds(self.hdl.now)
+        self.output_cells.append((when, cell))
+        if self.on_output is not None:
+            self.on_output(when, cell)

@@ -1,0 +1,173 @@
+"""The co-verification environment façade (Figure 1).
+
+:class:`CoVerificationEnvironment` wires the three worlds together:
+
+* the **network simulator** (``env.network``) where traffic models and
+  the algorithm reference model live;
+* the **HDL simulator** (``env.hdl``) hosting RTL DUTs, coupled through
+  :class:`~repro.core.cosim.CosimulationEntity` objects with the
+  conservative synchronisation protocol;
+* optionally the **hardware test board** through
+  :class:`~repro.core.board_interface.BoardInterfaceModel`.
+
+:class:`TapModule` is the OPNET-side CASTANET interface process: a
+netsim module that observes the packet stream at some point of the
+topology, hands each packet to the reference model *and* to the
+coupled DUT(s), and (optionally) forwards it unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..hdl.simulator import Simulator
+from ..netsim.node import Module
+from ..netsim.packet import Packet
+from ..netsim.topology import Network
+from ..rtl.cell_stream import CellStreamPort
+from .board_interface import BoardInterfaceModel
+from .comparison import StreamComparator, VerificationReport
+from .cosim import CosimulationEntity
+from .timebase import TimeBase
+
+__all__ = ["CoVerificationEnvironment", "TapModule"]
+
+PacketHook = Callable[[float, Packet], None]
+
+
+class TapModule(Module):
+    """Observes packets at a point in the network model.
+
+    Every received packet is timestamped with the current simulated
+    time and delivered to each registered hook; with ``forward=True``
+    the packet then continues on output stream 0 (transparent tap),
+    otherwise the tap terminates the stream.
+    """
+
+    def __init__(self, name: str, forward: bool = True) -> None:
+        super().__init__(name)
+        self.forward = forward
+        self.hooks: List[PacketHook] = []
+
+    def add_hook(self, hook: PacketHook) -> None:
+        """Register an observer called as ``hook(time, packet)``."""
+        self.hooks.append(hook)
+
+    def receive(self, packet: Packet, stream: int) -> None:
+        self.packets_in += 1
+        now = self._kernel().now
+        for hook in self.hooks:
+            hook(now, packet)
+        if self.forward:
+            self.send(packet, stream=0)
+
+
+class CoVerificationEnvironment:
+    """One instance of the Figure-1 environment.
+
+    Example (sketch)::
+
+        env = CoVerificationEnvironment()
+        node = env.network.add_node("source")
+        ...                        # build the network model
+        rx = CellStreamPort(env.hdl, "dut.rx")
+        dut = AccountingUnitRtl(env.hdl, "dut", env.clk, rx=rx)
+        entity = env.add_dut(rx_port=rx, tick_signal=dut.tariff_tick)
+        tap = env.make_cell_tap("tap", entity)
+        ...                        # insert the tap into the topology
+        env.run(until=0.01)
+        env.finish()
+    """
+
+    def __init__(self, name: str = "castanet",
+                 timebase: Optional[TimeBase] = None,
+                 lockstep: bool = False) -> None:
+        self.name = name
+        self.timebase = timebase if timebase is not None \
+            else TimeBase.for_line_rate()
+        self.network = Network(f"{name}.net")
+        self.hdl = Simulator(time_unit=self.timebase.tick_seconds)
+        self.clk = self.hdl.signal("clk", init="0")
+        self.hdl.add_clock(self.clk,
+                           period=self.timebase.clock_period_ticks)
+        self.lockstep = lockstep
+        self.entities: List[CosimulationEntity] = []
+        self.board_interfaces: List[BoardInterfaceModel] = []
+        self.comparators: List[StreamComparator] = []
+        self._finished = False
+        self.network.kernel.time_listeners.append(self._on_netsim_time)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_dut(self, rx_port: CellStreamPort,
+                tx_port: Optional[CellStreamPort] = None,
+                tick_signal=None,
+                deltas: Optional[Dict[str, int]] = None
+                ) -> CosimulationEntity:
+        """Couple a DUT living in ``env.hdl`` into the environment."""
+        entity = CosimulationEntity(self.hdl, self.clk, self.timebase,
+                                    rx_port=rx_port, tx_port=tx_port,
+                                    tick_signal=tick_signal,
+                                    deltas=deltas, lockstep=self.lockstep)
+        self.entities.append(entity)
+        return entity
+
+    def add_board_interface(self,
+                            interface: BoardInterfaceModel) -> None:
+        """Register a hardware-in-the-loop path (its cells come from
+        taps, like any DUT's)."""
+        self.board_interfaces.append(interface)
+
+    def make_cell_tap(self, name: str,
+                      *entities: CosimulationEntity,
+                      forward: bool = True) -> TapModule:
+        """Create a tap that feeds every given DUT entity (add it to a
+        node and wire it into the topology yourself)."""
+        tap = TapModule(name, forward=forward)
+        for entity in entities:
+            tap.add_hook(lambda t, pkt, e=entity: e.send_cell(t, pkt))
+        return tap
+
+    def comparator(self, name: str, **kwargs) -> StreamComparator:
+        """Create and register a stream comparator."""
+        comp = StreamComparator(name, **kwargs)
+        self.comparators.append(comp)
+        return comp
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run the network simulation; coupled DUTs follow along via
+        the synchronisation protocol."""
+        return self.network.run(until=until, max_events=max_events)
+
+    def finish(self) -> None:
+        """Drain every coupled simulator and board interface."""
+        if self._finished:
+            return
+        self._finished = True
+        horizon = self.network.kernel.now
+        for entity in self.entities:
+            entity.finish(horizon)
+        for interface in self.board_interfaces:
+            interface.flush()
+
+    def reports(self) -> List[VerificationReport]:
+        """Compare every registered comparator and collect reports."""
+        return [comp.compare() for comp in self.comparators]
+
+    def all_passed(self) -> bool:
+        """True when every comparator's report passes."""
+        return all(report.passed for report in self.reports())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _on_netsim_time(self, time: float) -> None:
+        # Null messages: every netsim time advance announces the new
+        # originator time to all coupled simulators.
+        for entity in self.entities:
+            entity.advance_time(time)

@@ -1,0 +1,298 @@
+"""Automatic interface-model generation (the paper's §4 outlook).
+
+"To support the development of interface modules for OPNET and VHDL
+simulators in the future proper interface description needs to be
+developed.  Based on this description, core interface models can be
+automatically generated.  Building blocks will be taken from a library
+of generic protocol classes and conversion routines."
+
+This module implements that outlook: an
+:class:`InterfaceDescription` declares the abstract data type (a
+:class:`~repro.core.mapping.StructMapper` field list), the word width
+of the hardware port and the framing control signals; :meth:`build`
+then *generates* the matching HDL-side interface model — a signal
+bundle, a sender clocking PDUs word-by-word with the declared control
+signals, and a receiver reassembling and unpacking them.
+
+The octet-serial ATM cell interface of Figure 4 falls out as one
+instance (:func:`atm_cell_interface`); any other protocol data unit —
+management words, charging records, frame headers — is a different
+description, no hand-written interface model required.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..hdl.logic import vector_to_int
+from ..hdl.processes import RisingEdge
+from ..hdl.signal import Signal
+from ..hdl.simulator import Simulator
+from .mapping import FieldSpec, MappingError, StructMapper
+
+__all__ = ["InterfaceDescription", "GeneratedBundle", "GeneratedSender",
+           "GeneratedReceiver", "atm_cell_interface",
+           "charging_record_interface"]
+
+
+@dataclass(frozen=True)
+class InterfaceDescription:
+    """Declarative description of one hardware interface.
+
+    Args:
+        name: interface name (prefixes generated signal names).
+        struct: the abstract data type carried per PDU.
+        word_bits: width of the data port (multiple of 8).
+        start_signal: name of the control signal pulsed with word 0
+            of each PDU (``None`` to omit).
+        valid_signal: name of the control signal held high while a
+            word is present (``None`` to omit — then the receiver
+            frames purely on the start signal and word count).
+        end_signal: optional control signal pulsed with the last word.
+        gap_words: idle words inserted between consecutive PDUs.
+    """
+
+    name: str
+    struct: StructMapper
+    word_bits: int = 8
+    start_signal: Optional[str] = "sync"
+    valid_signal: Optional[str] = "valid"
+    end_signal: Optional[str] = None
+    gap_words: int = 0
+
+    def __post_init__(self) -> None:
+        if self.word_bits < 8 or self.word_bits % 8:
+            raise MappingError(
+                f"word width {self.word_bits} must be a positive "
+                f"multiple of 8")
+        if self.start_signal is None and self.valid_signal is None:
+            raise MappingError(
+                "an interface needs at least a start or a valid signal "
+                "for the receiver to frame on")
+        if self.gap_words < 0:
+            raise MappingError(f"negative gap {self.gap_words}")
+
+    @property
+    def octets_per_word(self) -> int:
+        """Data-port width in octets."""
+        return self.word_bits // 8
+
+    @property
+    def words_per_pdu(self) -> int:
+        """Transfer length of one PDU in clock cycles."""
+        return math.ceil(self.struct.total_octets / self.octets_per_word)
+
+    # ------------------------------------------------------------------
+    # Word-level conversion (the generated conversion routines)
+    # ------------------------------------------------------------------
+    def pack_words(self, values: Dict[str, int]) -> List[int]:
+        """Abstract PDU -> word sequence (zero-padded final word)."""
+        octets = self.struct.pack(values)
+        octets = octets + [0] * (-len(octets) % self.octets_per_word)
+        words = []
+        for offset in range(0, len(octets), self.octets_per_word):
+            word = 0
+            for octet in octets[offset:offset + self.octets_per_word]:
+                word = (word << 8) | octet
+            words.append(word)
+        return words
+
+    def unpack_words(self, words: Sequence[int]) -> Dict[str, int]:
+        """Word sequence -> abstract PDU (inverse of pack_words)."""
+        if len(words) != self.words_per_pdu:
+            raise MappingError(
+                f"{self.name}: expected {self.words_per_pdu} words, "
+                f"got {len(words)}")
+        octets: List[int] = []
+        for word in words:
+            for shift in range(self.octets_per_word - 1, -1, -1):
+                octets.append((word >> (8 * shift)) & 0xFF)
+        return self.struct.unpack(octets[:self.struct.total_octets])
+
+    # ------------------------------------------------------------------
+    # Model generation
+    # ------------------------------------------------------------------
+    def build(self, sim: Simulator, clk: Signal,
+              bundle: Optional["GeneratedBundle"] = None
+              ) -> Tuple["GeneratedSender", "GeneratedReceiver"]:
+        """Generate the interface models: (sender, receiver) sharing a
+        signal bundle."""
+        if bundle is None:
+            bundle = GeneratedBundle(sim, self)
+        sender = GeneratedSender(sim, clk, self, bundle)
+        receiver = GeneratedReceiver(sim, clk, self, bundle)
+        return sender, receiver
+
+    def build_bundle(self, sim: Simulator) -> "GeneratedBundle":
+        """Generate only the signal bundle (to wire a DUT against)."""
+        return GeneratedBundle(sim, self)
+
+
+class GeneratedBundle:
+    """The generated signal bundle of one interface instance."""
+
+    def __init__(self, sim: Simulator, desc: InterfaceDescription) -> None:
+        self.desc = desc
+        self.data = sim.signal(f"{desc.name}.data",
+                               width=desc.word_bits, init=0)
+        self.controls: Dict[str, Signal] = {}
+        for name in (desc.start_signal, desc.valid_signal,
+                     desc.end_signal):
+            if name is not None:
+                self.controls[name] = sim.signal(
+                    f"{desc.name}.{name}", init="0")
+
+    def signals(self) -> List[Signal]:
+        """Data plus control signals (for VCD dumps / DUT wiring)."""
+        return [self.data] + list(self.controls.values())
+
+
+class GeneratedSender:
+    """Generated stimulus model: clocks queued PDUs onto the bundle."""
+
+    def __init__(self, sim: Simulator, clk: Signal,
+                 desc: InterfaceDescription,
+                 bundle: GeneratedBundle) -> None:
+        self.desc = desc
+        self.bundle = bundle
+        self._queue: List[List[int]] = []
+        self.pdus_sent = 0
+        sim.add_generator(f"{desc.name}.gen_sender", self._run(clk))
+
+    def send(self, values: Dict[str, int]) -> None:
+        """Queue one abstract PDU for transmission."""
+        self._queue.append(self.desc.pack_words(values))
+
+    @property
+    def backlog(self) -> int:
+        """PDUs queued but not yet fully transmitted."""
+        return len(self._queue)
+
+    def _drive_idle(self) -> None:
+        for signal in self.bundle.controls.values():
+            signal.drive("0")
+
+    def _run(self, clk: Signal):
+        desc = self.desc
+        start = self.bundle.controls.get(desc.start_signal)
+        valid = self.bundle.controls.get(desc.valid_signal)
+        end = self.bundle.controls.get(desc.end_signal)
+        while True:
+            if not self._queue:
+                self._drive_idle()
+                yield RisingEdge(clk)
+                continue
+            words = self._queue.pop(0)
+            last_index = len(words) - 1
+            for index, word in enumerate(words):
+                self.bundle.data.drive(word)
+                if start is not None:
+                    start.drive("1" if index == 0 else "0")
+                if valid is not None:
+                    valid.drive("1")
+                if end is not None:
+                    end.drive("1" if index == last_index else "0")
+                yield RisingEdge(clk)
+            self.pdus_sent += 1
+            self._drive_idle()
+            for _ in range(desc.gap_words):
+                yield RisingEdge(clk)
+
+
+class GeneratedReceiver:
+    """Generated monitor model: reassembles PDUs from the bundle."""
+
+    def __init__(self, sim: Simulator, clk: Signal,
+                 desc: InterfaceDescription,
+                 bundle: GeneratedBundle,
+                 on_pdu: Optional[Callable[[Dict[str, int]], None]] = None
+                 ) -> None:
+        self.desc = desc
+        self.bundle = bundle
+        self.on_pdu = on_pdu
+        self.pdus: List[Dict[str, int]] = []
+        self.framing_errors = 0
+        self._words: Optional[List[int]] = None
+        self._clk = clk
+        sim.add_process(f"{desc.name}.gen_receiver", self._tick,
+                        sensitivity=[clk])
+
+    def _tick(self, _sim: Simulator) -> None:
+        if self._clk.rising():
+            self._sample()
+
+    def _sample(self) -> None:
+        desc = self.desc
+        bundle = self.bundle
+        valid = bundle.controls.get(desc.valid_signal)
+        start = bundle.controls.get(desc.start_signal)
+        if valid is not None and valid.value != "1":
+            return
+        if valid is None and (start is None or
+                              (self._words is None
+                               and start.value != "1")):
+            return
+        try:
+            word = vector_to_int(bundle.data.value)
+        except Exception:
+            return
+        if start is not None and start.value == "1":
+            if self._words is not None:
+                self.framing_errors += 1
+            self._words = [word]
+        elif self._words is None:
+            self.framing_errors += 1
+            return
+        else:
+            self._words.append(word)
+        if len(self._words) == desc.words_per_pdu:
+            words = self._words
+            self._words = None
+            pdu = desc.unpack_words(words)
+            self.pdus.append(pdu)
+            if self.on_pdu is not None:
+                self.on_pdu(pdu)
+
+
+# ---------------------------------------------------------------------------
+# Library instances
+# ---------------------------------------------------------------------------
+
+def atm_cell_interface(name: str = "atm",
+                       word_bits: int = 8,
+                       gap_words: int = 0) -> InterfaceDescription:
+    """The Figure-4 ATM cell interface as a generated description.
+
+    Fields follow the UNI header layout; PAYLOAD carries the 48 octets
+    as one 384-bit integer.  With ``word_bits=8`` one PDU is exactly
+    53 words — the 53 clock cycles the paper quotes.
+    """
+    struct = StructMapper([
+        FieldSpec("GFC", 4), FieldSpec("VPI", 8), FieldSpec("VCI", 16),
+        FieldSpec("PT", 3), FieldSpec("CLP", 1), FieldSpec("HEC", 8),
+        FieldSpec("PAYLOAD", 48 * 8),
+    ])
+    return InterfaceDescription(name=name, struct=struct,
+                                word_bits=word_bits,
+                                start_signal="cellsync",
+                                valid_signal="valid",
+                                gap_words=gap_words)
+
+
+def charging_record_interface(name: str = "record",
+                              word_bits: int = 32
+                              ) -> InterfaceDescription:
+    """The accounting unit's output records as a generated interface:
+    six 32-bit words per record (cf. :mod:`repro.rtl.accounting_unit`).
+    """
+    struct = StructMapper([
+        FieldSpec("VPI", 32), FieldSpec("VCI", 32),
+        FieldSpec("INTERVAL", 32), FieldSpec("CELLS_CLP0", 32),
+        FieldSpec("CELLS_CLP1", 32), FieldSpec("CHARGE", 32),
+    ])
+    return InterfaceDescription(name=name, struct=struct,
+                                word_bits=word_bits,
+                                start_signal="rec_start",
+                                valid_signal="rec_valid")

@@ -1,0 +1,140 @@
+"""Time-stamped messages between the coupled simulators (§3.1).
+
+"Communication between both simulators is based on the exchange of
+time-stamped messages updating the receiving simulator with the
+current simulation time of the originator.  For each input message
+type the co-simulation entity maintains a time-stamped message queue
+I_j.  Furthermore, for each message type the maximum number of clock
+cycles δ_j that it takes to process the message has to be specified
+by the user."
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["TimestampedMessage", "MessageQueue", "MessageQueueSet",
+           "CausalityError"]
+
+_message_ids = itertools.count()
+
+
+class CausalityError(Exception):
+    """Raised when a message would arrive in the receiver's past —
+    the Figure-3 causality error the protocol must prevent."""
+
+
+@dataclass(frozen=True)
+class TimestampedMessage:
+    """One message exchanged between the simulators."""
+
+    time: float
+    msg_type: str
+    payload: Any = None
+    seq: int = field(default_factory=lambda: next(_message_ids))
+
+
+class MessageQueue:
+    """The input queue I_j of one message type.
+
+    Args:
+        msg_type: the message type j.
+        delta_cycles: δ_j — the maximum number of DUT clock cycles
+            needed to process one message of this type.
+    """
+
+    def __init__(self, msg_type: str, delta_cycles: int) -> None:
+        if delta_cycles < 1:
+            raise ValueError(
+                f"delta for {msg_type!r} must be >= 1 clock cycle")
+        self.msg_type = msg_type
+        self.delta_cycles = delta_cycles
+        self._queue: Deque[TimestampedMessage] = deque()
+        self._last_time: Optional[float] = None
+        self.received = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def push(self, message: TimestampedMessage) -> None:
+        """Enqueue a message; time stamps must be non-decreasing per
+        queue (a simulator never sends into its own past)."""
+        if self._last_time is not None and message.time < self._last_time:
+            raise CausalityError(
+                f"queue {self.msg_type!r}: message at t={message.time} "
+                f"behind previous t={self._last_time}")
+        self._last_time = message.time
+        self._queue.append(message)
+        self.received += 1
+
+    def head_time(self) -> Optional[float]:
+        """Time stamp of the oldest queued message, or ``None``."""
+        return self._queue[0].time if self._queue else None
+
+    def latest_time(self) -> Optional[float]:
+        """Largest time stamp ever received on this queue."""
+        return self._last_time
+
+    def advance_time(self, time: float) -> None:
+        """Process a *null message*: the originator announces it has
+        reached *time* without sending data for this queue (the
+        Chandy-Misra deadlock-avoidance device)."""
+        if self._last_time is None or time > self._last_time:
+            self._last_time = time
+
+    def pop(self) -> TimestampedMessage:
+        """Dequeue the oldest message."""
+        return self._queue.popleft()
+
+
+class MessageQueueSet:
+    """All input queues of one co-simulation entity."""
+
+    def __init__(self, deltas: Dict[str, int]) -> None:
+        if not deltas:
+            raise ValueError("at least one message type is required")
+        self.queues: Dict[str, MessageQueue] = {
+            name: MessageQueue(name, delta)
+            for name, delta in deltas.items()}
+
+    def __getitem__(self, msg_type: str) -> MessageQueue:
+        return self.queues[msg_type]
+
+    def push(self, message: TimestampedMessage) -> None:
+        """Route a message into its type's queue."""
+        try:
+            queue = self.queues[message.msg_type]
+        except KeyError:
+            raise KeyError(
+                f"unknown message type {message.msg_type!r}; "
+                f"known: {sorted(self.queues)}") from None
+        queue.push(message)
+
+    def min_delta(self) -> int:
+        """min_j δ_j — the advance granted when all queues agree."""
+        return min(queue.delta_cycles for queue in self.queues.values())
+
+    def all_covered_to(self, time: float) -> bool:
+        """True when every queue has seen a message with stamp >= time
+        (the condition for advancing past *time* in §3.1)."""
+        return all(queue.latest_time() is not None
+                   and queue.latest_time() >= time
+                   for queue in self.queues.values())
+
+    def earliest_head(self) -> Optional[Tuple[str, float]]:
+        """(type, time) of the globally oldest queued message."""
+        best: Optional[Tuple[str, float]] = None
+        for name, queue in self.queues.items():
+            head = queue.head_time()
+            if head is None:
+                continue
+            if best is None or head < best[1]:
+                best = (name, head)
+        return best
+
+    def pending(self) -> int:
+        """Total queued messages across all types."""
+        return sum(len(queue) for queue in self.queues.values())

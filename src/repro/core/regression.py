@@ -1,0 +1,178 @@
+"""Regression test-bench management.
+
+The paper's opening problem statement: "common approaches ... are
+based on the creation of regression test benches to perform simulative
+validation of functionality", and CASTANET's file workflow lets one
+"re-run previously generated test vectors".  This module provides the
+bookkeeping around that: a named suite of benches whose results are
+recorded once as *golden* and compared on every re-run, with
+field-level diffs on regressions.
+
+Results must be JSON-serialisable (dicts/lists/numbers/strings) so the
+golden store is a reviewable text file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+__all__ = ["RegressionSuite", "CaseResult", "RegressionReport",
+           "RegressionError"]
+
+
+class RegressionError(Exception):
+    """Raised on suite misuse (duplicate names, missing golden run)."""
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Outcome of one case in one run."""
+
+    name: str
+    status: str                     # "pass" | "fail" | "new" | "error"
+    diffs: Tuple[str, ...] = ()
+    error: Optional[str] = None
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of a whole suite run."""
+
+    results: List[CaseResult]
+
+    @property
+    def passed(self) -> bool:
+        """True when no case failed or errored (new cases are OK)."""
+        return all(r.status in ("pass", "new") for r in self.results)
+
+    def counts(self) -> Dict[str, int]:
+        """status -> number of cases."""
+        summary: Dict[str, int] = {}
+        for result in self.results:
+            summary[result.status] = summary.get(result.status, 0) + 1
+        return summary
+
+    def summary(self) -> str:
+        """One line: '3 pass, 1 fail, 1 new'."""
+        counts = self.counts()
+        return ", ".join(f"{counts[k]} {k}" for k in sorted(counts))
+
+
+class RegressionSuite:
+    """A named set of regression benches with a golden-result store.
+
+    Example::
+
+        suite = RegressionSuite("switch", golden_path="golden.json")
+        suite.add_case("translate", run_translation_bench)
+        suite.record_golden()     # once, on the blessed build
+        report = suite.run()      # every build thereafter
+        assert report.passed, report.summary()
+    """
+
+    def __init__(self, name: str,
+                 golden_path: Union[str, Path]) -> None:
+        self.name = name
+        self.golden_path = Path(golden_path)
+        self._cases: Dict[str, Callable[[], Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_case(self, name: str, fn: Callable[[], Any]) -> None:
+        """Register a bench: *fn* returns a JSON-serialisable result."""
+        if name in self._cases:
+            raise RegressionError(f"duplicate case {name!r}")
+        self._cases[name] = fn
+
+    @property
+    def case_names(self) -> List[str]:
+        """Registered case names, in insertion order."""
+        return list(self._cases)
+
+    # ------------------------------------------------------------------
+    # Golden store
+    # ------------------------------------------------------------------
+    def record_golden(self) -> Dict[str, Any]:
+        """Execute every case and bless the results as golden."""
+        results = {name: self._normalise(fn())
+                   for name, fn in self._cases.items()}
+        payload = {"suite": self.name, "results": results}
+        self.golden_path.write_text(json.dumps(payload, indent=2,
+                                               sort_keys=True) + "\n")
+        return results
+
+    def load_golden(self) -> Dict[str, Any]:
+        """The blessed results (raises without a golden run)."""
+        if not self.golden_path.exists():
+            raise RegressionError(
+                f"no golden results at {self.golden_path}; run "
+                f"record_golden() on a blessed build first")
+        payload = json.loads(self.golden_path.read_text())
+        if payload.get("suite") != self.name:
+            raise RegressionError(
+                f"golden file belongs to suite "
+                f"{payload.get('suite')!r}, not {self.name!r}")
+        return payload["results"]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> RegressionReport:
+        """Execute every case and compare against the golden store."""
+        golden = self.load_golden()
+        results: List[CaseResult] = []
+        for name, fn in self._cases.items():
+            try:
+                actual = self._normalise(fn())
+            except Exception as exc:  # a crashed bench is a regression
+                results.append(CaseResult(name=name, status="error",
+                                          error=f"{type(exc).__name__}: "
+                                                f"{exc}"))
+                continue
+            if name not in golden:
+                results.append(CaseResult(name=name, status="new"))
+                continue
+            diffs = tuple(self._diff("", golden[name], actual))
+            results.append(CaseResult(
+                name=name, status="pass" if not diffs else "fail",
+                diffs=diffs))
+        return RegressionReport(results=results)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalise(value: Any) -> Any:
+        """Round-trip through JSON so stored and fresh results compare
+        on equal footing (tuples become lists etc.)."""
+        return json.loads(json.dumps(value))
+
+    @classmethod
+    def _diff(cls, path: str, golden: Any, actual: Any):
+        """Yield human-readable field-level differences."""
+        if type(golden) is not type(actual):
+            yield (f"{path or '<root>'}: type changed "
+                   f"{type(golden).__name__} -> {type(actual).__name__}")
+            return
+        if isinstance(golden, dict):
+            for key in sorted(set(golden) | set(actual)):
+                sub = f"{path}.{key}" if path else str(key)
+                if key not in golden:
+                    yield f"{sub}: unexpected new field"
+                elif key not in actual:
+                    yield f"{sub}: field disappeared"
+                else:
+                    yield from cls._diff(sub, golden[key], actual[key])
+        elif isinstance(golden, list):
+            if len(golden) != len(actual):
+                yield (f"{path or '<root>'}: length {len(golden)} -> "
+                       f"{len(actual)}")
+                return
+            for index, (g, a) in enumerate(zip(golden, actual)):
+                yield from cls._diff(f"{path}[{index}]", g, a)
+        elif golden != actual:
+            yield f"{path or '<root>'}: {golden!r} -> {actual!r}"

@@ -1,0 +1,248 @@
+"""Conservative simulator synchronisation (§3.1).
+
+The protocol, quoting the paper:
+
+  "Upon receipt of a message with a time stamp t_k for input queue I_j
+  and t_k > t_cur the VHDL simulator is allowed to process all events
+  with a time stamp smaller than t_k, but not equal.  Following, the
+  current simulation time is updated to t_cur = t_k.  The message at
+  queue I_j remains queued until all other input queues received
+  messages with time stamp t_k or an event with a greater time stamp
+  arrives at an arbitrary message queue.  In the first case the local
+  simulation time is advanced by the minimum of each message type's
+  processing delay δ_j.  Applying this strategy the simulated time of
+  the VHDL simulator always lags behind OPNET's simulated time.  The
+  use of this specific conservative synchronization protocol resolves
+  the possibility of deadlock."
+
+:class:`ConservativeSynchronizer` implements exactly this;
+:class:`LockstepSynchronizer` is the naive per-clock coupling used as
+the E2 ablation baseline.  Both maintain — and check — the safety
+invariant that the HDL simulator's local time never overtakes the
+network simulator's.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..hdl.simulator import Simulator
+from .messages import (CausalityError, MessageQueueSet, TimestampedMessage)
+from .timebase import TimeBase
+
+__all__ = ["ConservativeSynchronizer", "LockstepSynchronizer",
+           "SyncStatistics"]
+
+Handler = Callable[[TimestampedMessage], None]
+
+
+class SyncStatistics:
+    """Counters shared by the synchronisation strategies."""
+
+    def __init__(self) -> None:
+        self.messages_posted = 0
+        self.null_messages = 0
+        self.windows_granted = 0
+        self.ticks_simulated = 0
+        self.max_lag_seconds = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for reports."""
+        return {
+            "messages_posted": self.messages_posted,
+            "null_messages": self.null_messages,
+            "windows_granted": self.windows_granted,
+            "ticks_simulated": self.ticks_simulated,
+            "max_lag_seconds": self.max_lag_seconds,
+        }
+
+
+class _SynchronizerBase:
+    def __init__(self, hdl: Simulator, timebase: TimeBase) -> None:
+        self.hdl = hdl
+        self.timebase = timebase
+        self.stats = SyncStatistics()
+        #: largest originator time stamp seen so far (netsim side)
+        self.originator_time = 0.0
+
+    # -- invariant -----------------------------------------------------------
+    def _check_lag_invariant(self) -> None:
+        hdl_seconds = self.timebase.to_seconds(self.hdl.now)
+        if hdl_seconds > self.originator_time + 1e-12:
+            raise CausalityError(
+                f"HDL time {hdl_seconds}s overtook the network "
+                f"simulator's {self.originator_time}s — the conservative "
+                f"protocol's lag invariant is broken")
+        self.stats.max_lag_seconds = max(
+            self.stats.max_lag_seconds,
+            self.originator_time - hdl_seconds)
+
+    def _run_hdl_until_tick(self, tick: int) -> None:
+        if tick > self.hdl.now:
+            before = self.hdl.now
+            self.hdl.run(until=tick)
+            self.stats.ticks_simulated += self.hdl.now - before
+
+
+class ConservativeSynchronizer(_SynchronizerBase):
+    """The paper's timing-window protocol.
+
+    Args:
+        hdl: the HDL simulator (the "VHDL side").
+        timebase: second/tick conversion.
+        deltas: message type -> δ_j in DUT clock cycles.
+        handlers: message type -> delivery callable; invoked when the
+            protocol releases a message for processing (typically this
+            injects a cell into the DUT's stimulus machinery).
+
+    Driving:
+        ``post(msg_type, time, payload)`` — a data message from the
+        network simulator.
+        ``advance_time(time)`` — a null (time-only) message announcing
+        the originator's clock on *all* queues; the standard
+        Chandy-Misra deadlock-avoidance device, and the paper's
+        "time-stamped messages updating the receiving simulator with
+        the current simulation time of the originator".
+        ``drain(time)`` — announce *time* and release every remaining
+        queued message (end of simulation).
+    """
+
+    def __init__(self, hdl: Simulator, timebase: TimeBase,
+                 deltas: Dict[str, int],
+                 handlers: Optional[Dict[str, Handler]] = None) -> None:
+        super().__init__(hdl, timebase)
+        self.queues = MessageQueueSet(deltas)
+        self.handlers: Dict[str, Handler] = dict(handlers or {})
+        #: t_cur of §3.1 — the netsim-side time horizon granted to the
+        #: HDL simulator (seconds)
+        self.t_cur = 0.0
+
+    def set_handler(self, msg_type: str, handler: Handler) -> None:
+        """Install the delivery callable for *msg_type*."""
+        self.handlers[msg_type] = handler
+
+    # -- originator-side API ----------------------------------------------
+    def post(self, msg_type: str, time: float, payload: Any = None) -> None:
+        """Receive a data message from the network simulator."""
+        if time < self.t_cur:
+            raise CausalityError(
+                f"message {msg_type!r} at t={time} in the past of the "
+                f"granted horizon t_cur={self.t_cur}")
+        self.queues.push(TimestampedMessage(time=time, msg_type=msg_type,
+                                            payload=payload))
+        self.stats.messages_posted += 1
+        self.originator_time = max(self.originator_time, time)
+        self._advance()
+
+    def advance_time(self, time: float) -> None:
+        """Receive a null message: all queues learn the originator has
+        reached *time* (no payload)."""
+        for queue in self.queues.queues.values():
+            queue.advance_time(time)
+        self.stats.null_messages += 1
+        self.originator_time = max(self.originator_time, time)
+        self._advance()
+
+    def drain(self, time: Optional[float] = None) -> None:
+        """End of run: release every queued message and settle the DUT.
+
+        *time* defaults to far enough past the last message for every
+        processing window to complete.
+        """
+        if time is not None:
+            self.advance_time(time)
+        while self.queues.pending():
+            head = self.queues.earliest_head()
+            assert head is not None
+            name, t_k = head
+            self._grant_window(t_k)
+            self._release(name)
+        # allow the last processing window to finish
+        final_ticks = self.hdl.now + self.timebase.clocks_to_ticks(
+            max(q.delta_cycles for q in self.queues.queues.values()))
+        self.originator_time = max(
+            self.originator_time, self.timebase.to_seconds(final_ticks))
+        self._run_hdl_until_tick(final_ticks)
+        self._check_lag_invariant()
+
+    # -- protocol core ---------------------------------------------------------
+    def _advance(self) -> None:
+        while True:
+            head = self.queues.earliest_head()
+            if head is None:
+                return
+            name, t_k = head
+            self._grant_window(t_k)
+            if not self.queues.all_covered_to(t_k):
+                # Other queues may still produce earlier messages; the
+                # head message stays queued (the wait of §3.1).
+                return
+            self._release(name)
+
+    def _grant_window(self, t_k: float) -> None:
+        """Allow the HDL simulator to process events strictly before
+        t_k, then update t_cur."""
+        if t_k > self.t_cur:
+            self.stats.windows_granted += 1
+            self.t_cur = t_k
+        self._run_hdl_until_tick(self.timebase.to_ticks(t_k))
+        self._check_lag_invariant()
+
+    def _release(self, msg_type: str) -> None:
+        """Deliver the head message of *msg_type* and advance the local
+        time by the minimum processing delay."""
+        message = self.queues[msg_type].pop()
+        handler = self.handlers.get(msg_type)
+        if handler is not None:
+            handler(message)
+        grant_ticks = self.timebase.clocks_to_ticks(
+            self.queues.min_delta())
+        target = self.hdl.now + grant_ticks
+        # The processing window never overtakes the originator.
+        limit = self.timebase.to_ticks(self.originator_time)
+        self._run_hdl_until_tick(min(target, limit))
+        self._check_lag_invariant()
+
+
+class LockstepSynchronizer(_SynchronizerBase):
+    """Naive per-clock coupling: the ablation baseline of E2.
+
+    Every DUT clock period is a synchronisation point — one message
+    per clock in each direction — which is exactly the cost the
+    timing-window protocol avoids.
+    """
+
+    def __init__(self, hdl: Simulator, timebase: TimeBase,
+                 handler: Optional[Handler] = None) -> None:
+        super().__init__(hdl, timebase)
+        self.handler = handler
+
+    def post(self, msg_type: str, time: float, payload: Any = None) -> None:
+        """Deliver a message, synchronising clock by clock up to it."""
+        if time < self.timebase.to_seconds(self.hdl.now):
+            raise CausalityError(
+                f"lockstep message at t={time} in the HDL past")
+        self.originator_time = max(self.originator_time, time)
+        self.stats.messages_posted += 1
+        target = self.timebase.to_ticks(time)
+        period = self.timebase.clock_period_ticks
+        while self.hdl.now + period <= target:
+            self._run_hdl_until_tick(self.hdl.now + period)
+            self.stats.null_messages += 1  # one sync exchange per clock
+        self._run_hdl_until_tick(target)
+        self._check_lag_invariant()
+        if self.handler is not None:
+            self.handler(TimestampedMessage(time=time, msg_type=msg_type,
+                                            payload=payload))
+
+    def advance_time(self, time: float) -> None:
+        """Clock the DUT up to *time*, one sync exchange per clock."""
+        if time < self.timebase.to_seconds(self.hdl.now):
+            return
+        self.originator_time = max(self.originator_time, time)
+        target = self.timebase.to_ticks(time)
+        period = self.timebase.clock_period_ticks
+        while self.hdl.now + period <= target:
+            self._run_hdl_until_tick(self.hdl.now + period)
+            self.stats.null_messages += 1
+        self._check_lag_invariant()

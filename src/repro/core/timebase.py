@@ -1,0 +1,127 @@
+"""Time-scale conversion between the two simulators (§3.2).
+
+"Time units in network simulations can be derived from cell time,
+whereas the time unit in HW systems is fixed by the HW clock steering
+bit-level operations. ... This means that there is a ratio of 1:400
+for a simulation time step in OPNET and VSS."
+
+One ATM cell is 53 octets = 424 bits; with a bit-serial hardware clock
+one OPNET cell-time step therefore corresponds to 424 HDL clock cycles
+(the paper rounds to "1:400"), and with the octet-serial interface of
+Figure 4 to 53 clock cycles.  :class:`TimeBase` owns the conversion
+between network-simulator seconds (float) and HDL ticks (int) and the
+derived cell/clock arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["TimeBase", "STM1_LINE_RATE", "CELL_BITS", "CELL_OCTETS"]
+
+STM1_LINE_RATE = 155.52e6
+CELL_OCTETS = 53
+CELL_BITS = CELL_OCTETS * 8
+
+
+@dataclass(frozen=True)
+class TimeBase:
+    """Conversion between netsim seconds and HDL ticks.
+
+    Args:
+        tick_seconds: HDL tick length (the time unit of the
+            :class:`repro.hdl.Simulator`).
+        clock_period_ticks: DUT clock period in ticks.
+        octets_per_clock: cell octets transferred per DUT clock (1 for
+            the octet-serial Figure-4 interface).
+
+    Example — octet-serial 155 Mbit/s port with a 1 ns tick:
+        >>> tb = TimeBase.for_line_rate(STM1_LINE_RATE)
+        >>> tb.clocks_per_cell
+        53
+    """
+
+    tick_seconds: float = 1e-9
+    clock_period_ticks: int = 10
+    octets_per_clock: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tick_seconds <= 0:
+            raise ValueError("non-positive tick length")
+        if self.clock_period_ticks < 2:
+            raise ValueError("clock period must be >= 2 ticks")
+        if self.octets_per_clock < 1:
+            raise ValueError("octets_per_clock must be >= 1")
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def for_line_rate(cls, line_rate_bps: float = STM1_LINE_RATE,
+                      tick_seconds: float = 1e-9,
+                      octets_per_clock: int = 1) -> "TimeBase":
+        """Derive the clock period from a line rate: the DUT clock must
+        move ``octets_per_clock`` octets per period to keep up."""
+        octet_time = 8.0 / line_rate_bps
+        period = max(2, round(octet_time * octets_per_clock
+                              / tick_seconds))
+        return cls(tick_seconds=tick_seconds, clock_period_ticks=period,
+                   octets_per_clock=octets_per_clock)
+
+    # -- conversions ---------------------------------------------------------
+    def to_ticks(self, seconds: float) -> int:
+        """Netsim seconds -> HDL ticks (floor).
+
+        A tiny epsilon absorbs binary-float quotient error so that an
+        exact multiple of the tick (e.g. 1 µs / 1 ns) lands on its
+        tick instead of one below.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative time {seconds}")
+        quotient = seconds / self.tick_seconds
+        return int(math.floor(quotient + 1e-6))
+
+    def to_seconds(self, ticks: int) -> float:
+        """HDL ticks -> netsim seconds."""
+        return ticks * self.tick_seconds
+
+    def clocks_to_ticks(self, clocks: int) -> int:
+        """DUT clock cycles -> HDL ticks."""
+        return clocks * self.clock_period_ticks
+
+    def ticks_to_clocks(self, ticks: int) -> int:
+        """HDL ticks -> whole DUT clock cycles (floor)."""
+        return ticks // self.clock_period_ticks
+
+    # -- cell arithmetic -------------------------------------------------------
+    @property
+    def clocks_per_cell(self) -> int:
+        """DUT clocks to transfer one 53-octet cell."""
+        return math.ceil(CELL_OCTETS / self.octets_per_clock)
+
+    @property
+    def cell_time_ticks(self) -> int:
+        """HDL ticks per cell transfer."""
+        return self.clocks_per_cell * self.clock_period_ticks
+
+    @property
+    def cell_time_seconds(self) -> float:
+        """Seconds per cell transfer at the DUT clock."""
+        return self.to_seconds(self.cell_time_ticks)
+
+    @property
+    def time_step_ratio(self) -> float:
+        """HDL *clock-edge events* per network-simulator cell event.
+
+        Each clock period produces two edges; with a bit-serial clock
+        (``octets_per_clock`` irrelevant, 424 bit clocks per cell) the
+        paper quotes ~1:400 — :meth:`bit_serial_ratio` reproduces that
+        figure; this property gives the ratio for the configured
+        interface.
+        """
+        return 2.0 * self.clocks_per_cell
+
+    @staticmethod
+    def bit_serial_ratio() -> int:
+        """Bit clocks per cell: 53 octets x 8 = 424 (the paper's
+        "ratio of 1:400" rounded)."""
+        return CELL_BITS

@@ -1,0 +1,198 @@
+"""Conformance test vectors (Figure 1's third stimulus category).
+
+Beside stochastic traffic models and recorded traces, the environment
+feeds DUTs with "customized or standardized conformance test vectors"
+— deterministic corner-case stimuli that probe the cell format
+handling itself: field boundary values, walking-bit payloads, HEC
+corruption, idle-cell handling.
+
+:func:`standard_conformance_suite` is the "standardised" set;
+:class:`VectorBuilder` composes "customised" sequences.  Every vector
+carries an expectation (``accept`` / ``drop`` / ``idle``) so a runner
+can score a DUT, and :func:`run_cell_conformance` does exactly that
+against any octet-stream DUT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..atm.cell import AtmCell, CELL_OCTETS
+from ..atm.hec import hec_octet
+
+__all__ = ["ConformanceVector", "VectorBuilder",
+           "standard_conformance_suite", "run_cell_conformance",
+           "ConformanceReport"]
+
+#: expectations a vector can carry
+EXPECT_ACCEPT = "accept"
+EXPECT_DROP = "drop"
+EXPECT_IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class ConformanceVector:
+    """One stimulus cell plus the behaviour it must provoke."""
+
+    name: str
+    octets: Tuple[int, ...]
+    expectation: str   # EXPECT_ACCEPT / EXPECT_DROP / EXPECT_IDLE
+
+    def __post_init__(self) -> None:
+        if len(self.octets) != CELL_OCTETS:
+            raise ValueError(
+                f"vector {self.name!r}: {len(self.octets)} octets")
+        if self.expectation not in (EXPECT_ACCEPT, EXPECT_DROP,
+                                    EXPECT_IDLE):
+            raise ValueError(
+                f"vector {self.name!r}: bad expectation "
+                f"{self.expectation!r}")
+
+
+class VectorBuilder:
+    """Fluent builder for customised conformance sequences.
+
+    Example:
+        >>> vectors = (VectorBuilder(vpi=1, vci=100)
+        ...            .cell("plain")
+        ...            .corrupt_hec("hec-bit0", bit=0)
+        ...            .idle("filler")
+        ...            .build())
+        >>> [v.expectation for v in vectors]
+        ['accept', 'drop', 'idle']
+    """
+
+    def __init__(self, vpi: int = 1, vci: int = 100) -> None:
+        self.vpi = vpi
+        self.vci = vci
+        self._vectors: List[ConformanceVector] = []
+
+    def cell(self, name: str, payload: Sequence[int] = (),
+             expectation: str = EXPECT_ACCEPT,
+             **fields) -> "VectorBuilder":
+        """A well-formed cell on the builder's connection."""
+        cell = AtmCell.with_payload(fields.pop("vpi", self.vpi),
+                                    fields.pop("vci", self.vci),
+                                    payload, **fields)
+        self._vectors.append(ConformanceVector(
+            name=name, octets=tuple(cell.to_octets()),
+            expectation=expectation))
+        return self
+
+    def corrupt_hec(self, name: str, bit: int = 0,
+                    payload: Sequence[int] = ()) -> "VectorBuilder":
+        """A cell whose HEC octet has one bit flipped (must drop)."""
+        if not 0 <= bit < 8:
+            raise ValueError(f"HEC bit {bit} outside 0..7")
+        octets = AtmCell.with_payload(self.vpi, self.vci,
+                                      payload).to_octets()
+        octets[4] ^= 1 << bit
+        self._vectors.append(ConformanceVector(
+            name=name, octets=tuple(octets), expectation=EXPECT_DROP))
+        return self
+
+    def corrupt_header(self, name: str, octet: int,
+                       bit: int) -> "VectorBuilder":
+        """A cell with a flipped header bit (HEC then mismatches)."""
+        if not 0 <= octet < 4:
+            raise ValueError(f"header octet {octet} outside 0..3")
+        octets = AtmCell.with_payload(self.vpi, self.vci, []).to_octets()
+        octets[octet] ^= 1 << (bit % 8)
+        self._vectors.append(ConformanceVector(
+            name=name, octets=tuple(octets), expectation=EXPECT_DROP))
+        return self
+
+    def idle(self, name: str) -> "VectorBuilder":
+        """An idle/unassigned cell (must be filtered, never routed)."""
+        self._vectors.append(ConformanceVector(
+            name=name, octets=tuple(AtmCell.idle().to_octets()),
+            expectation=EXPECT_IDLE))
+        return self
+
+    def unknown_connection(self, name: str, vpi: int,
+                           vci: int) -> "VectorBuilder":
+        """A well-formed cell on a connection the DUT must not know."""
+        cell = AtmCell.with_payload(vpi, vci, [])
+        self._vectors.append(ConformanceVector(
+            name=name, octets=tuple(cell.to_octets()),
+            expectation=EXPECT_DROP))
+        return self
+
+    def build(self) -> List[ConformanceVector]:
+        """The accumulated vector list."""
+        return list(self._vectors)
+
+
+def standard_conformance_suite(vpi: int = 1,
+                               vci: int = 100
+                               ) -> List[ConformanceVector]:
+    """The standardised corner-case set for one configured connection.
+
+    Covers: field boundary values (GFC/PT/CLP extremes, max VPI/VCI on
+    a *second* configured connection is the caller's business — here
+    boundaries ride the configured one), payload patterns (zeros,
+    ones, 0xAA/0x55, walking bit), HEC single-bit errors on every bit,
+    header corruption, and idle filtering.
+    """
+    builder = VectorBuilder(vpi=vpi, vci=vci)
+    builder.cell("boundary/gfc-max", gfc=0xF)
+    builder.cell("boundary/pt-user-max", pt=0b011)
+    builder.cell("boundary/clp-set", clp=1)
+    builder.cell("payload/all-zero", payload=[0x00] * 48)
+    builder.cell("payload/all-ones", payload=[0xFF] * 48)
+    builder.cell("payload/alternating-aa", payload=[0xAA] * 48)
+    builder.cell("payload/alternating-55", payload=[0x55] * 48)
+    for bit in range(8):
+        builder.cell(f"payload/walking-bit-{bit}",
+                     payload=[1 << bit] * 48)
+    for bit in range(8):
+        builder.corrupt_hec(f"hec/bit-{bit}", bit=bit)
+    for octet in range(4):
+        builder.corrupt_header(f"header/octet-{octet}", octet=octet,
+                               bit=7)
+    builder.idle("idle/filler")
+    builder.unknown_connection("unknown/vc", vpi=0xFF, vci=0xFFFF)
+    return builder.build()
+
+
+@dataclass
+class ConformanceReport:
+    """Score of one conformance run."""
+
+    total: int
+    passed: int
+    failures: List[Tuple[str, str, str]]  # (vector, expected, observed)
+
+    @property
+    def ok(self) -> bool:
+        """True when every vector behaved as specified."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """One-line verdict."""
+        verdict = "PASS" if self.ok else "FAIL"
+        return (f"[{verdict}] conformance: {self.passed}/{self.total} "
+                f"vectors behaved as specified")
+
+
+def run_cell_conformance(vectors: Sequence[ConformanceVector],
+                         apply_cell: Callable[[Sequence[int]], str]
+                         ) -> ConformanceReport:
+    """Score a DUT against *vectors*.
+
+    *apply_cell* feeds one 53-octet cell to the DUT and returns the
+    observed behaviour: ``"accept"``, ``"drop"`` or ``"idle"`` (how the
+    caller derives that — output appeared, drop counter bumped, idle
+    counter bumped — is DUT-specific).
+    """
+    failures: List[Tuple[str, str, str]] = []
+    passed = 0
+    for vector in vectors:
+        observed = apply_cell(vector.octets)
+        if observed == vector.expectation:
+            passed += 1
+        else:
+            failures.append((vector.name, vector.expectation, observed))
+    return ConformanceReport(total=len(vectors), passed=passed,
+                             failures=failures)

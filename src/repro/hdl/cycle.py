@@ -1,0 +1,91 @@
+"""Cycle-based clock evaluation (the paper's outlook, experiment E6).
+
+"Because of the time scale problem, event-driven VHDL-simulators are
+obviously a bottleneck in the co-verification process. ... Thus, the
+integration of cycle-based simulation techniques is required."
+
+:class:`CycleEngine` drives a clock signal *without* the event-driven
+machinery the generator-based clock needs: no heap push/pop per edge
+and no process resume for the clock generator itself — each cycle is
+two direct delta evaluations.  Everything else (sensitivity lists,
+delta cycles, generator waits on clock edges) behaves identically, so
+the same RTL design runs under both schemes and E6 measures the gap.
+
+Restrictions:
+* the clock signal must not have another driver (do not also call
+  ``sim.add_clock`` on it);
+* timed events scheduled by other processes are honoured — the engine
+  drains the heap up to each edge time before evaluating the edge.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from .signal import Signal
+from .simulator import Simulator
+
+__all__ = ["CycleEngine"]
+
+
+class CycleEngine:
+    """Clocks a simulator cycle-by-cycle.
+
+    Example:
+        >>> sim = Simulator()
+        >>> clk = sim.signal("clk", init="0")
+        >>> engine = CycleEngine(sim, clk, period=10)
+        >>> engine.run_cycles(100)
+        >>> sim.now
+        1000
+    """
+
+    def __init__(self, sim: Simulator, clk: Signal, period: int,
+                 duty_ticks: Optional[int] = None) -> None:
+        if period < 2:
+            raise ValueError("clock period must be >= 2 ticks")
+        high = duty_ticks if duty_ticks is not None else period // 2
+        if not 0 < high < period:
+            raise ValueError(f"duty {high} outside (0, {period})")
+        self.sim = sim
+        self.clk = clk
+        self.period = period
+        self.high_ticks = high
+        self.low_ticks = period - high
+        self._driver = object()
+        self.cycles_run = 0
+
+    def run_cycles(self, cycles: int) -> None:
+        """Advance the design by *cycles* full clock periods."""
+        sim = self.sim
+        sim.initialize()
+        for _ in range(cycles):
+            self._advance_to(sim.now + self.low_ticks)
+            self._edge("1")
+            self._advance_to(sim.now + self.high_ticks)
+            self._edge("0")
+            self.cycles_run += 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _edge(self, value: str) -> None:
+        sim = self.sim
+        sim._pending_updates.append((self.clk, self._driver, value))
+        sim._execute_deltas()
+
+    def _advance_to(self, target: int) -> None:
+        """Drain heap events up to *target*, then land on it."""
+        sim = self.sim
+        while sim._heap and sim._heap[0][0] <= target:
+            next_time = sim._heap[0][0]
+            sim.now = next_time
+            while sim._heap and sim._heap[0][0] == next_time:
+                _t, _s, item = heapq.heappop(sim._heap)
+                if item[0] == "update":
+                    sim._pending_updates.append(item[1:])
+                else:
+                    sim._pending_resumes.append(item[1])
+            sim._execute_deltas()
+        sim.now = target

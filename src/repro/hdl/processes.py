@@ -1,0 +1,160 @@
+"""Simulation processes: callback (RTL) and generator (test bench) styles.
+
+Two process flavours cover the paper's uses:
+
+* :class:`CallbackProcess` — a function with a static sensitivity list,
+  the shape of a synthesisable VHDL process (``process(clk, rst)``).
+  It runs once during initialisation and on every event of a
+  sensitivity-list signal.
+
+* :class:`GeneratorProcess` — a Python generator that ``yield``-s wait
+  statements, the shape of a behavioural VHDL test-bench process
+  (``wait for 10 ns; wait until rising_edge(clk);``).  Yield values:
+
+  - ``int`` *n* — wait for *n* ticks,
+  - a :class:`~repro.hdl.signal.Signal` or tuple of signals — wait for
+    an event on any of them,
+  - :class:`RisingEdge` / :class:`FallingEdge` — wait for that edge.
+
+  Returning (or ``StopIteration``) ends the process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Generator, Iterable, Optional, Sequence, \
+    Tuple, Union, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .signal import Signal
+    from .simulator import Simulator
+
+__all__ = ["Process", "CallbackProcess", "GeneratorProcess",
+           "RisingEdge", "FallingEdge", "ProcessError"]
+
+_process_ids = itertools.count()
+
+
+class ProcessError(Exception):
+    """Raised on malformed process definitions or yields."""
+
+
+@dataclass(frozen=True)
+class RisingEdge:
+    """Wait condition: next rising edge of *signal*."""
+
+    signal: "Signal"
+
+
+@dataclass(frozen=True)
+class FallingEdge:
+    """Wait condition: next falling edge of *signal*."""
+
+    signal: "Signal"
+
+
+class Process:
+    """Base class: identity + bookkeeping for simulator processes."""
+
+    def __init__(self, name: str) -> None:
+        self.id = next(_process_ids)
+        self.name = name
+        self.runs = 0
+        self.finished = False
+
+    def _run(self, sim: "Simulator") -> None:
+        raise NotImplementedError
+
+
+class CallbackProcess(Process):
+    """A function re-run on every event of its sensitivity list."""
+
+    def __init__(self, name: str, fn: Callable[["Simulator"], None],
+                 sensitivity: Sequence["Signal"] = ()) -> None:
+        super().__init__(name)
+        self.fn = fn
+        self.sensitivity = tuple(sensitivity)
+        for signal in self.sensitivity:
+            signal._sensitive.append(self)
+
+    def _run(self, sim: "Simulator") -> None:
+        self.runs += 1
+        self.fn(sim)
+
+
+class GeneratorProcess(Process):
+    """A generator-based behavioural process."""
+
+    def __init__(self, name: str,
+                 generator: Generator, ) -> None:
+        super().__init__(name)
+        self.generator = generator
+        #: signals currently waited on -> edge filter ('any'/'rise'/'fall')
+        self._waiting_on: Tuple[Tuple["Signal", str], ...] = ()
+
+    # -- wait bookkeeping --------------------------------------------------
+    def _arm(self, sim: "Simulator", yielded) -> None:
+        """Interpret a yield value and arm the corresponding wakeup."""
+        from .signal import Signal  # local import to avoid a cycle
+
+        if isinstance(yielded, int):
+            if yielded < 0:
+                raise ProcessError(
+                    f"process {self.name}: negative wait {yielded}")
+            sim._schedule_resume(self, yielded)
+            self._waiting_on = ()
+            return
+        if isinstance(yielded, Signal):
+            self._waiting_on = ((yielded, "any"),)
+        elif isinstance(yielded, RisingEdge):
+            self._waiting_on = ((yielded.signal, "rise"),)
+        elif isinstance(yielded, FallingEdge):
+            self._waiting_on = ((yielded.signal, "fall"),)
+        elif isinstance(yielded, (tuple, list)):
+            conditions = []
+            for item in yielded:
+                if isinstance(item, Signal):
+                    conditions.append((item, "any"))
+                elif isinstance(item, RisingEdge):
+                    conditions.append((item.signal, "rise"))
+                elif isinstance(item, FallingEdge):
+                    conditions.append((item.signal, "fall"))
+                else:
+                    raise ProcessError(
+                        f"process {self.name}: bad wait item {item!r}")
+            self._waiting_on = tuple(conditions)
+        else:
+            raise ProcessError(
+                f"process {self.name}: cannot wait on {yielded!r}")
+        for signal, _mode in self._waiting_on:
+            sim._add_waiter(signal, self)
+
+    def _satisfied_by(self, signal: "Signal") -> bool:
+        """Does an event on *signal* (already applied) wake this
+        process?"""
+        for waited, mode in self._waiting_on:
+            if waited is not signal:
+                continue
+            if mode == "any":
+                return True
+            if mode == "rise" and signal.value == "1":
+                return True
+            if mode == "fall" and signal.value == "0":
+                return True
+        return False
+
+    def _disarm(self, sim: "Simulator") -> None:
+        for signal, _mode in self._waiting_on:
+            sim._remove_waiter(signal, self)
+        self._waiting_on = ()
+
+    # -- execution ---------------------------------------------------------
+    def _run(self, sim: "Simulator") -> None:
+        self.runs += 1
+        try:
+            yielded = next(self.generator)
+        except StopIteration:
+            self.finished = True
+            return
+        self._arm(sim, yielded)

@@ -1,0 +1,320 @@
+"""Event-driven HDL simulation kernel with delta cycles.
+
+The Synopsys-VSS-equivalent substrate.  Semantics follow the VHDL
+simulation cycle:
+
+1. signal updates scheduled for the current time are applied;
+2. signals whose resolved value changed produce *events*;
+3. processes sensitive to (or waiting on) those events run, scheduling
+   new updates — zero-delay updates take effect in the *next delta
+   cycle* at the same simulated time;
+4. when no delta work remains, time advances to the next scheduled
+   update.
+
+Time is integral (ticks); :attr:`Simulator.time_unit` gives the tick
+length in seconds (default 1 ns) and is what the CASTANET abstraction
+interface uses to convert between network-simulator seconds and HDL
+clock cycles.
+
+The kernel counts events, delta cycles and process runs — the raw
+material for the paper's observation that "the number of events that
+event-driven simulators have to evaluate is an order of magnitude
+higher compared to the system-level simulation" (experiment E3).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, Generator, List, Optional, Sequence, \
+    Tuple, Union
+
+from .logic import LogicError
+from .processes import (CallbackProcess, FallingEdge, GeneratorProcess,
+                        Process, ProcessError, RisingEdge)
+from .signal import Signal
+
+__all__ = ["Simulator", "SimulationError", "CombinationalLoopError"]
+
+
+class SimulationError(Exception):
+    """Raised on kernel-level errors (time reversal, bad scheduling)."""
+
+
+class CombinationalLoopError(SimulationError):
+    """Raised when delta cycles at one time step exceed the bound —
+    the classic symptom of a zero-delay feedback loop."""
+
+
+class Simulator:
+    """An event-driven simulator instance.
+
+    Example:
+        >>> sim = Simulator()
+        >>> clk = sim.signal("clk", init="0")
+        >>> sim.add_clock(clk, period=10)
+        >>> sim.run(until=25)
+        >>> clk.value
+        '1'
+    """
+
+    def __init__(self, time_unit: float = 1e-9,
+                 max_delta_cycles: int = 1000) -> None:
+        self.time_unit = time_unit
+        self.max_delta_cycles = max_delta_cycles
+        self.now: int = 0
+        self.signals: List[Signal] = []
+        self.processes: List[Process] = []
+        #: hooks called with each signal after a value change (VCD etc.)
+        self.signal_hooks: List[Callable[[Signal], None]] = []
+
+        self._heap: List[Tuple[int, int, tuple]] = []
+        self._seq = itertools.count()
+        self._pending_updates: List[tuple] = []
+        self._pending_resumes: List[GeneratorProcess] = []
+        self._waiters: Dict[int, List[GeneratorProcess]] = {}
+        self._current_process: Optional[Process] = None
+        self._anonymous_driver = object()
+        self._delta_stamp = 0
+        self._initialized = False
+
+        # statistics
+        self.events_executed = 0     # applied signal updates
+        self.signal_events = 0       # updates that changed a value
+        self.delta_cycles = 0
+        self.process_runs = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def signal(self, name: str, width: Optional[int] = None,
+               init=None) -> Signal:
+        """Create a signal owned by this simulator."""
+        return Signal(self, name, width=width, init=init)
+
+    def add_process(self, name: str, fn: Callable[["Simulator"], None],
+                    sensitivity: Sequence[Signal] = ()) -> CallbackProcess:
+        """Register an RTL-style callback process."""
+        process = CallbackProcess(name, fn, sensitivity)
+        self.processes.append(process)
+        if self._initialized:
+            self._pending_resume_callback(process)
+        return process
+
+    def add_generator(self, name: str,
+                      generator: Generator) -> GeneratorProcess:
+        """Register a behavioural generator process."""
+        process = GeneratorProcess(name, generator)
+        self.processes.append(process)
+        if self._initialized:
+            self._run_process(process)
+        return process
+
+    def add_clock(self, signal: Signal, period: int,
+                  start_high: bool = False,
+                  duty_ticks: Optional[int] = None) -> GeneratorProcess:
+        """Drive *signal* as a free-running clock of *period* ticks."""
+        if period < 2:
+            raise SimulationError(f"clock period must be >= 2 ticks")
+        high = duty_ticks if duty_ticks is not None else period // 2
+        if not 0 < high < period:
+            raise SimulationError(
+                f"clock duty {high} outside (0, {period})")
+
+        def clock_gen():
+            first, second = ("1", "0") if start_high else ("0", "1")
+            first_span = high if start_high else period - high
+            second_span = period - first_span
+            signal.drive(first)
+            while True:
+                yield first_span
+                signal.drive(second)
+                yield second_span
+                signal.drive(first)
+
+        return self.add_generator(f"clock:{signal.name}", clock_gen())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def initialize(self) -> None:
+        """Run the initialisation phase (idempotent): every process
+        executes once, then time-zero deltas settle."""
+        if self._initialized:
+            return
+        self._initialized = True
+        for process in list(self.processes):
+            self._run_process(process)
+        self._execute_deltas()
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the event queue drains or *until* ticks.
+
+        The clock is advanced to exactly *until* on return when given.
+        Returns the current time.
+        """
+        self.initialize()
+        self._execute_deltas()
+        while self._heap:
+            next_time = self._heap[0][0]
+            if until is not None and next_time > until:
+                break
+            if next_time < self.now:
+                raise SimulationError(
+                    f"time reversal: event at {next_time} < {self.now}")
+            self.now = next_time
+            while self._heap and self._heap[0][0] == next_time:
+                _t, _s, item = heapq.heappop(self._heap)
+                if item[0] == "update":
+                    self._pending_updates.append(item[1:])
+                else:
+                    self._pending_resumes.append(item[1])
+            self._execute_deltas()
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def run_for(self, ticks: int) -> int:
+        """Run *ticks* further from the current time."""
+        return self.run(until=self.now + ticks)
+
+    @property
+    def pending_event_count(self) -> int:
+        """Scheduled-but-unapplied updates/resumes (incl. future)."""
+        return (len(self._heap) + len(self._pending_updates)
+                + len(self._pending_resumes))
+
+    def next_event_time(self) -> Optional[int]:
+        """Time of the earliest scheduled future event, or ``None``."""
+        if self._pending_updates or self._pending_resumes:
+            return self.now
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    # ------------------------------------------------------------------
+    # Kernel internals (used by Signal and processes)
+    # ------------------------------------------------------------------
+    def _register_signal(self, signal: Signal) -> None:
+        self.signals.append(signal)
+
+    def _current_driver(self) -> object:
+        return (self._current_process if self._current_process is not None
+                else self._anonymous_driver)
+
+    def _schedule_update(self, signal: Signal, driver: object,
+                         value, delay: int) -> None:
+        if not isinstance(delay, int) or delay < 0:
+            raise SimulationError(
+                f"drive delay must be a non-negative int, got {delay!r}")
+        if delay == 0:
+            self._pending_updates.append((signal, driver, value))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, next(self._seq),
+                                        ("update", signal, driver, value)))
+
+    def _cancel_pending_updates(self, signal: Signal,
+                                driver: object) -> None:
+        """Drop this driver's not-yet-applied updates on *signal*
+        (inertial-delay preemption).  Future (heap) updates are
+        rewritten in place; current-delta updates are filtered."""
+        self._pending_updates = [
+            item for item in self._pending_updates
+            if not (item[0] is signal and item[1] is driver)]
+        kept = []
+        dropped = False
+        for time, seq, item in self._heap:
+            if (item[0] == "update" and item[1] is signal
+                    and item[2] is driver):
+                dropped = True
+                continue
+            kept.append((time, seq, item))
+        if dropped:
+            self._heap = kept
+            heapq.heapify(self._heap)
+
+    def _schedule_resume(self, process: GeneratorProcess,
+                         delay: int) -> None:
+        if delay == 0:
+            self._pending_resumes.append(process)
+        else:
+            heapq.heappush(self._heap, (self.now + delay, next(self._seq),
+                                        ("resume", process)))
+
+    def _add_waiter(self, signal: Signal,
+                    process: GeneratorProcess) -> None:
+        self._waiters.setdefault(id(signal), []).append(process)
+
+    def _remove_waiter(self, signal: Signal,
+                       process: GeneratorProcess) -> None:
+        bucket = self._waiters.get(id(signal), [])
+        if process in bucket:
+            bucket.remove(process)
+
+    def _pending_resume_callback(self, process: CallbackProcess) -> None:
+        # Late-added callback processes execute in the next delta.
+        self._pending_resumes.append(process)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # The delta loop
+    # ------------------------------------------------------------------
+    def _execute_deltas(self) -> None:
+        rounds = 0
+        while self._pending_updates or self._pending_resumes:
+            rounds += 1
+            if rounds > self.max_delta_cycles:
+                raise CombinationalLoopError(
+                    f"more than {self.max_delta_cycles} delta cycles at "
+                    f"t={self.now}: zero-delay feedback loop?")
+            self._delta_stamp += 1
+            self.delta_cycles += 1
+            updates = self._pending_updates
+            resumes = self._pending_resumes
+            self._pending_updates = []
+            self._pending_resumes = []
+
+            changed: List[Signal] = []
+            for signal, driver, value in updates:
+                self.events_executed += 1
+                if signal._apply(driver, value):
+                    signal._event_delta = self._delta_stamp
+                    signal.last_event_time = self.now
+                    self.signal_events += 1
+                    changed.append(signal)
+
+            runnable: List[Process] = []
+            seen = set()
+            for signal in changed:
+                for process in signal._sensitive:
+                    if id(process) not in seen and not process.finished:
+                        seen.add(id(process))
+                        runnable.append(process)
+                bucket = self._waiters.get(id(signal), [])
+                for process in list(bucket):
+                    if (id(process) not in seen
+                            and process._satisfied_by(signal)):
+                        seen.add(id(process))
+                        process._disarm(self)
+                        runnable.append(process)
+            for process in resumes:
+                if id(process) not in seen and not process.finished:
+                    seen.add(id(process))
+                    runnable.append(process)
+
+            for process in runnable:
+                self._run_process(process)
+
+            for signal in changed:
+                for hook in self.signal_hooks:
+                    hook(signal)
+        # Leave the stamp pointing past the last delta so that
+        # Signal.event reads False once delta processing has settled.
+        self._delta_stamp += 1
+
+    def _run_process(self, process: Process) -> None:
+        self._current_process = process
+        try:
+            process._run(self)
+            self.process_runs += 1
+        finally:
+            self._current_process = None

@@ -1,0 +1,130 @@
+"""Value-change-dump (VCD) waveform output.
+
+The paper lists "HDL simulators for depicting waveforms" among the
+analysis capabilities the environment preserves; :class:`VcdWriter`
+dumps selected signals in the standard IEEE 1364 VCD format readable
+by GTKWave and friends.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, TextIO, Union
+
+from .signal import Signal
+from .simulator import Simulator
+
+__all__ = ["VcdWriter"]
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Short printable VCD identifier for signal *index*."""
+    chars = []
+    index += 1
+    while index > 0:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        chars.append(_ID_CHARS[rem])
+    return "".join(chars)
+
+
+class VcdWriter:
+    """Streams signal changes of a simulator into a VCD file.
+
+    Usage::
+
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        with VcdWriter(sim, "run.vcd", [clk]) as vcd:
+            sim.add_clock(clk, period=10)
+            sim.run(until=100)
+    """
+
+    def __init__(self, sim: Simulator, path: Union[str, Path],
+                 signals: Optional[Sequence[Signal]] = None,
+                 timescale: str = "1ns") -> None:
+        self.sim = sim
+        self.path = Path(path)
+        self.signals = list(signals if signals is not None else sim.signals)
+        self._ids: Dict[int, str] = {
+            id(sig): _identifier(i) for i, sig in enumerate(self.signals)}
+        self._handle: Optional[TextIO] = None
+        self._last_dumped_time: Optional[int] = None
+        self._timescale = timescale
+        self.changes_written = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def open(self) -> "VcdWriter":
+        """Write the header, dump initial values, attach to the kernel."""
+        self._handle = self.path.open("w")
+        self._write_header()
+        self.sim.signal_hooks.append(self._on_change)
+        return self
+
+    def close(self) -> None:
+        """Detach from the kernel and close the file."""
+        if self._handle is None:
+            return
+        if self._on_change in self.sim.signal_hooks:
+            self.sim.signal_hooks.remove(self._on_change)
+        self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "VcdWriter":
+        return self.open()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+    def _write_header(self) -> None:
+        out = self._handle
+        out.write("$date CASTANET reproduction $end\n")
+        out.write(f"$timescale {self._timescale} $end\n")
+        out.write("$scope module top $end\n")
+        for signal in self.signals:
+            width = 1 if signal.width is None else signal.width
+            ident = self._ids[id(signal)]
+            name = signal.name.replace(" ", "_")
+            out.write(f"$var wire {width} {ident} {name} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        out.write("$dumpvars\n")
+        for signal in self.signals:
+            out.write(self._format(signal))
+        out.write("$end\n")
+        self._last_dumped_time = None
+
+    def _format(self, signal: Signal) -> str:
+        ident = self._ids[id(signal)]
+        if signal.width is None:
+            value = signal.value.lower() if signal.value in "UXZWLH-" \
+                else signal.value
+            return f"{self._vcd_scalar(signal.value)}{ident}\n"
+        bits = "".join(self._vcd_bit(b) for b in signal.value)
+        return f"b{bits} {ident}\n"
+
+    @staticmethod
+    def _vcd_bit(bit: str) -> str:
+        if bit in "01":
+            return bit
+        if bit in "Zz":
+            return "z"
+        return "x"
+
+    @staticmethod
+    def _vcd_scalar(bit: str) -> str:
+        if bit in "01":
+            return bit
+        if bit in "Zz":
+            return "z"
+        return "x"
+
+    def _on_change(self, signal: Signal) -> None:
+        if id(signal) not in self._ids or self._handle is None:
+            return
+        if self._last_dumped_time != self.sim.now:
+            self._handle.write(f"#{self.sim.now}\n")
+            self._last_dumped_time = self.sim.now
+        self._handle.write(self._format(signal))
+        self.changes_written += 1

@@ -1,0 +1,185 @@
+"""VCD reading and waveform comparison.
+
+Complements :mod:`repro.hdl.vcd`: parse dumped waveforms back and
+compare two of them — the regression use of waveform data ("access to
+powerful analysis capabilities ... in HDL simulators for depicting
+waveforms").  Comparing the VCD of a golden run against a new run is
+the classic way VHDL regression benches decided pass/fail before
+self-checking benches existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["VcdData", "WaveformDifference", "compare_waveforms",
+           "VcdFormatError"]
+
+
+class VcdFormatError(ValueError):
+    """Raised on malformed VCD input."""
+
+
+@dataclass(frozen=True)
+class WaveformDifference:
+    """One divergence between two waveforms."""
+
+    signal: str
+    time: int
+    value_a: Optional[str]
+    value_b: Optional[str]
+
+
+class VcdData:
+    """A parsed value-change dump.
+
+    Attributes:
+        timescale: the declared timescale string.
+        widths: signal name -> bit width.
+        changes: signal name -> [(time, value string)] — value strings
+            are VCD-style: scalars like ``"1"``/``"x"``, vectors like
+            ``"0101"`` (no ``b`` prefix).
+    """
+
+    def __init__(self) -> None:
+        self.timescale = ""
+        self.widths: Dict[str, int] = {}
+        self.changes: Dict[str, List[Tuple[int, str]]] = {}
+
+    # ------------------------------------------------------------------
+    # Parsing
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, path: Union[str, Path]) -> "VcdData":
+        """Parse a VCD file (the subset VcdWriter emits plus common
+        variants)."""
+        data = cls()
+        ids: Dict[str, str] = {}
+        current_time = 0
+        in_header = True
+        text = Path(path).read_text()
+        tokens = iter(text.split("\n"))
+        for raw_line in tokens:
+            line = raw_line.strip()
+            if not line:
+                continue
+            if in_header:
+                if line.startswith("$timescale"):
+                    data.timescale = line.replace("$timescale", "") \
+                        .replace("$end", "").strip()
+                elif line.startswith("$var"):
+                    parts = line.split()
+                    if len(parts) < 6:
+                        raise VcdFormatError(f"bad $var line: {line!r}")
+                    width = int(parts[2])
+                    ident = parts[3]
+                    name = parts[4]
+                    ids[ident] = name
+                    data.widths[name] = width
+                    data.changes[name] = []
+                elif line.startswith("$enddefinitions"):
+                    in_header = False
+                continue
+            if line.startswith("$"):
+                continue  # $dumpvars / $end markers
+            if line.startswith("#"):
+                try:
+                    current_time = int(line[1:])
+                except ValueError:
+                    raise VcdFormatError(f"bad time stamp {line!r}")
+                continue
+            data._apply_change(line, ids, current_time)
+        if in_header:
+            raise VcdFormatError(f"{path}: no $enddefinitions found")
+        return data
+
+    def _apply_change(self, line: str, ids: Dict[str, str],
+                      time: int) -> None:
+        if line[0] in "01xXzZ":
+            value, ident = line[0].lower(), line[1:].strip()
+        elif line[0] in "bB":
+            try:
+                value, ident = line[1:].split()
+            except ValueError:
+                raise VcdFormatError(f"bad vector change {line!r}")
+            value = value.lower()
+        else:
+            raise VcdFormatError(f"unparseable change {line!r}")
+        name = ids.get(ident)
+        if name is None:
+            raise VcdFormatError(f"unknown identifier {ident!r}")
+        self.changes[name].append((time, value))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def signals(self) -> List[str]:
+        """Names of all dumped signals."""
+        return sorted(self.widths)
+
+    def value_at(self, name: str, time: int) -> Optional[str]:
+        """The signal's value at *time* (last change at or before it),
+        or ``None`` before the first recorded change."""
+        history = self.changes.get(name)
+        if history is None:
+            raise KeyError(f"no signal {name!r} in the dump")
+        value = None
+        for change_time, change_value in history:
+            if change_time > time:
+                break
+            value = change_value
+        return value
+
+    def edges(self, name: str) -> int:
+        """Number of recorded value changes of *name* (after the
+        initial dumpvars value)."""
+        history = self.changes.get(name)
+        if history is None:
+            raise KeyError(f"no signal {name!r} in the dump")
+        return max(0, len(history) - 1)
+
+    def last_time(self) -> int:
+        """Largest time stamp in the dump."""
+        latest = 0
+        for history in self.changes.values():
+            if history:
+                latest = max(latest, history[-1][0])
+        return latest
+
+
+def compare_waveforms(a: VcdData, b: VcdData,
+                      signals: Optional[Sequence[str]] = None,
+                      ) -> List[WaveformDifference]:
+    """Compare two dumps signal by signal, change by change.
+
+    Returns the list of differences (empty == equivalent).  Signals
+    present in only one dump are reported as a difference at time 0.
+    """
+    if signals is None:
+        names = sorted(set(a.widths) | set(b.widths))
+    else:
+        names = list(signals)
+    differences: List[WaveformDifference] = []
+    for name in names:
+        in_a = name in a.widths
+        in_b = name in b.widths
+        if not (in_a and in_b):
+            differences.append(WaveformDifference(
+                signal=name, time=0,
+                value_a="<present>" if in_a else None,
+                value_b="<present>" if in_b else None))
+            continue
+        history_a = a.changes[name]
+        history_b = b.changes[name]
+        times = sorted({t for t, _v in history_a}
+                       | {t for t, _v in history_b})
+        for time in times:
+            value_a = a.value_at(name, time)
+            value_b = b.value_at(name, time)
+            if value_a != value_b:
+                differences.append(WaveformDifference(
+                    signal=name, time=time, value_a=value_a,
+                    value_b=value_b))
+    return differences

@@ -1,0 +1,169 @@
+"""Discrete-event simulation kernel.
+
+This is the OPNET-equivalent substrate of the co-verification
+environment.  It provides a single-threaded event-list scheduler with
+the semantics section 3.1 of the paper relies on:
+
+* events are managed in an event list ordered by time stamp;
+* events execute in monotone non-decreasing time order;
+* events may be scheduled for the current simulated time or any future
+  time, but never for a past time (attempting to do so raises
+  :class:`~repro.netsim.events.SchedulingError`);
+* simultaneous events execute in deterministic (priority, FIFO) order.
+
+The kernel knows nothing about networking; nodes, links and process
+models are layered on top (see :mod:`repro.netsim.node`,
+:mod:`repro.netsim.process`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from .events import Event, SchedulingError
+
+__all__ = ["Kernel"]
+
+
+class Kernel:
+    """A discrete-event simulation kernel with a binary-heap event list.
+
+    Example:
+        >>> k = Kernel()
+        >>> hits = []
+        >>> k.schedule(2.0, lambda: hits.append(k.now))
+        >>> k.schedule(1.0, lambda: hits.append(k.now))
+        >>> k.run()
+        >>> hits
+        [1.0, 2.0]
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._now: float = 0.0
+        self._running = False
+        self._executed_events = 0
+        self._stop_requested = False
+        #: Hooks invoked with the kernel each time ``now`` advances.
+        self.time_listeners: List[Callable[[float], None]] = []
+
+    # ------------------------------------------------------------------
+    # Time and introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """Number of events executed so far (for event accounting)."""
+        return self._executed_events
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently in the event list (incl. cancelled)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def next_event_time(self) -> Optional[float]:
+        """Time stamp of the earliest pending event, or ``None`` if empty."""
+        self._drop_cancelled_head()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, time: float, action: Callable[[], None],
+                 priority: int = 0) -> Event:
+        """Schedule *action* to run at absolute *time*.
+
+        Raises:
+            SchedulingError: if *time* lies in the simulator's past.
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"event scheduled at t={time} in the past of t={self._now}")
+        event = Event(time=time, priority=priority, action=action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: float, action: Callable[[], None],
+                       priority: int = 0) -> Event:
+        """Schedule *action* to run *delay* time units from now."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay}")
+        return self.schedule(self._now + delay, action, priority)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single earliest pending event.
+
+        Returns:
+            ``True`` if an event was executed, ``False`` if the event
+            list is empty.
+        """
+        self._drop_cancelled_head()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        if event.time < self._now:
+            raise SchedulingError(
+                f"causality violation: popped event at t={event.time} "
+                f"behind current time t={self._now}")
+        self._advance_time(event.time)
+        event.action()
+        self._executed_events += 1
+        return True
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run events until the list drains, *until* is reached, or
+        *max_events* events have executed.
+
+        When *until* is given, the kernel's clock is advanced to exactly
+        *until* on return even if the last event fired earlier, so that
+        coupled simulators observe a consistent horizon.
+
+        Returns:
+            The simulated time at which execution stopped.
+        """
+        self._stop_requested = False
+        executed = 0
+        while not self._stop_requested:
+            if max_events is not None and executed >= max_events:
+                break
+            next_time = self.next_event_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            self.step()
+            executed += 1
+        if until is not None and until > self._now:
+            self._advance_time(until)
+        return self._now
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _advance_time(self, time: float) -> None:
+        if time < self._now:
+            raise SchedulingError(
+                f"attempt to move time backwards: {self._now} -> {time}")
+        if time != self._now:
+            self._now = time
+            for listener in self.time_listeners:
+                listener(time)
+
+    def _drop_cancelled_head(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)

@@ -1,0 +1,78 @@
+"""Statistic-triggered interrupts (OPNET 'stat' interrupts).
+
+A process model can ask to be interrupted when an observed quantity
+crosses a threshold — e.g. a queue filling past a high-water mark, a
+loss counter becoming non-zero.  :class:`StatTrigger` polls a value
+function on a fixed interval and delivers a STAT interrupt to its
+process on each crossing, carrying the observed value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .events import Interrupt, InterruptKind
+from .kernel import Kernel
+from .process import ProcessModel
+
+__all__ = ["StatTrigger"]
+
+
+class StatTrigger:
+    """Delivers STAT interrupts on threshold crossings.
+
+    Args:
+        kernel: the simulation kernel.
+        process: the process to interrupt (must be started before the
+            first crossing fires).
+        value_fn: sampled every *interval*; returns a number.
+        threshold: the crossing level.
+        interval: polling period in simulated seconds.
+        direction: ``"rising"`` interrupts when the value moves from
+            below the threshold to >= it; ``"falling"`` the reverse.
+        code: interrupt code delivered with the STAT interrupt.
+
+    The trigger re-arms automatically; :attr:`crossings` counts
+    deliveries.  Stop polling with :meth:`cancel`.
+    """
+
+    def __init__(self, kernel: Kernel, process: ProcessModel,
+                 value_fn: Callable[[], float], threshold: float,
+                 interval: float, direction: str = "rising",
+                 code: int = 0) -> None:
+        if interval <= 0:
+            raise ValueError(f"non-positive polling interval {interval}")
+        if direction not in ("rising", "falling"):
+            raise ValueError(f"unknown direction {direction!r}")
+        self.kernel = kernel
+        self.process = process
+        self.value_fn = value_fn
+        self.threshold = threshold
+        self.interval = interval
+        self.direction = direction
+        self.code = code
+        self.crossings = 0
+        self._armed = True
+        self._last: Optional[float] = None
+        kernel.schedule_after(interval, self._poll)
+
+    def cancel(self) -> None:
+        """Stop polling (takes effect at the next poll)."""
+        self._armed = False
+
+    def _crossed(self, previous: float, current: float) -> bool:
+        if self.direction == "rising":
+            return previous < self.threshold <= current
+        return previous >= self.threshold > current
+
+    def _poll(self) -> None:
+        if not self._armed:
+            return
+        value = float(self.value_fn())
+        if self._last is not None and self._crossed(self._last, value):
+            self.crossings += 1
+            self.process.deliver(Interrupt(kind=InterruptKind.STAT,
+                                           code=self.code, data=value))
+        self._last = value
+        if self._armed:
+            self.kernel.schedule_after(self.interval, self._poll)

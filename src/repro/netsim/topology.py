@@ -1,0 +1,81 @@
+"""Network domain: topology construction and simulation lifecycle.
+
+The network domain "specifies the topology of a networking architecture
+in terms of high-level devices (called nodes) such as switches and
+traffic sources, and communication links between them".
+:class:`Network` owns the kernel, the node set and the links, and runs
+the simulation (starting every node's process models first).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .kernel import Kernel
+from .links import PointToPointLink
+from .node import Node, WiringError
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A complete network-domain model.
+
+    Example:
+        >>> net = Network("lab")
+        >>> a = net.add_node("a")
+        >>> b = net.add_node("b")
+        >>> link = net.add_link(a, 0, b, 0, rate_bps=155.52e6)
+        >>> net.kernel is a.kernel
+        True
+    """
+
+    def __init__(self, name: str = "network",
+                 kernel: Optional[Kernel] = None) -> None:
+        self.name = name
+        self.kernel = kernel if kernel is not None else Kernel()
+        self.nodes: Dict[str, Node] = {}
+        self.links: List[PointToPointLink] = []
+        self._started = False
+
+    def add_node(self, name: str) -> Node:
+        """Create and register a node called *name*."""
+        if name in self.nodes:
+            raise WiringError(f"duplicate node name {name!r}")
+        node = Node(name, self.kernel)
+        self.nodes[name] = node
+        return node
+
+    def add_link(self, src: Node, src_port: int, dst: Node, dst_port: int,
+                 rate_bps: Optional[float] = None,
+                 delay: float = 0.0) -> PointToPointLink:
+        """Create a simplex link from (*src*, *src_port*) to
+        (*dst*, *dst_port*)."""
+        link = PointToPointLink(self.kernel, src, src_port, dst, dst_port,
+                                rate_bps=rate_bps, delay=delay)
+        self.links.append(link)
+        return link
+
+    def add_duplex_link(self, a: Node, a_port: int, b: Node, b_port: int,
+                        rate_bps: Optional[float] = None,
+                        delay: float = 0.0) -> List[PointToPointLink]:
+        """Create a pair of simplex links forming a duplex connection."""
+        return [self.add_link(a, a_port, b, b_port, rate_bps, delay),
+                self.add_link(b, b_port, a, a_port, rate_bps, delay)]
+
+    def start(self) -> None:
+        """Start every node exactly once (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes.values():
+            node.start()
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Start (if needed) and run the simulation.
+
+        Returns the simulated time at which execution stopped.
+        """
+        self.start()
+        return self.kernel.run(until=until, max_events=max_events)

@@ -1,0 +1,144 @@
+"""Octet-serial cell stream interface (the bit-level side of Figure 4).
+
+The paper's abstraction interface maps an OPNET packet to "an 8-bit
+wide VHDL port signal ... it takes 53 clock cycles within the hardware
+simulator to read the cell.  Additionally, the interface model
+generates control signals such as a cell synchronization signal".
+
+These components implement that signal-level convention, shared by the
+RTL DUTs and by CASTANET's co-simulation entity:
+
+* ``atmdata[7:0]`` — one cell octet per clock,
+* ``cellsync``    — '1' together with octet 0 of each cell,
+* ``valid``       — '1' while an octet is present.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..hdl.logic import vector_to_int
+from ..hdl.processes import RisingEdge
+from ..hdl.signal import Signal
+from ..hdl.simulator import Simulator
+from .component import Component
+
+__all__ = ["CellStreamPort", "CellSender", "CellReceiver", "CELL_OCTETS"]
+
+CELL_OCTETS = 53
+
+
+class CellStreamPort:
+    """The signal bundle of one octet-serial cell interface."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.name = name
+        self.atmdata = sim.signal(f"{name}.atmdata", width=8, init=0)
+        self.cellsync = sim.signal(f"{name}.cellsync", init="0")
+        self.valid = sim.signal(f"{name}.valid", init="0")
+
+    def signals(self) -> List[Signal]:
+        """All signals of the bundle (for VCD dumps)."""
+        return [self.atmdata, self.cellsync, self.valid]
+
+
+class CellSender(Component):
+    """Clocks queued cells (53-octet sequences) onto a stream port.
+
+    Cells are queued with :meth:`send`; the sender drives one octet per
+    rising clock edge, inserting idle (valid='0') slots when the queue
+    is empty.  ``gap_octets`` adds that many idle clocks between
+    consecutive cells (inter-cell spacing).
+    """
+
+    def __init__(self, sim: Simulator, name: str, clk: Signal,
+                 port: Optional[CellStreamPort] = None,
+                 gap_octets: int = 0) -> None:
+        super().__init__(sim, name)
+        self.port = port if port is not None else CellStreamPort(sim, name)
+        self.gap_octets = gap_octets
+        self._queue: List[Sequence[int]] = []
+        self.cells_sent = 0
+
+        def run():
+            while True:
+                if not self._queue:
+                    self._drive_idle()
+                    yield RisingEdge(clk)
+                    continue
+                octets = self._queue.pop(0)
+                # Drive one octet after each rising edge; the consumer
+                # samples it on the following edge.
+                for index, octet in enumerate(octets):
+                    self.port.atmdata.drive(octet)
+                    self.port.cellsync.drive("1" if index == 0 else "0")
+                    self.port.valid.drive("1")
+                    yield RisingEdge(clk)
+                self.cells_sent += 1
+                self._drive_idle()
+                for _ in range(self.gap_octets):
+                    yield RisingEdge(clk)
+
+        sim.add_generator(f"{name}.sender", run())
+
+    def _drive_idle(self) -> None:
+        self.port.valid.drive("0")
+        self.port.cellsync.drive("0")
+
+    def send(self, octets: Sequence[int]) -> None:
+        """Queue one cell (a 53-octet sequence) for transmission."""
+        if len(octets) != CELL_OCTETS:
+            raise ValueError(
+                f"a cell is {CELL_OCTETS} octets, got {len(octets)}")
+        self._queue.append(list(octets))
+
+    @property
+    def backlog(self) -> int:
+        """Cells queued but not yet (fully) transmitted."""
+        return len(self._queue)
+
+
+class CellReceiver(Component):
+    """Collects octets from a stream port back into 53-octet cells.
+
+    Each completed cell is appended to :attr:`cells` and passed to the
+    optional ``on_cell`` callback.  Octets arriving without a preceding
+    cellsync are counted as :attr:`framing_errors` and discarded.
+    """
+
+    def __init__(self, sim: Simulator, name: str, clk: Signal,
+                 port: CellStreamPort,
+                 on_cell: Optional[Callable[[List[int]], None]] = None
+                 ) -> None:
+        super().__init__(sim, name)
+        self.port = port
+        self.on_cell = on_cell
+        self.cells: List[List[int]] = []
+        self._partial: Optional[List[int]] = None
+        self.framing_errors = 0
+        self.clocked(clk, self._tick)
+
+    @property
+    def collecting(self) -> bool:
+        """True while a cell is partially received."""
+        return self._partial is not None
+
+    def _tick(self) -> None:
+        if self.port.valid.value != "1":
+            return
+        octet = vector_to_int(self.port.atmdata.value)
+        if self.port.cellsync.value == "1":
+            if self._partial is not None:
+                self.framing_errors += 1
+            self._partial = [octet]
+        elif self._partial is None:
+            self.framing_errors += 1
+            return
+        else:
+            self._partial.append(octet)
+        if self._partial is not None and len(self._partial) == CELL_OCTETS:
+            cell = self._partial
+            self._partial = None
+            self.cells.append(cell)
+            if self.on_cell is not None:
+                self.on_cell(cell)

@@ -1,0 +1,55 @@
+"""Component base class for RTL designs.
+
+An RTL component owns hierarchically named signals and registers its
+processes with the simulator — the Python equivalent of a VHDL
+entity/architecture pair.  Synthesisable style is kept deliberately:
+components expose port signals, all state changes happen in clocked
+processes, and combinational outputs are driven with zero (delta)
+delay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..hdl.signal import Signal
+from ..hdl.simulator import Simulator
+
+__all__ = ["Component"]
+
+
+class Component:
+    """Base class: named signal factory + clocked-process helper."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+
+    def signal(self, local_name: str, width: Optional[int] = None,
+               init=None) -> Signal:
+        """Create a signal named ``<component>.<local_name>``."""
+        return self.sim.signal(f"{self.name}.{local_name}", width=width,
+                               init=init)
+
+    def clocked(self, clk: Signal, body: Callable[[], None],
+                name: str = "seq") -> None:
+        """Register *body* to run on every rising edge of *clk*.
+
+        The body reads ``.value`` of its inputs and drives outputs —
+        the shape of a ``process(clk)`` with ``rising_edge(clk)``.
+        """
+
+        def proc(_sim: Simulator) -> None:
+            if clk.rising():
+                body()
+
+        self.sim.add_process(f"{self.name}.{name}", proc,
+                             sensitivity=[clk])
+
+    def combinational(self, inputs: Sequence[Signal],
+                      body: Callable[[], None],
+                      name: str = "comb") -> None:
+        """Register *body* to run on any event of *inputs* (and once at
+        initialisation), like a combinational VHDL process."""
+        self.sim.add_process(f"{self.name}.{name}",
+                             lambda _sim: body(), sensitivity=list(inputs))

@@ -1,0 +1,147 @@
+"""RTL global control unit.
+
+The switch-wide connection-table server: port modules request
+VPI/VCI lookups over a request/grant interface; a round-robin arbiter
+serialises the requests and each lookup takes a configurable number of
+clock cycles (the table walk of the real hardware).  This is the block
+whose "RTL representation" the paper simulates stand-alone to obtain
+the ~300 clock-cycles/second baseline of experiment E1.
+
+Per-client signal bundle (client ``i``):
+
+* ``req[i]``      — request strobe, hold until ``done[i]``,
+* ``vpi_in[i]``, ``vci_in[i]`` — the connection to look up,
+* ``done[i]``     — one-clock completion pulse,
+* ``found[i]``    — lookup hit,
+* ``out_port[i]``, ``out_vpi[i]``, ``out_vci[i]`` — the translation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..hdl.logic import vector_to_int
+from ..hdl.signal import Signal
+from ..hdl.simulator import Simulator
+from .component import Component
+
+__all__ = ["GlobalControlUnitRtl", "LookupClient"]
+
+
+class LookupClient:
+    """The signal bundle one port module uses to query the GCU."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.name = name
+        self.req = sim.signal(f"{name}.req", init="0")
+        self.vpi_in = sim.signal(f"{name}.vpi_in", width=8, init=0)
+        self.vci_in = sim.signal(f"{name}.vci_in", width=16, init=0)
+        self.done = sim.signal(f"{name}.done", init="0")
+        self.found = sim.signal(f"{name}.found", init="0")
+        self.out_port = sim.signal(f"{name}.out_port", width=4, init=0)
+        self.out_vpi = sim.signal(f"{name}.out_vpi", width=8, init=0)
+        self.out_vci = sim.signal(f"{name}.out_vci", width=16, init=0)
+
+
+class GlobalControlUnitRtl(Component):
+    """Round-robin connection-lookup server.
+
+    Args:
+        sim, name, clk: as usual.
+        num_clients: number of port-module request interfaces.
+        lookup_latency: clock cycles each table lookup occupies.
+    """
+
+    def __init__(self, sim: Simulator, name: str, clk: Signal,
+                 num_clients: int = 4, lookup_latency: int = 4) -> None:
+        super().__init__(sim, name)
+        if num_clients < 1:
+            raise ValueError(f"need >= 1 client, got {num_clients}")
+        if lookup_latency < 1:
+            raise ValueError(
+                f"lookup latency must be >= 1, got {lookup_latency}")
+        self.num_clients = num_clients
+        self.lookup_latency = lookup_latency
+        self.clients = [LookupClient(sim, f"{name}.client{i}")
+                        for i in range(num_clients)]
+        #: (client, vpi, vci) -> (out_port, out_vpi, out_vci)
+        self._table: Dict[Tuple[int, int, int],
+                          Tuple[int, int, int]] = {}
+        self._rr_next = 0
+        self._busy_client: Optional[int] = None
+        self._busy_remaining = 0
+        #: client masked for one cycle after its done pulse, giving it
+        #: time to deassert req (standard req/done handshake closure)
+        self._cooldown: Optional[int] = None
+        self.lookups_served = 0
+        self.lookup_misses = 0
+        self.busy_cycles = 0
+        self.idle_cycles = 0
+        self.clocked(clk, self._tick)
+
+    # -- management plane ---------------------------------------------------
+    def install(self, client: int, vpi: int, vci: int, out_port: int,
+                out_vpi: int, out_vci: int) -> None:
+        """Write one connection-table entry."""
+        self._table[(client, vpi, vci)] = (out_port, out_vpi, out_vci)
+
+    def remove(self, client: int, vpi: int, vci: int) -> None:
+        """Clear one connection-table entry."""
+        self._table.pop((client, vpi, vci), None)
+
+    @property
+    def table_size(self) -> int:
+        """Installed connection count."""
+        return len(self._table)
+
+    # -- fast path ------------------------------------------------------------
+    def _tick(self) -> None:
+        for client in self.clients:
+            client.done.drive("0")
+        cooled = self._cooldown
+        self._cooldown = None
+        if self._busy_client is not None:
+            self.busy_cycles += 1
+            self._busy_remaining -= 1
+            if self._busy_remaining == 0:
+                self._finish_lookup(self._busy_client)
+                self._busy_client = None
+            return
+        grant = self._arbitrate(skip=cooled)
+        if grant is None:
+            self.idle_cycles += 1
+            return
+        self.busy_cycles += 1
+        self._busy_client = grant
+        self._busy_remaining = self.lookup_latency - 1
+        if self._busy_remaining == 0:
+            self._finish_lookup(grant)
+            self._busy_client = None
+
+    def _arbitrate(self, skip: Optional[int] = None) -> Optional[int]:
+        for offset in range(self.num_clients):
+            index = (self._rr_next + offset) % self.num_clients
+            if index == skip:
+                continue
+            if self.clients[index].req.value == "1":
+                self._rr_next = (index + 1) % self.num_clients
+                return index
+        return None
+
+    def _finish_lookup(self, index: int) -> None:
+        client = self.clients[index]
+        vpi = vector_to_int(client.vpi_in.value)
+        vci = vector_to_int(client.vci_in.value)
+        entry = self._table.get((index, vpi, vci))
+        self.lookups_served += 1
+        self._cooldown = index
+        client.done.drive("1")
+        if entry is None:
+            self.lookup_misses += 1
+            client.found.drive("0")
+            return
+        out_port, out_vpi, out_vci = entry
+        client.found.drive("1")
+        client.out_port.drive(out_port)
+        client.out_vpi.drive(out_vpi)
+        client.out_vci.drive(out_vci)

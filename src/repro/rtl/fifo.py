@@ -1,0 +1,76 @@
+"""Synchronous show-ahead FIFO.
+
+The cell buffer used by the RTL port module and accounting unit.
+Show-ahead (first-word-fall-through) semantics: when not empty,
+``rd_data`` already shows the head entry; asserting ``rd_en`` for one
+clock pops it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from ..hdl.logic import vector_to_int
+from ..hdl.signal import Signal
+from ..hdl.simulator import Simulator
+from .component import Component
+
+__all__ = ["SyncFifo"]
+
+
+class SyncFifo(Component):
+    """A clocked FIFO of ``depth`` words of ``width`` bits.
+
+    Ports (all created by the component):
+        wr_en, wr_data — write side, sampled on the rising clock edge.
+        rd_en, rd_data — read side (show-ahead).
+        empty, full    — status flags.
+
+    A write to a full FIFO is dropped and counted in
+    :attr:`overflow_drops` (the loss behaviour of an ATM buffer); a
+    read from an empty FIFO is ignored.
+    """
+
+    def __init__(self, sim: Simulator, name: str, clk: Signal,
+                 width: int, depth: int) -> None:
+        super().__init__(sim, name)
+        if depth < 1:
+            raise ValueError(f"FIFO depth must be >= 1, got {depth}")
+        self.width = width
+        self.depth = depth
+        self.wr_en = self.signal("wr_en", init="0")
+        self.wr_data = self.signal("wr_data", width=width, init=0)
+        self.rd_en = self.signal("rd_en", init="0")
+        self.rd_data = self.signal("rd_data", width=width, init=0)
+        self.empty = self.signal("empty", init="1")
+        self.full = self.signal("full", init="0")
+        self._store: Deque[int] = deque()
+        self.overflow_drops = 0
+        self.max_level = 0
+        self.clocked(clk, self._tick)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def _tick(self) -> None:
+        popped = False
+        if self.rd_en.value == "1" and self._store:
+            self._store.popleft()
+            popped = True
+        if self.wr_en.value == "1":
+            if len(self._store) >= self.depth:
+                self.overflow_drops += 1
+            else:
+                self._store.append(vector_to_int(self.wr_data.value))
+                self.max_level = max(self.max_level, len(self._store))
+        if popped or self.wr_en.value == "1":
+            self._update_outputs()
+
+    def _update_outputs(self) -> None:
+        if self._store:
+            self.rd_data.drive(self._store[0])
+            self.empty.drive("0")
+        else:
+            self.empty.drive("1")
+        self.full.drive("1" if len(self._store) >= self.depth else "0")

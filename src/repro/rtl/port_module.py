@@ -1,0 +1,138 @@
+"""RTL ATM switch port module.
+
+The hardware fast path of one switch port: receives an octet-serial
+cell stream, checks the HEC, extracts VPI/VCI, translates them through
+a small connection RAM, regenerates the header (with fresh HEC) and
+streams the cell out again.  Cells failing the HEC or missing from the
+table are discarded (and counted).
+
+The translation RAM is written through a management interface
+(:meth:`install`), modelling the configuration writes the global
+control unit performs — the paper's split between fast-path port
+modules and the control unit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..hdl.logic import vector_to_int
+from ..hdl.signal import Signal
+from ..hdl.simulator import Simulator
+from .cell_stream import CELL_OCTETS, CellStreamPort
+from .component import Component
+from .hec_circuit import crc8_step
+
+__all__ = ["AtmPortModuleRtl"]
+
+_COSET = 0x55
+
+
+class AtmPortModuleRtl(Component):
+    """One RTL port module: HEC check + VPI/VCI translation.
+
+    Pipeline: the 53 octets of a cell are collected (53 clocks); on the
+    clock after the last octet the translated cell starts streaming out
+    of ``tx`` (one octet per clock), so a cell experiences a fixed
+    pipeline latency of one cell time plus one clock.
+
+    Args:
+        sim, name, clk: as usual.
+        rx: input stream port (created when ``None``).
+        tx: output stream port (created when ``None``).
+    """
+
+    def __init__(self, sim: Simulator, name: str, clk: Signal,
+                 rx: Optional[CellStreamPort] = None,
+                 tx: Optional[CellStreamPort] = None) -> None:
+        super().__init__(sim, name)
+        self.rx = rx if rx is not None else CellStreamPort(sim, f"{name}.rx")
+        self.tx = tx if tx is not None else CellStreamPort(sim, f"{name}.tx")
+        #: (vpi, vci) -> (out_vpi, out_vci); the translation RAM.
+        self._table: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._rx_buffer: List[int] = []
+        self._rx_crc = 0
+        self._tx_queue: List[List[int]] = []
+        self._tx_offset = 0
+        self.cells_received = 0
+        self.cells_translated = 0
+        self.hec_errors = 0
+        self.unknown_connections = 0
+        self.idle_cells = 0
+        self.clocked(clk, self._tick)
+
+    # -- management plane ---------------------------------------------------
+    def install(self, vpi: int, vci: int, out_vpi: int,
+                out_vci: int) -> None:
+        """Write one translation RAM entry."""
+        self._table[(vpi, vci)] = (out_vpi, out_vci)
+
+    def remove(self, vpi: int, vci: int) -> None:
+        """Clear one translation RAM entry."""
+        self._table.pop((vpi, vci), None)
+
+    # -- fast path ------------------------------------------------------------
+    def _tick(self) -> None:
+        self._receive_octet()
+        self._transmit_octet()
+
+    def _receive_octet(self) -> None:
+        if self.rx.valid.value != "1":
+            return
+        octet = vector_to_int(self.rx.atmdata.value)
+        if self.rx.cellsync.value == "1":
+            self._rx_buffer = [octet]
+            self._rx_crc = crc8_step(0, octet)
+        elif not self._rx_buffer:
+            return  # octets before the first cellsync
+        else:
+            self._rx_buffer.append(octet)
+            if len(self._rx_buffer) <= 4:
+                self._rx_crc = crc8_step(self._rx_crc, octet)
+        if len(self._rx_buffer) == CELL_OCTETS:
+            self._complete_cell(self._rx_buffer)
+            self._rx_buffer = []
+
+    def _complete_cell(self, octets: List[int]) -> None:
+        self.cells_received += 1
+        if (self._rx_crc ^ _COSET) != octets[4]:
+            self.hec_errors += 1
+            return
+        vpi = ((octets[0] & 0xF) << 4) | ((octets[1] >> 4) & 0xF)
+        vci = (((octets[1] & 0xF) << 12) | (octets[2] << 4)
+               | ((octets[3] >> 4) & 0xF))
+        if (vpi, vci) == (0, 0):
+            self.idle_cells += 1
+            return
+        translation = self._table.get((vpi, vci))
+        if translation is None:
+            self.unknown_connections += 1
+            return
+        out_vpi, out_vci = translation
+        header = [
+            (octets[0] & 0xF0) | ((out_vpi >> 4) & 0xF),
+            ((out_vpi & 0xF) << 4) | ((out_vci >> 12) & 0xF),
+            (out_vci >> 4) & 0xFF,
+            ((out_vci & 0xF) << 4) | (octets[3] & 0x0F),
+        ]
+        crc = 0
+        for octet in header:
+            crc = crc8_step(crc, octet)
+        header.append(crc ^ _COSET)
+        self.cells_translated += 1
+        self._tx_queue.append(header + octets[5:])
+
+    def _transmit_octet(self) -> None:
+        if not self._tx_queue:
+            self.tx.valid.drive("0")
+            self.tx.cellsync.drive("0")
+            return
+        cell = self._tx_queue[0]
+        octet = cell[self._tx_offset]
+        self.tx.atmdata.drive(octet)
+        self.tx.cellsync.drive("1" if self._tx_offset == 0 else "0")
+        self.tx.valid.drive("1")
+        self._tx_offset += 1
+        if self._tx_offset == CELL_OCTETS:
+            self._tx_queue.pop(0)
+            self._tx_offset = 0

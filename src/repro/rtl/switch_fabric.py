@@ -1,0 +1,219 @@
+"""RTL ATM switch slice: port modules + shared global control unit.
+
+The hardware configuration of the paper's E1 measurement — "an ATM
+switch consisting of four port modules, one global control unit" — as
+one RTL top.  Unlike :class:`~repro.rtl.port_module.AtmPortModuleRtl`
+(which owns a private translation RAM), the fabric's ports hold no
+routing state: every received cell triggers a lookup request to the
+shared :class:`~repro.rtl.control_unit.GlobalControlUnitRtl` over its
+request/grant interface, and the translated cell is queued towards
+the destination port's transmit stream.
+
+This is the "HW functionality ... distributed over a number of
+hardware devices" of the introduction, and the RTL counterpart of
+:class:`repro.atm.switch.AtmSwitch` — the two are co-verified against
+each other in ``tests/rtl/test_switch_fabric.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..hdl.logic import vector_to_int
+from ..hdl.signal import Signal
+from ..hdl.simulator import Simulator
+from .cell_stream import CELL_OCTETS, CellStreamPort
+from .component import Component
+from .control_unit import GlobalControlUnitRtl
+from .hec_circuit import crc8_step
+
+__all__ = ["AtmSwitchRtl"]
+
+_COSET = 0x55
+
+
+class _PortState:
+    """Per-port fast-path state (receive assembly + lookup + transmit)."""
+
+    def __init__(self) -> None:
+        self.rx_buffer: List[int] = []
+        self.rx_crc = 0
+        #: complete cells waiting for their GCU lookup
+        self.lookup_fifo: Deque[List[int]] = deque()
+        self.lookup_in_flight = False
+        #: cells queued for transmission out of this port
+        self.tx_queue: Deque[List[int]] = deque()
+        self.tx_offset = 0
+
+
+class AtmSwitchRtl(Component):
+    """An N-port RTL switch built around the shared control unit.
+
+    Args:
+        sim, name, clk: as usual.
+        num_ports: port-module count (the paper's setup: 4).
+        lookup_latency: GCU table-walk latency in clocks.
+        queue_depth: per-output-port cell queue bound (overflowing
+            cells are dropped and counted).
+
+    Per-port stream bundles live in :attr:`rx_ports` / :attr:`tx_ports`;
+    connections are installed with :meth:`install_connection`.
+    """
+
+    def __init__(self, sim: Simulator, name: str, clk: Signal,
+                 num_ports: int = 4, lookup_latency: int = 4,
+                 queue_depth: int = 16) -> None:
+        super().__init__(sim, name)
+        if num_ports < 1:
+            raise ValueError(f"need >= 1 port, got {num_ports}")
+        if queue_depth < 1:
+            raise ValueError(f"queue depth must be >= 1")
+        self.num_ports = num_ports
+        self.queue_depth = queue_depth
+        self.gcu = GlobalControlUnitRtl(sim, f"{name}.gcu", clk,
+                                        num_clients=num_ports,
+                                        lookup_latency=lookup_latency)
+        self.rx_ports = [CellStreamPort(sim, f"{name}.p{i}.rx")
+                         for i in range(num_ports)]
+        self.tx_ports = [CellStreamPort(sim, f"{name}.p{i}.tx")
+                         for i in range(num_ports)]
+        self._ports = [_PortState() for _ in range(num_ports)]
+        self.cells_received = 0
+        self.cells_switched = 0
+        self.cells_dropped_unknown = 0
+        self.cells_dropped_overflow = 0
+        self.hec_errors = 0
+        self.idle_cells = 0
+        self.clocked(clk, self._tick)
+
+    # ------------------------------------------------------------------
+    # Management plane
+    # ------------------------------------------------------------------
+    def install_connection(self, in_port: int, vpi: int, vci: int,
+                           out_port: int, out_vpi: int,
+                           out_vci: int) -> None:
+        """Program one connection into the GCU's table."""
+        if not 0 <= out_port < self.num_ports:
+            raise ValueError(f"output port {out_port} out of range")
+        self.gcu.install(in_port, vpi, vci, out_port, out_vpi, out_vci)
+
+    def remove_connection(self, in_port: int, vpi: int,
+                          vci: int) -> None:
+        """Remove one connection from the GCU's table."""
+        self.gcu.remove(in_port, vpi, vci)
+
+    # ------------------------------------------------------------------
+    # Fast path
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        for index in range(self.num_ports):
+            self._receive(index)
+            self._lookup(index)
+            self._transmit(index)
+
+    def _receive(self, index: int) -> None:
+        rx = self.rx_ports[index]
+        state = self._ports[index]
+        if rx.valid.value != "1":
+            return
+        octet = vector_to_int(rx.atmdata.value)
+        if rx.cellsync.value == "1":
+            state.rx_buffer = [octet]
+            state.rx_crc = crc8_step(0, octet)
+        elif not state.rx_buffer:
+            return
+        else:
+            state.rx_buffer.append(octet)
+            if len(state.rx_buffer) <= 4:
+                state.rx_crc = crc8_step(state.rx_crc, octet)
+        if len(state.rx_buffer) == CELL_OCTETS:
+            self._accept_cell(index, state)
+            state.rx_buffer = []
+
+    def _accept_cell(self, index: int, state: _PortState) -> None:
+        octets = state.rx_buffer
+        self.cells_received += 1
+        if (state.rx_crc ^ _COSET) != octets[4]:
+            self.hec_errors += 1
+            return
+        vpi = ((octets[0] & 0xF) << 4) | ((octets[1] >> 4) & 0xF)
+        vci = (((octets[1] & 0xF) << 12) | (octets[2] << 4)
+               | ((octets[3] >> 4) & 0xF))
+        if (vpi, vci) == (0, 0):
+            self.idle_cells += 1
+            return
+        state.lookup_fifo.append(list(octets))
+
+    def _lookup(self, index: int) -> None:
+        state = self._ports[index]
+        client = self.gcu.clients[index]
+        if state.lookup_in_flight:
+            if client.done.value != "1":
+                return
+            client.req.drive("0")
+            state.lookup_in_flight = False
+            octets = state.lookup_fifo.popleft()
+            if client.found.value != "1":
+                self.cells_dropped_unknown += 1
+                return
+            self._forward(octets, client.out_port.as_int(),
+                          client.out_vpi.as_int(),
+                          client.out_vci.as_int())
+            return
+        if not state.lookup_fifo:
+            return
+        head = state.lookup_fifo[0]
+        vpi = ((head[0] & 0xF) << 4) | ((head[1] >> 4) & 0xF)
+        vci = (((head[1] & 0xF) << 12) | (head[2] << 4)
+               | ((head[3] >> 4) & 0xF))
+        client.vpi_in.drive(vpi)
+        client.vci_in.drive(vci)
+        client.req.drive("1")
+        state.lookup_in_flight = True
+
+    def _forward(self, octets: List[int], out_port: int, out_vpi: int,
+                 out_vci: int) -> None:
+        target = self._ports[out_port]
+        if len(target.tx_queue) >= self.queue_depth:
+            self.cells_dropped_overflow += 1
+            return
+        header = [
+            (octets[0] & 0xF0) | ((out_vpi >> 4) & 0xF),
+            ((out_vpi & 0xF) << 4) | ((out_vci >> 12) & 0xF),
+            (out_vci >> 4) & 0xFF,
+            ((out_vci & 0xF) << 4) | (octets[3] & 0x0F),
+        ]
+        crc = 0
+        for octet in header:
+            crc = crc8_step(crc, octet)
+        header.append(crc ^ _COSET)
+        self.cells_switched += 1
+        target.tx_queue.append(header + octets[5:])
+
+    def _transmit(self, index: int) -> None:
+        state = self._ports[index]
+        tx = self.tx_ports[index]
+        if not state.tx_queue:
+            tx.valid.drive("0")
+            tx.cellsync.drive("0")
+            return
+        cell = state.tx_queue[0]
+        tx.atmdata.drive(cell[state.tx_offset])
+        tx.cellsync.drive("1" if state.tx_offset == 0 else "0")
+        tx.valid.drive("1")
+        state.tx_offset += 1
+        if state.tx_offset == CELL_OCTETS:
+            state.tx_queue.popleft()
+            state.tx_offset = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def backlog(self) -> Dict[str, int]:
+        """Cells queued inside the fabric (per stage)."""
+        return {
+            "awaiting_lookup": sum(len(p.lookup_fifo)
+                                   for p in self._ports),
+            "awaiting_tx": sum(len(p.tx_queue) for p in self._ports),
+        }

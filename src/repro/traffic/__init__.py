@@ -1,0 +1,24 @@
+"""Traffic model library.
+
+Stochastic sources (CBR, Poisson, on-off, MMPP), synthetic MPEG traces
+and trace record/replay — the stimuli CASTANET reuses from the network
+simulation environment as RTL and hardware test vectors.
+"""
+
+from .base import ArrivalProcess, TrafficSource, sample_arrivals
+from .models import (ConstantBitRate, MarkovModulatedPoisson, OnOffSource,
+                     PoissonArrivals)
+from .mpeg import GOP_PATTERN, MpegCellArrivals, MpegTraceSynthesizer
+from .selfsimilar import (ParetoOnOffSource, SelfSimilarAggregate,
+                          hurst_from_shape, variance_time_slopes)
+from .trace import Trace, TraceError, TraceReplayArrivals
+
+__all__ = [
+    "ArrivalProcess", "TrafficSource", "sample_arrivals",
+    "ConstantBitRate", "MarkovModulatedPoisson", "OnOffSource",
+    "PoissonArrivals",
+    "GOP_PATTERN", "MpegCellArrivals", "MpegTraceSynthesizer",
+    "ParetoOnOffSource", "SelfSimilarAggregate", "hurst_from_shape",
+    "variance_time_slopes",
+    "Trace", "TraceError", "TraceReplayArrivals",
+]

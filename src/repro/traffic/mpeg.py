@@ -1,0 +1,126 @@
+"""Synthetic MPEG video traces.
+
+The paper stimulates the hardware with "simulated real-world traces,
+for example MPEG traces".  The original work replayed captured MPEG-1
+elementary streams; we synthesise statistically similar traces: frames
+arrive at a fixed frame rate in the canonical Group-of-Pictures (GoP)
+pattern ``IBBPBBPBBPBB``, with per-type log-normal frame sizes whose
+defaults follow published MPEG-1 trace statistics (I ≫ P > B).  Each
+frame is segmented into 48-byte ATM payloads, i.e. one cell per 48
+bytes (AAL5-style), emitted back-to-back at the source's peak rate.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator, List, Sequence, Tuple
+
+from .base import ArrivalProcess
+
+__all__ = ["MpegTraceSynthesizer", "MpegCellArrivals", "GOP_PATTERN"]
+
+#: Canonical 12-frame GoP structure.
+GOP_PATTERN = "IBBPBBPBBPBB"
+
+#: Default (mean_bytes, sigma of underlying normal) per frame type,
+#: loosely matched to MPEG-1 "Star Wars"-class traces.
+_DEFAULT_FRAME_STATS = {
+    "I": (20000.0, 0.30),
+    "P": (8000.0, 0.45),
+    "B": (3000.0, 0.55),
+}
+
+
+class MpegTraceSynthesizer:
+    """Generates per-frame byte sizes following a GoP pattern.
+
+    Args:
+        frame_rate: frames per second (25.0 for PAL).
+        gop_pattern: frame-type cycle, e.g. ``"IBBPBBPBBPBB"``.
+        frame_stats: per-type (mean_bytes, lognormal sigma).
+        seed: RNG seed.
+    """
+
+    def __init__(self, frame_rate: float = 25.0,
+                 gop_pattern: str = GOP_PATTERN,
+                 frame_stats=None, seed: int = 0) -> None:
+        if frame_rate <= 0:
+            raise ValueError(f"non-positive frame rate {frame_rate}")
+        if not gop_pattern or set(gop_pattern) - set("IPB"):
+            raise ValueError(f"invalid GoP pattern {gop_pattern!r}")
+        self.frame_rate = frame_rate
+        self.gop_pattern = gop_pattern
+        self.frame_stats = dict(frame_stats or _DEFAULT_FRAME_STATS)
+        self._seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind to the first frame of the first GoP."""
+        self._rng = random.Random(self._seed)
+        self._index = 0
+
+    def next_frame(self) -> Tuple[float, str, int]:
+        """Return ``(start_time, frame_type, size_bytes)`` of the next
+        frame."""
+        ftype = self.gop_pattern[self._index % len(self.gop_pattern)]
+        start = self._index / self.frame_rate
+        mean, sigma = self.frame_stats[ftype]
+        # Log-normal with the requested mean: mu = ln(mean) - sigma^2/2.
+        mu = math.log(mean) - sigma * sigma / 2.0
+        size = max(1, int(round(self._rng.lognormvariate(mu, sigma))))
+        self._index += 1
+        return start, ftype, size
+
+    def frames(self, count: int) -> List[Tuple[float, str, int]]:
+        """Return the next *count* frames."""
+        return [self.next_frame() for _ in range(count)]
+
+
+class MpegCellArrivals(ArrivalProcess):
+    """Cell-level arrival process derived from a synthetic MPEG trace.
+
+    Each frame of ``size_bytes`` becomes ``ceil(size/48)`` ATM cells
+    (48-byte payloads) transmitted back-to-back with ``cell_spacing``
+    between consecutive cells, starting at the frame boundary.
+
+    Args:
+        synthesizer: the frame-size generator.
+        cell_spacing: inter-cell gap during a frame burst (seconds);
+            defaults to the 2.726 µs STM-1 cell time.
+        payload_bytes: payload carried per cell (48 for AAL5).
+    """
+
+    STM1_CELL_TIME = 53 * 8 / 155.52e6  # ~2.726 us
+
+    def __init__(self, synthesizer: MpegTraceSynthesizer,
+                 cell_spacing: float = STM1_CELL_TIME,
+                 payload_bytes: int = 48) -> None:
+        if cell_spacing <= 0:
+            raise ValueError(f"non-positive cell spacing {cell_spacing}")
+        if payload_bytes <= 0:
+            raise ValueError(f"non-positive payload size {payload_bytes}")
+        self.synthesizer = synthesizer
+        self.cell_spacing = cell_spacing
+        self.payload_bytes = payload_bytes
+        self.reset()
+
+    def reset(self) -> None:
+        self.synthesizer.reset()
+        self._last_time = 0.0
+        self._pending: List[float] = []
+
+    def _refill(self) -> None:
+        start, _ftype, size = self.synthesizer.next_frame()
+        cells = max(1, math.ceil(size / self.payload_bytes))
+        base = max(start, self._last_time)
+        self._pending = [base + i * self.cell_spacing for i in range(cells)]
+        self._pending.reverse()  # pop() from the end
+
+    def next_interarrival(self) -> float:
+        while not self._pending:
+            self._refill()
+        arrival = self._pending.pop()
+        gap = arrival - self._last_time
+        self._last_time = arrival
+        return max(0.0, gap)

@@ -1,0 +1,84 @@
+"""Tests for the run journal."""
+
+import pytest
+
+from repro.analysis import RunJournal
+
+
+def test_log_and_filter():
+    journal = RunJournal()
+    journal.log(1.0, "cell", "first")
+    journal.log(2.0, "hdl", "second")
+    journal.log(3.0, "cell", "third")
+    assert len(journal) == 3
+    assert [e.message for e in journal.entries(category="cell")] \
+        == ["first", "third"]
+    assert [e.message for e in journal.entries(since=2.0)] \
+        == ["second", "third"]
+    assert journal.categories() == ["cell", "hdl"]
+
+
+def test_capacity_eviction():
+    journal = RunJournal(capacity=3)
+    for i in range(5):
+        journal.log(float(i), "x", f"m{i}")
+    assert len(journal) == 3
+    assert journal.dropped == 2
+    assert journal.entries()[0].message == "m2"
+    assert "evicted" in journal.render()
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        RunJournal(capacity=0)
+
+
+def test_render_and_save(tmp_path):
+    journal = RunJournal()
+    journal.log(0.5, "cell", "hello")
+    text = journal.render()
+    assert "cell" in text and "hello" in text
+    path = tmp_path / "run.journal"
+    journal.save(path)
+    assert "hello" in path.read_text()
+
+
+def test_attach_tap_records_packets():
+    from repro.core import TapModule
+    from repro.netsim import Network, Packet
+    journal = RunJournal()
+    net = Network()
+    node = net.add_node("n")
+    tap = TapModule("tap", forward=False)
+    node.add_module(tap)
+    journal.attach_tap(tap)
+    tap.receive(Packet(fields={"VPI": 1, "VCI": 100}), 0)
+    (entry,) = journal.entries()
+    assert "VPI=1" in entry.message
+    assert "VCI=100" in entry.message
+
+
+def test_attach_hdl_signals():
+    from repro.hdl import Simulator
+    journal = RunJournal()
+    sim = Simulator()
+    watched = sim.signal("watched", width=4, init=0)
+    ignored = sim.signal("ignored", init="0")
+    journal.attach_hdl_signals(sim, [watched])
+    watched.drive(5, delay=3)
+    ignored.drive("1", delay=4)
+    sim.run(until=10)
+    entries = journal.entries(category="hdl")
+    assert len(entries) == 1
+    assert "watched -> 0101" in entries[0].message
+
+
+def test_note_report():
+    from repro.core import StreamComparator
+    journal = RunJournal()
+    comparator = StreamComparator("t")
+    comparator.add_reference(1)
+    comparator.add_observed(1)
+    journal.note_report(5.0, comparator.compare())
+    (entry,) = journal.entries(category="compare")
+    assert "PASS" in entry.message

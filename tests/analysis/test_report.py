@@ -1,0 +1,73 @@
+"""Tests for result collection and report rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis import (EventAccounting, ExperimentResult,
+                            format_table, histogram, speedup)
+
+
+class TestEventAccounting:
+    def test_ratio(self):
+        acc = EventAccounting(netsim_events=10, hdl_events=500)
+        assert acc.event_ratio == 50.0
+
+    def test_zero_netsim_events(self):
+        assert EventAccounting(netsim_events=0,
+                               hdl_events=5).event_ratio == math.inf
+        assert EventAccounting().event_ratio == 0.0
+
+
+class TestSpeedup:
+    def test_normal(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_zero_improved(self):
+        assert speedup(1.0, 0.0) == math.inf
+
+
+class TestFormatTable:
+    def test_columns_and_values(self):
+        rows = [ExperimentResult("a", {"x": 1.5, "y": "hi"}),
+                ExperimentResult("b", {"x": 2.0})]
+        text = format_table("Title", ["x", "y"], rows)
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "case" in lines[2]
+        assert "1.5" in text
+        assert "hi" in text
+        assert text.splitlines()[-1].startswith("b")
+
+    def test_empty_rows(self):
+        text = format_table("T", ["x"], [])
+        assert "case" in text
+
+    def test_result_getitem(self):
+        row = ExperimentResult("a", {"x": 3})
+        assert row["x"] == 3
+
+
+class TestHistogram:
+    def test_empty(self):
+        assert "(no samples)" in histogram([])
+
+    def test_single_value(self):
+        text = histogram([2.0, 2.0, 2.0])
+        assert "#" in text
+        assert "3" in text
+
+    def test_counts_sum_to_samples(self):
+        values = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]
+        text = histogram(values, bins=5)
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines()]
+        assert sum(counts) == len(values)
+
+    def test_title_included(self):
+        assert histogram([1.0], title="Latency").splitlines()[0] \
+            == "Latency"
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)

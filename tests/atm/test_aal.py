@@ -1,0 +1,121 @@
+"""Unit and property tests for AAL5 segmentation/reassembly."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atm import (AalError, AtmCell, PAYLOAD_OCTETS, Reassembler,
+                       crc32_aal5, segment)
+
+
+def test_crc32_known_vector():
+    # Standard CRC-32 check value for "123456789" is 0xCBF43926 for the
+    # reflected variant; AAL5 uses the non-reflected MSB-first variant,
+    # whose check value is 0xFC891918.
+    data = [ord(c) for c in "123456789"]
+    assert crc32_aal5(data) == 0xFC891918
+
+
+def test_small_pdu_single_cell():
+    cells = segment(1, 100, [1, 2, 3])
+    assert len(cells) == 1
+    assert cells[0].pt & 1  # AUU marks the last cell
+
+
+def test_pdu_filling_exactly_one_cell():
+    # 40 bytes + 8 trailer = 48 -> one cell.
+    cells = segment(1, 100, list(range(40)))
+    assert len(cells) == 1
+
+
+def test_pdu_one_byte_over_boundary():
+    # 41 bytes + 8 trailer = 49 -> two cells.
+    cells = segment(1, 100, list(range(41)))
+    assert len(cells) == 2
+    assert not cells[0].pt & 1
+    assert cells[1].pt & 1
+
+
+def test_round_trip():
+    pdu = list(range(200))
+    cells = segment(3, 33, [b % 256 for b in pdu])
+    reasm = Reassembler()
+    result = None
+    for cell in cells:
+        out = reasm.push(cell)
+        if out is not None:
+            result = out
+    assert result == [b % 256 for b in pdu]
+    assert reasm.completed == 1
+
+
+def test_interleaved_connections():
+    pdu_a = [1] * 100
+    pdu_b = [2] * 100
+    cells_a = segment(1, 1, pdu_a)
+    cells_b = segment(1, 2, pdu_b)
+    reasm = Reassembler()
+    results = {}
+    for ca, cb in zip(cells_a, cells_b):
+        for cell in (ca, cb):
+            out = reasm.push(cell)
+            if out is not None:
+                results[cell.connection()] = out
+    assert results[(1, 1)] == pdu_a
+    assert results[(1, 2)] == pdu_b
+
+
+def test_corrupted_payload_detected():
+    cells = segment(1, 1, list(range(100)))
+    broken = AtmCell(vpi=cells[0].vpi, vci=cells[0].vci, pt=cells[0].pt,
+                     payload=tuple([cells[0].payload[0] ^ 0xFF]
+                                   + list(cells[0].payload[1:])))
+    reasm = Reassembler()
+    reasm.push(broken)
+    with pytest.raises(AalError):
+        for cell in cells[1:]:
+            reasm.push(cell)
+    assert reasm.crc_errors == 1
+
+
+def test_lost_last_cell_keeps_pdu_pending():
+    cells = segment(1, 1, list(range(100)))
+    reasm = Reassembler()
+    for cell in cells[:-1]:
+        assert reasm.push(cell) is None
+    assert reasm.pending_connections() == 1
+
+
+def test_runaway_pdu_bounded():
+    reasm = Reassembler(max_pdu_octets=96)
+    filler = AtmCell.with_payload(1, 1, [0] * PAYLOAD_OCTETS)
+    with pytest.raises(AalError):
+        for _ in range(10):
+            reasm.push(filler)
+
+
+def test_oversized_pdu_rejected():
+    with pytest.raises(AalError):
+        segment(1, 1, [0] * 65536)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=0, max_size=500),
+       st.integers(0, 255), st.integers(0, 65535))
+def test_property_segment_reassemble_identity(pdu, vpi, vci):
+    reasm = Reassembler()
+    result = None
+    for cell in segment(vpi, vci, pdu):
+        assert cell.connection() == (vpi, vci)
+        out = reasm.push(cell)
+        if out is not None:
+            result = out
+    assert result == pdu
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=0, max_size=300))
+def test_property_cell_count_formula(pdu):
+    cells = segment(0, 1, pdu)
+    needed = len(pdu) + 8
+    expected = (needed + PAYLOAD_OCTETS - 1) // PAYLOAD_OCTETS
+    assert len(cells) == expected

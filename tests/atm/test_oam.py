@@ -1,0 +1,197 @@
+"""Tests for OAM F5 loopback fault management."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atm import (AtmCell, AtmSwitch, LoopbackInitiator,
+                       LoopbackResponder, OamError, PT_END_TO_END_F5,
+                       PT_SEGMENT_F5, check_crc10, crc10, is_oam_cell,
+                       make_loopback_cell, parse_oam_cell)
+from repro.netsim import Network, SinkModule
+
+
+class TestCrc10:
+    def test_empty_is_zero(self):
+        assert crc10([]) == 0
+
+    def test_appending_crc_zeroes_remainder(self):
+        """The defining property: message ++ CRC (bit-contiguous) is
+        divisible by the generator.  The 10 CRC bits must follow the
+        message with no gap, so they are appended top-aligned (10 CRC
+        bits then 6 zero padding bits, which keep divisibility)."""
+        data = [0x11, 0x22, 0x33, 0x44]
+        crc = crc10(data)
+        extended = data + [(crc >> 2) & 0xFF, (crc & 0x3) << 6]
+        assert crc10(extended) == 0
+
+    def test_out_of_range_byte_rejected(self):
+        with pytest.raises(OamError):
+            crc10([300])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=46),
+           st.integers(0, 45 * 8 - 1))
+    def test_property_single_bit_errors_detected(self, data, bitpos):
+        bitpos = bitpos % (len(data) * 8)
+        crc = crc10(data)
+        corrupted = list(data)
+        corrupted[bitpos // 8] ^= 1 << (bitpos % 8)
+        assert crc10(corrupted) != crc
+
+
+class TestLoopbackCell:
+    def test_round_trip(self):
+        cell = make_loopback_cell(1, 100, correlation_tag=0xDEADBEEF)
+        info = parse_oam_cell(cell)
+        assert info.vpi == 1 and info.vci == 100
+        assert info.end_to_end
+        assert info.loopback_indication == 1
+        assert info.correlation_tag == 0xDEADBEEF
+
+    def test_segment_flow(self):
+        cell = make_loopback_cell(1, 100, 5, end_to_end=False)
+        assert cell.pt == PT_SEGMENT_F5
+        assert not parse_oam_cell(cell).end_to_end
+
+    def test_crc10_embedded_and_checked(self):
+        cell = make_loopback_cell(1, 100, 5)
+        assert check_crc10(list(cell.payload))
+        corrupted = list(cell.payload)
+        corrupted[3] ^= 0x01
+        broken = AtmCell(vpi=1, vci=100, pt=PT_END_TO_END_F5,
+                         payload=tuple(corrupted))
+        with pytest.raises(OamError):
+            parse_oam_cell(broken)
+
+    def test_user_cell_is_not_oam(self):
+        user = AtmCell.with_payload(1, 100, [1, 2, 3], pt=0)
+        assert not is_oam_cell(user)
+        with pytest.raises(OamError):
+            parse_oam_cell(user)
+
+    def test_location_id_carried(self):
+        cell = make_loopback_cell(1, 100, 5,
+                                  location_id=[0xAA, 0xBB])
+        info = parse_oam_cell(cell)
+        assert info.location_id[:2] == (0xAA, 0xBB)
+        assert info.location_id[2] == 0x6A  # filler
+
+    def test_bad_tag_rejected(self):
+        with pytest.raises(OamError):
+            make_loopback_cell(1, 100, -1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_property_tag_round_trip(self, tag):
+        assert parse_oam_cell(
+            make_loopback_cell(3, 33, tag)).correlation_tag == tag
+
+
+class TestResponderInitiator:
+    def build_loop(self, delay=1e-5, timeout=1e-3, with_responder=True):
+        """initiator --link--> responder --(stream 1)--link--> initiator"""
+        net = Network()
+        a = net.add_node("a")
+        b = net.add_node("b")
+        initiator = LoopbackInitiator("init", vpi=1, vci=100,
+                                      timeout=timeout)
+        a.add_module(initiator)
+        a.bind_port_output(0, initiator, 0)
+        a.bind_port_input(0, initiator, 0)
+        responder = LoopbackResponder("resp")
+        sink = SinkModule("sink", keep=True)
+        b.add_module(responder)
+        b.add_module(sink)
+        b.connect(responder, 0, sink, 0)       # pass-through traffic
+        if with_responder:
+            b.bind_port_input(0, responder, 0)
+            b.bind_port_output(1, responder, 1)  # looped cells go back
+            net.add_link(b, 1, a, 0, delay=delay)
+        else:
+            # broken path: the far end has no OAM responder at all
+            b.bind_port_input(0, sink, 0)
+        net.add_link(a, 0, b, 0, delay=delay)
+        return net, initiator, responder, sink
+
+    def test_round_trip_measured(self):
+        net, initiator, responder, sink = self.build_loop(delay=1e-5)
+        tag = initiator.probe()
+        net.run(until=0.01)
+        assert responder.looped == 1
+        assert initiator.timeouts == 0
+        assert initiator.round_trips[tag] == pytest.approx(2e-5)
+
+    def test_timeout_on_broken_path(self):
+        net, initiator, responder, sink = self.build_loop(
+            with_responder=False, timeout=1e-4)
+        initiator.probe()
+        net.run(until=0.01)
+        assert initiator.timeouts == 1
+        assert initiator.round_trips == {}
+
+    def test_user_traffic_passes_through_responder(self):
+        net, initiator, responder, sink = self.build_loop()
+        user = AtmCell.with_payload(1, 100, [7])
+        net.kernel.schedule(
+            0.0, lambda: net.nodes["a"].transmit(user.to_packet(), 0))
+        net.run(until=0.01)
+        assert responder.forwarded == 1
+        assert len(sink.received) == 1
+
+    def test_multiple_probes_distinct_tags(self):
+        net, initiator, responder, sink = self.build_loop()
+        tags = [initiator.probe() for _ in range(3)]
+        net.run(until=0.01)
+        assert len(set(tags)) == 3
+        assert set(initiator.round_trips) == set(tags)
+
+    def test_callback_invoked(self):
+        results = []
+        net = Network()
+        a = net.add_node("a")
+        initiator = LoopbackInitiator(
+            "init", vpi=1, vci=1, timeout=1e-4,
+            on_result=lambda tag, rtt: results.append((tag, rtt)))
+        a.add_module(initiator)
+        a.bind_port_output(0, initiator, 0)
+        b = net.add_node("b")
+        sink = SinkModule("void")
+        b.add_module(sink)
+        b.bind_port_input(0, sink, 0)
+        net.add_link(a, 0, b, 0)
+        initiator.probe()
+        net.run(until=0.01)
+        assert results == [(1, None)]  # timed out, reported as None
+
+    def test_loopback_through_the_switch(self):
+        """OAM cells ride the user connection through VPI/VCI
+        translation and still loop correctly."""
+        net = Network()
+        switch = AtmSwitch(net, "sw", num_ports=2)
+        switch.install_connection(0, 1, 100, 1, 2, 200)
+        switch.install_connection(1, 2, 200, 0, 1, 100)  # reverse path
+        a = net.add_node("a")
+        initiator = LoopbackInitiator("init", vpi=1, vci=100,
+                                      timeout=1e-2)
+        a.add_module(initiator)
+        a.bind_port_output(0, initiator, 0)
+        a.bind_port_input(0, initiator, 0)
+        b = net.add_node("b")
+        responder = LoopbackResponder("resp")
+        sink = SinkModule("sink")
+        b.add_module(responder)
+        b.add_module(sink)
+        b.bind_port_input(0, responder, 0)
+        b.connect(responder, 0, sink, 0)
+        b.bind_port_output(0, responder, 1)
+        net.add_duplex_link(a, 0, switch.node, 0, rate_bps=155.52e6)
+        net.add_duplex_link(b, 0, switch.node, 1, rate_bps=155.52e6)
+        initiator.probe()
+        net.run(until=0.1)
+        assert responder.looped == 1
+        assert initiator.timeouts == 0
+        assert len(initiator.round_trips) == 1
+
+    def test_invalid_timeout(self):
+        with pytest.raises(OamError):
+            LoopbackInitiator("x", 1, 1, timeout=0)

@@ -1,0 +1,151 @@
+"""Tests for the hardware test board: memories, cycles, SCSI, devices."""
+
+import pytest
+
+from repro.board import (BoardError, ConfigurationDataSet, HardwareTestBoard,
+                         LoopbackDevice, MAX_BOARD_CLOCK_HZ,
+                         MAX_CYCLE_CLOCKS, NUM_BYTE_LANES, PinSegment,
+                         PortMapping, RtlPinDevice, ScsiBus)
+from repro.hdl import Simulator
+from repro.rtl import Counter
+
+
+def loopback_config():
+    """Inport 0 on lane 0, outport 0 on lane 1 (loopback shifts lanes?
+    no — the loopback device echoes the full frame, so mapping the
+    outport onto the same lane as the inport reads the echo)."""
+    from repro.board import CtrlPortMapping, IoPortMapping
+    config = ConfigurationDataSet()
+    config.add_inport(PortMapping(0, 8, (PinSegment(0, 7, 8),)))
+    config.add_outport(PortMapping(0, 8, (PinSegment(0, 7, 8),)))
+    config.add_ctrlport(CtrlPortMapping(0, 1, (PinSegment(15, 0, 1),)))
+    config.add_io_port(IoPortMapping(0, 0, 0))
+    return config
+
+
+class TestBoardConfiguration:
+    def test_clock_limit_enforced(self):
+        with pytest.raises(BoardError):
+            HardwareTestBoard(loopback_config(), clock_hz=25e6)
+
+    def test_memory_depth_limits(self):
+        with pytest.raises(BoardError):
+            HardwareTestBoard(loopback_config(), memory_depth=0)
+        with pytest.raises(BoardError):
+            HardwareTestBoard(loopback_config(),
+                              memory_depth=MAX_CYCLE_CLOCKS + 1)
+
+    def test_invalid_pin_config_rejected_at_board_construction(self):
+        config = ConfigurationDataSet()
+        config.add_inport(PortMapping(0, 8, (PinSegment(0, 7, 8),)))
+        config.add_inport(PortMapping(1, 8, (PinSegment(0, 7, 8),)))
+        with pytest.raises(Exception):
+            HardwareTestBoard(config)
+
+
+class TestTestCycles:
+    def test_loopback_cycle_echoes_stimuli(self):
+        board = HardwareTestBoard(loopback_config())
+        device = LoopbackDevice(latency=1)
+        vectors = [{0: value} for value in (1, 2, 3, 4)]
+        result = board.run_test_cycle(device, vectors)
+        observed = [frame[0] for frame in result.responses]
+        assert observed == [0, 1, 2, 3]  # one-clock latency
+
+    def test_cycle_stats_timing_split(self):
+        board = HardwareTestBoard(loopback_config(), clock_hz=20e6,
+                                  sw_overhead_s=1e-3)
+        result = board.run_test_cycle(LoopbackDevice(), [{0: 0}] * 1000)
+        stats = result.stats
+        assert stats.clocks == 1000
+        assert stats.hw_time == pytest.approx(1000 / 20e6)
+        assert stats.sw_load_time > 0
+        assert stats.sw_read_time > 0
+        assert stats.total_time > stats.hw_time
+        assert 0 < stats.hw_utilization < 1
+        assert stats.effective_clock_hz < board.clock_hz
+
+    def test_longer_cycles_amortize_overhead(self):
+        """The E4 shape: effective clock rate rises with cycle length."""
+        board = HardwareTestBoard(loopback_config())
+        short = board.run_test_cycle(LoopbackDevice(), [{0: 0}] * 10)
+        long = board.run_test_cycle(LoopbackDevice(), [{0: 0}] * 10000)
+        assert (long.stats.effective_clock_hz
+                > 10 * short.stats.effective_clock_hz)
+
+    def test_memory_depth_bounds_cycle(self):
+        board = HardwareTestBoard(loopback_config(), memory_depth=8)
+        with pytest.raises(BoardError):
+            board.load_port_vectors([{0: 0}] * 9)
+
+    def test_run_without_stimuli_rejected(self):
+        board = HardwareTestBoard(loopback_config())
+        with pytest.raises(BoardError):
+            board.run_hardware_cycle(LoopbackDevice())
+
+    def test_malformed_frame_rejected(self):
+        board = HardwareTestBoard(loopback_config())
+        with pytest.raises(BoardError):
+            board.load_stimuli([[0] * (NUM_BYTE_LANES - 1)])
+
+    def test_repeated_cycles_accumulate(self):
+        board = HardwareTestBoard(loopback_config())
+        for _ in range(3):
+            board.run_test_cycle(LoopbackDevice(), [{0: 1}] * 5)
+        assert board.cycles_run == 3
+        assert board.total_clocks == 15
+
+
+class TestScsiModel:
+    def test_transfer_time_formula(self):
+        bus = ScsiBus(bandwidth_bytes_per_s=1e6, command_overhead_s=1e-3)
+        duration = bus.transfer("LOAD", 1000)
+        assert duration == pytest.approx(1e-3 + 1e-3)
+        assert bus.total_bytes == 1000
+        assert bus.total_time == pytest.approx(duration)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            ScsiBus(bandwidth_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            ScsiBus(command_overhead_s=-1)
+        bus = ScsiBus()
+        with pytest.raises(ValueError):
+            bus.transfer("X", -1)
+
+
+class TestRtlPinDevice:
+    def make_counter_device(self):
+        """An RTL counter mounted on the board: inport 0 = enable,
+        outport 0 = count."""
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        sim.add_clock(clk, period=10)
+        enable = sim.signal("en", init="0")
+        counter = Counter(sim, "cnt", clk, width=8, enable=enable)
+        config = ConfigurationDataSet()
+        config.add_inport(PortMapping(0, 1, (PinSegment(0, 0, 1),)))
+        config.add_outport(PortMapping(0, 8, (PinSegment(1, 7, 8),)))
+        device = RtlPinDevice(sim, clk, config,
+                              input_signals={0: enable},
+                              output_signals={0: counter.q})
+        return config, device
+
+    def test_rtl_counter_behind_the_board(self):
+        config, device = self.make_counter_device()
+        board = HardwareTestBoard(config)
+        vectors = [{0: 1}] * 5 + [{0: 0}] * 3
+        result = board.run_test_cycle(device, vectors)
+        counts = [values[0] for values in result.responses]
+        # each enabled clock increments; disabled clocks hold
+        assert counts[-1] == 5
+        assert counts == sorted(counts)
+
+    def test_missing_signal_binding_rejected(self):
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        config = ConfigurationDataSet()
+        config.add_inport(PortMapping(0, 1, (PinSegment(0, 0, 1),)))
+        with pytest.raises(ValueError):
+            RtlPinDevice(sim, clk, config, input_signals={},
+                         output_signals={})

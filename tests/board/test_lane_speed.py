@@ -1,0 +1,69 @@
+"""Tests for byte-lane speed configuration."""
+
+import pytest
+
+from repro.board import (BoardError, ConfigurationDataSet,
+                         CtrlPortMapping, HardwareTestBoard,
+                         IoPortMapping, LoopbackDevice, PinSegment,
+                         PortMapping)
+
+
+def make_board():
+    config = ConfigurationDataSet()
+    config.add_inport(PortMapping(0, 8, (PinSegment(0, 7, 8),)))
+    config.add_inport(PortMapping(1, 8, (PinSegment(1, 7, 8),)))
+    config.add_outport(PortMapping(0, 8, (PinSegment(0, 7, 8),)))
+    config.add_outport(PortMapping(1, 8, (PinSegment(1, 7, 8),)))
+    config.add_ctrlport(CtrlPortMapping(0, 1, (PinSegment(15, 0, 1),)))
+    config.add_io_port(IoPortMapping(0, 0, 0))
+    config.add_ctrlport(CtrlPortMapping(1, 1, (PinSegment(15, 1, 1),)))
+    config.add_io_port(IoPortMapping(1, 1, 1))
+    return HardwareTestBoard(config)
+
+
+def run_echo(board, vectors):
+    result = board.run_test_cycle(LoopbackDevice(latency=1), vectors)
+    return result.responses
+
+
+def test_full_speed_lane_changes_every_clock():
+    board = make_board()
+    responses = run_echo(board, [{0: v, 1: v} for v in (1, 2, 3, 4)])
+    assert [r[0] for r in responses] == [0, 1, 2, 3]
+
+
+def test_slow_lane_holds_value():
+    board = make_board()
+    board.set_lane_speed(1, 2)  # lane 1 (inport/outport 1) at half rate
+    responses = run_echo(board, [{0: v, 1: v} for v in (1, 2, 3, 4)])
+    # lane 0 full speed; lane 1 holds for 2 clocks: 1,1,3,3
+    assert [r[0] for r in responses] == [0, 1, 2, 3]
+    assert [r[1] for r in responses] == [0, 1, 1, 3]
+
+
+def test_divisor_four():
+    board = make_board()
+    board.set_lane_speed(1, 4)
+    responses = run_echo(board, [{1: v} for v in range(8)])
+    assert [r[1] for r in responses] == [0, 0, 0, 0, 0, 4, 4, 4]
+
+
+def test_reset_to_full_speed():
+    board = make_board()
+    board.set_lane_speed(1, 2)
+    board.set_lane_speed(1, 1)
+    assert board.lane_speed(1) == 1
+    responses = run_echo(board, [{1: v} for v in (5, 6)])
+    assert [r[1] for r in responses] == [0, 5]
+
+
+def test_invalid_lane_and_divisor():
+    board = make_board()
+    with pytest.raises(BoardError):
+        board.set_lane_speed(16, 2)
+    with pytest.raises(BoardError):
+        board.set_lane_speed(0, 0)
+
+
+def test_default_speed_is_one():
+    assert make_board().lane_speed(7) == 1

@@ -1,0 +1,171 @@
+"""Tests for the Figure-5 configuration data set."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.board import (ConfigurationDataSet, CtrlPortMapping,
+                         IoPortMapping, NUM_BYTE_LANES, PinMapError,
+                         PinSegment, PortMapping)
+
+
+def figure5_config():
+    """The configuration Figure 5 of the paper depicts:
+
+    * inport 1, width 8 -> byte lane 2, start bit 7, 8 bits;
+    * an I/O port (inport 2 / outport 2 / ctrlport 3) on byte lane 6;
+    * outport 1, width 4 -> byte lane 3, start bit 3, 4 bits;
+    * ctrlport 3 with write-value 0.
+    """
+    config = ConfigurationDataSet()
+    config.add_inport(PortMapping(1, 8, (PinSegment(2, 7, 8),)))
+    config.add_inport(PortMapping(2, 6, (PinSegment(6, 5, 6),)))
+    config.add_outport(PortMapping(2, 6, (PinSegment(6, 5, 6),)))
+    config.add_outport(PortMapping(1, 4, (PinSegment(3, 3, 4),)))
+    config.add_ctrlport(CtrlPortMapping(3, 1, (PinSegment(6, 7, 1),),
+                                        write_value=0))
+    config.add_io_port(IoPortMapping(2, 2, 3))
+    return config
+
+
+class TestPinSegment:
+    def test_bit_positions_msb_first(self):
+        seg = PinSegment(byte_lane=2, start_bit=7, num_bits=8)
+        assert seg.bit_positions() == [23, 22, 21, 20, 19, 18, 17, 16]
+
+    def test_partial_segment(self):
+        seg = PinSegment(byte_lane=0, start_bit=5, num_bits=3)
+        assert seg.bit_positions() == [5, 4, 3]
+
+    def test_invalid_segments(self):
+        with pytest.raises(PinMapError):
+            PinSegment(16, 0, 1)      # lane out of range
+        with pytest.raises(PinMapError):
+            PinSegment(0, 8, 1)       # start bit out of range
+        with pytest.raises(PinMapError):
+            PinSegment(0, 2, 4)       # runs below bit 0
+        with pytest.raises(PinMapError):
+            PinSegment(0, 2, 0)       # zero bits
+
+
+class TestPortMapping:
+    def test_width_must_match_segments(self):
+        with pytest.raises(PinMapError):
+            PortMapping(1, 8, (PinSegment(0, 7, 4),))
+
+    def test_multi_segment_port(self):
+        mapping = PortMapping(1, 12, (PinSegment(0, 7, 8),
+                                      PinSegment(1, 3, 4)))
+        positions = mapping.bit_positions()
+        assert len(positions) == 12
+        assert positions[:8] == [7, 6, 5, 4, 3, 2, 1, 0]
+        assert positions[8:] == [11, 10, 9, 8]
+
+
+class TestConfigurationDataSet:
+    def test_figure5_validates(self):
+        figure5_config().validate()
+
+    def test_pack_unpack_figure5(self):
+        config = figure5_config()
+        frame = config.pack_stimulus({1: 0xA5, 2: 0x2A}, {3: 0})
+        assert frame[2] == 0xA5        # inport 1 on lane 2
+        assert config.unpack_inports(frame)[1] == 0xA5
+        assert config.unpack_inports(frame)[2] == 0x2A
+        assert config.unpack_ctrlports(frame)[3] == 0
+
+    def test_unpack_response(self):
+        config = figure5_config()
+        frame = [0] * NUM_BYTE_LANES
+        frame[3] = 0x0F                # outport 1 = lane 3 bits 3..0
+        values = config.unpack_response(frame)
+        assert values[1] == 0xF
+
+    def test_value_overflow_rejected(self):
+        config = figure5_config()
+        with pytest.raises(PinMapError):
+            config.pack_stimulus({1: 256})
+
+    def test_unknown_port_rejected(self):
+        config = figure5_config()
+        with pytest.raises(PinMapError):
+            config.pack_stimulus({9: 0})
+
+    def test_duplicate_port_numbers_rejected(self):
+        config = ConfigurationDataSet()
+        config.add_inport(PortMapping(1, 8, (PinSegment(0, 7, 8),)))
+        with pytest.raises(PinMapError):
+            config.add_inport(PortMapping(1, 8, (PinSegment(1, 7, 8),)))
+
+    def test_overlapping_inports_rejected(self):
+        config = ConfigurationDataSet()
+        config.add_inport(PortMapping(1, 8, (PinSegment(0, 7, 8),)))
+        config.add_inport(PortMapping(2, 4, (PinSegment(0, 3, 4),)))
+        with pytest.raises(PinMapError):
+            config.validate()
+
+    def test_in_out_collision_without_io_port_rejected(self):
+        config = ConfigurationDataSet()
+        config.add_inport(PortMapping(1, 8, (PinSegment(0, 7, 8),)))
+        config.add_outport(PortMapping(1, 8, (PinSegment(0, 7, 8),)))
+        with pytest.raises(PinMapError):
+            config.validate()
+
+    def test_io_port_shares_pins_legally(self):
+        config = ConfigurationDataSet()
+        config.add_inport(PortMapping(1, 8, (PinSegment(0, 7, 8),)))
+        config.add_outport(PortMapping(1, 8, (PinSegment(0, 7, 8),)))
+        config.add_ctrlport(CtrlPortMapping(1, 1, (PinSegment(1, 0, 1),)))
+        config.add_io_port(IoPortMapping(1, 1, 1))
+        config.validate()
+
+    def test_io_port_with_unknown_reference_rejected(self):
+        config = ConfigurationDataSet()
+        config.add_inport(PortMapping(1, 8, (PinSegment(0, 7, 8),)))
+        with pytest.raises(PinMapError):
+            config.add_io_port(IoPortMapping(1, 9, 9))
+
+    def test_bad_frame_length_rejected(self):
+        config = figure5_config()
+        with pytest.raises(PinMapError):
+            config.unpack_response([0] * 15)
+
+    def test_dict_round_trip(self):
+        config = figure5_config()
+        rebuilt = ConfigurationDataSet.from_dict(config.to_dict())
+        rebuilt.validate()
+        frame = config.pack_stimulus({1: 0x5A, 2: 0x15}, {3: 0})
+        assert rebuilt.pack_stimulus({1: 0x5A, 2: 0x15}, {3: 0}) == frame
+        assert rebuilt.ctrlports[3].write_value == 0
+
+
+# -- property: pack/unpack are mutually inverse -------------------------
+
+_segments = st.builds(
+    lambda lane, start, nbits: PinSegment(lane, start,
+                                          min(nbits, start + 1)),
+    st.integers(0, NUM_BYTE_LANES - 1), st.integers(0, 7),
+    st.integers(1, 8))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(_segments, min_size=1, max_size=6, unique=True),
+       st.data())
+def test_property_pack_unpack_inverse(segments, data):
+    """For any non-overlapping mapping, unpack(pack(v)) == v."""
+    used = set()
+    ports = []
+    for index, segment in enumerate(segments):
+        positions = set(segment.bit_positions())
+        if positions & used:
+            continue
+        used |= positions
+        ports.append(PortMapping(index, segment.num_bits, (segment,)))
+    config = ConfigurationDataSet()
+    for port in ports:
+        config.add_inport(port)
+    config.validate()
+    values = {port.port_number:
+              data.draw(st.integers(0, (1 << port.width) - 1))
+              for port in ports}
+    frame = config.pack_stimulus(values)
+    assert config.unpack_inports(frame) == values

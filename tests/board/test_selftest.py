@@ -1,0 +1,80 @@
+"""Tests for the board power-on self-test."""
+
+import pytest
+
+from repro.board import (BoardSelfTest, HardwareTestBoard,
+                         LoopbackDevice, loopback_all_lanes_config)
+
+
+def make_board(memory_depth=2048):
+    return HardwareTestBoard(loopback_all_lanes_config(),
+                             memory_depth=memory_depth)
+
+
+def test_loopback_config_validates():
+    config = loopback_all_lanes_config()
+    assert len(config.inports) == 15
+    assert len(config.outports) == 15
+    assert len(config.io_ports) == 15
+
+
+def test_healthy_board_passes_all_phases():
+    selftest = BoardSelfTest(make_board())
+    results = selftest.run_all()
+    assert [r.phase for r in results] == [
+        "pin-sweep", "memory-pattern", "cycle-bounds", "scsi-integrity"]
+    for result in results:
+        assert result.passed, f"{result.phase}: {result.detail}"
+    assert selftest.passed
+
+
+def test_no_results_means_not_passed():
+    assert not BoardSelfTest(make_board()).passed
+
+
+def test_stuck_pin_detected():
+    """A device that forces lane 3 bit 2 low fails the pin sweep."""
+
+    class StuckPinDevice(LoopbackDevice):
+        def clock(self, frame):
+            out = super().clock(frame)
+            out[3] &= ~(1 << 2)
+            return out
+
+    selftest = BoardSelfTest(make_board(),
+                             device_factory=StuckPinDevice)
+    result = selftest.pin_sweep()
+    assert not result.passed
+    assert "lane 3" in result.detail
+
+
+def test_memory_pattern_detects_corruption():
+    """A device that corrupts frame 7 fails the memory phase."""
+
+    class CorruptingDevice(LoopbackDevice):
+        def __init__(self, latency=0):
+            super().__init__(latency=latency)
+            self.count = 0
+
+        def clock(self, frame):
+            out = super().clock(frame)
+            if self.count == 7:
+                out[0] ^= 0xFF
+            self.count += 1
+            return out
+
+    selftest = BoardSelfTest(make_board(),
+                             device_factory=CorruptingDevice)
+    result = selftest.memory_pattern()
+    assert not result.passed
+    assert "1 miscompares" in result.detail
+
+
+def test_cycle_bounds_phase():
+    result = BoardSelfTest(make_board()).cycle_bounds()
+    assert result.passed, result.detail
+
+
+def test_scsi_integrity_phase():
+    result = BoardSelfTest(make_board()).scsi_integrity()
+    assert result.passed, result.detail

@@ -1,0 +1,77 @@
+"""Integration: the board path registered inside the environment.
+
+Figure 1's right-hand branch driven from the same tap machinery: cells
+observed at the network level are queued to a board-hosted device, and
+``env.finish()`` flushes the remaining partial test cycle.
+"""
+
+import pytest
+
+from repro.atm import AccountingUnit, AtmCell, Tariff
+from repro.board import HardwareTestBoard, RtlPinDevice
+from repro.core import (BoardInterfaceModel, CoVerificationEnvironment,
+                        cell_stream_pin_config)
+from repro.hdl import Simulator
+from repro.rtl import AccountingUnitRtl
+from repro.traffic import ConstantBitRate, TrafficSource
+
+CELL_PERIOD = 4e-6
+
+
+def build_env_with_board(cells=5):
+    env = CoVerificationEnvironment()
+
+    # the board world lives in its own HDL simulator (a chip does not
+    # share a kernel with the RTL co-simulation)
+    chip_sim = Simulator()
+    chip_clk = chip_sim.signal("clk", init="0")
+    chip_sim.add_clock(chip_clk, period=10)
+    chip = AccountingUnitRtl(chip_sim, "chip", chip_clk)
+    chip.register(1, 100, units_per_cell=2)
+    config = cell_stream_pin_config()
+    device = RtlPinDevice(
+        chip_sim, chip_clk, config,
+        input_signals={1: chip.rx.atmdata, 2: chip.rx.cellsync,
+                       3: chip.rx.valid, 4: chip.tariff_tick},
+        output_signals={1: chip.rec_valid, 2: chip.rec_word})
+    board = HardwareTestBoard(config, memory_depth=1 << 14)
+    interface = BoardInterfaceModel(board, device, cycle_clocks=2048)
+    env.add_board_interface(interface)
+
+    host = env.network.add_node("host")
+    source = TrafficSource(
+        "src", ConstantBitRate(period=CELL_PERIOD),
+        packet_factory=lambda i: AtmCell.with_payload(
+            1, 100, [i % 256]).to_packet(),
+        count=cells)
+    from repro.core import TapModule
+    tap = TapModule("tap", forward=False)
+    tap.add_hook(lambda t, pkt: interface.queue_cell(
+        AtmCell.from_packet(pkt)))
+    host.add_module(source)
+    host.add_module(tap)
+    host.connect(source, 0, tap, 0)
+    return env, chip, board, interface
+
+
+def test_finish_flushes_the_partial_test_cycle():
+    env, chip, board, interface = build_env_with_board(cells=5)
+    env.run()
+    assert chip.cells_seen == 0  # 5 cells = 265 clocks < one cycle
+    env.finish()
+    assert chip.cells_seen == 5
+    assert board.cycles_run >= 1
+
+
+def test_board_records_match_reference_through_env():
+    env, chip, board, interface = build_env_with_board(cells=6)
+    reference = AccountingUnit(drop_unknown=True)
+    reference.register(1, 100, Tariff(units_per_cell=2))
+    env.run()
+    for _ in range(6):
+        reference.cell_arrival(1, 100)
+    interface.queue_tariff_tick()
+    env.finish()
+    expected = [(r.vpi, r.vci, r.interval, r.cells_clp0, r.cells_clp1,
+                 r.charge_units) for r in reference.close_interval()]
+    assert interface.records() == expected

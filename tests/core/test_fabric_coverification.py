@@ -1,0 +1,78 @@
+"""Integration: the whole RTL switch fabric as a multi-port DUT.
+
+Four co-simulation entities — one per fabric port — share one HDL
+simulator; the network-level test bench drives all four, and each
+output stream is compared against the abstract switch's forwarding
+decision.  The heaviest composition in the test suite: netsim +
+4-way coupling + GCU arbitration + stream comparison.
+"""
+
+import pytest
+
+from repro.atm import AtmCell
+from repro.core import CoVerificationEnvironment
+from repro.rtl import AtmSwitchRtl
+from repro.traffic import ConstantBitRate, TrafficSource
+
+CELL_PERIOD = 8e-6  # slack for lookup arbitration across 4 ports
+
+
+def build_fabric_env(cells_per_port=4):
+    env = CoVerificationEnvironment()
+    fabric = AtmSwitchRtl(env.hdl, "fabric", env.clk, num_ports=4,
+                          lookup_latency=4)
+    entities = []
+    for port in range(4):
+        vci = 100 + port
+        fabric.install_connection(port, 1, vci, (port + 1) % 4,
+                                  2, 200 + port)
+        entity = env.add_dut(rx_port=fabric.rx_ports[port],
+                             tx_port=fabric.tx_ports[port])
+        entities.append(entity)
+
+        host = env.network.add_node(f"host{port}")
+        source = TrafficSource(
+            f"src{port}",
+            ConstantBitRate(period=CELL_PERIOD, seed=port),
+            packet_factory=lambda i, v=vci: AtmCell.with_payload(
+                1, v, [i % 256]).to_packet(),
+            count=cells_per_port)
+        tap = env.make_cell_tap(f"tap{port}", entity, forward=False)
+        host.add_module(source)
+        host.add_module(tap)
+        host.connect(source, 0, tap, 0)
+    return env, fabric, entities
+
+
+def test_every_port_switches_through_the_coupling():
+    env, fabric, entities = build_fabric_env(cells_per_port=4)
+    env.run()
+    env.finish()
+    assert fabric.cells_received == 16
+    assert fabric.cells_switched == 16
+    for port, entity in enumerate(entities):
+        # entity p observes what the fabric emits on port p, i.e. the
+        # traffic of input port (p - 1) mod 4 translated to its VCI
+        outputs = [(c.vpi, c.vci) for _t, c in entity.output_cells]
+        source_port = (port - 1) % 4
+        assert outputs == [(2, 200 + source_port)] * 4
+
+
+def test_fabric_outputs_match_abstract_forwarding():
+    env, fabric, entities = build_fabric_env(cells_per_port=3)
+    env.run()
+    env.finish()
+    # abstract forwarding: payload sequence preserved per connection
+    for port, entity in enumerate(entities):
+        payloads = [c.payload[0] for _t, c in entity.output_cells]
+        assert payloads == [0, 1, 2]
+
+
+def test_lag_invariant_across_all_entities():
+    env, fabric, entities = build_fabric_env(cells_per_port=3)
+    env.run()
+    horizon = env.network.kernel.now
+    assert env.timebase.to_seconds(env.hdl.now) <= horizon + 1e-12
+    env.finish()
+    for entity in entities:
+        assert entity.sync.stats.messages_posted == 3

@@ -1,0 +1,176 @@
+"""Tests for automatic interface-model generation (paper §4 outlook)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atm import AtmCell
+from repro.core import (FieldSpec, InterfaceDescription, MappingError,
+                        StructMapper, atm_cell_interface,
+                        charging_record_interface)
+from repro.hdl import Simulator
+
+
+def simple_desc(word_bits=8, gap_words=0, **kwargs):
+    struct = StructMapper([FieldSpec("A", 8), FieldSpec("B", 16),
+                           FieldSpec("C", 8)])
+    return InterfaceDescription(name="ifc", struct=struct,
+                                word_bits=word_bits, gap_words=gap_words,
+                                **kwargs)
+
+
+def make_bench(desc):
+    sim = Simulator()
+    clk = sim.signal("clk", init="0")
+    sim.add_clock(clk, period=10)
+    sender, receiver = desc.build(sim, clk)
+    return sim, clk, sender, receiver
+
+
+class TestDescription:
+    def test_word_and_pdu_arithmetic(self):
+        desc = simple_desc()  # 32 bits = 4 octets
+        assert desc.octets_per_word == 1
+        assert desc.words_per_pdu == 4
+
+    def test_wider_words_shorten_transfer(self):
+        desc = simple_desc(word_bits=16)
+        assert desc.words_per_pdu == 2
+
+    def test_pack_unpack_words_inverse(self):
+        desc = simple_desc(word_bits=16)
+        values = {"A": 0x12, "B": 0x3456, "C": 0x78}
+        assert desc.unpack_words(desc.pack_words(values)) == values
+
+    def test_wrong_word_count_rejected(self):
+        desc = simple_desc()
+        with pytest.raises(MappingError):
+            desc.unpack_words([0, 1])
+
+    def test_invalid_configs(self):
+        struct = StructMapper([FieldSpec("A", 8)])
+        with pytest.raises(MappingError):
+            InterfaceDescription("x", struct, word_bits=12)
+        with pytest.raises(MappingError):
+            InterfaceDescription("x", struct, start_signal=None,
+                                 valid_signal=None)
+        with pytest.raises(MappingError):
+            InterfaceDescription("x", struct, gap_words=-1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_property_word_round_trip(self, data):
+        widths = data.draw(st.lists(st.integers(1, 40), min_size=1,
+                                    max_size=5))
+        struct = StructMapper([FieldSpec(f"f{i}", w)
+                               for i, w in enumerate(widths)])
+        word_bits = data.draw(st.sampled_from([8, 16, 32]))
+        desc = InterfaceDescription("p", struct, word_bits=word_bits)
+        values = {f"f{i}": data.draw(st.integers(0, (1 << w) - 1))
+                  for i, w in enumerate(widths)}
+        assert desc.unpack_words(desc.pack_words(values)) == values
+
+
+class TestGeneratedModels:
+    def test_pdu_round_trip_through_signals(self):
+        desc = simple_desc()
+        sim, clk, sender, receiver = make_bench(desc)
+        sender.send({"A": 1, "B": 0xBEEF, "C": 3})
+        sim.run(until=10 * 20)
+        assert receiver.pdus == [{"A": 1, "B": 0xBEEF, "C": 3}]
+        assert sender.pdus_sent == 1
+        assert receiver.framing_errors == 0
+
+    def test_back_to_back_pdus(self):
+        desc = simple_desc()
+        sim, clk, sender, receiver = make_bench(desc)
+        for value in range(5):
+            sender.send({"A": value, "B": value * 10, "C": value})
+        sim.run(until=10 * 60)
+        assert [pdu["A"] for pdu in receiver.pdus] == [0, 1, 2, 3, 4]
+
+    def test_gap_words_between_pdus(self):
+        desc = simple_desc(gap_words=4)
+        sim, clk, sender, receiver = make_bench(desc)
+        sender.send({"A": 1, "B": 2, "C": 3})
+        sender.send({"A": 4, "B": 5, "C": 6})
+        sim.run(until=10 * 40)
+        assert len(receiver.pdus) == 2
+
+    def test_end_signal_pulses_on_last_word(self):
+        desc = simple_desc(end_signal="eop")
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        sim.add_clock(clk, period=10)
+        sender, receiver = desc.build(sim, clk)
+        pulses = []
+        eop = sender.bundle.controls["eop"]
+        sim.add_process(
+            "watch",
+            lambda s: pulses.append(s.now)
+            if clk.rising() and eop.value == "1" else None,
+            sensitivity=[clk])
+        sender.send({"A": 1, "B": 2, "C": 3})
+        sim.run(until=10 * 20)
+        assert len(pulses) == 1
+
+    def test_wide_word_interface(self):
+        desc = simple_desc(word_bits=32)  # whole PDU in one word
+        sim, clk, sender, receiver = make_bench(desc)
+        sender.send({"A": 0xAA, "B": 0x1234, "C": 0x55})
+        sim.run(until=10 * 10)
+        assert receiver.pdus == [{"A": 0xAA, "B": 0x1234, "C": 0x55}]
+
+    def test_backlog_counts_pending(self):
+        desc = simple_desc()
+        sim, clk, sender, receiver = make_bench(desc)
+        sender.send({"A": 1, "B": 2, "C": 3})
+        sender.send({"A": 4, "B": 5, "C": 6})
+        assert sender.backlog == 2
+        sim.run(until=10 * 60)
+        assert sender.backlog == 0
+
+
+class TestLibraryInstances:
+    def test_atm_interface_is_53_words(self):
+        desc = atm_cell_interface()
+        assert desc.words_per_pdu == 53  # the paper's 53 clock cycles
+
+    def test_atm_interface_stream_matches_cell_image(self):
+        """The generated ATM interface emits the exact AtmCell octets."""
+        desc = atm_cell_interface()
+        cell = AtmCell.with_payload(7, 700, [1, 2, 3], pt=1, clp=1,
+                                    gfc=2)
+        octets = cell.to_octets()
+        payload_int = 0
+        for octet in cell.payload:
+            payload_int = (payload_int << 8) | octet
+        words = desc.pack_words({
+            "GFC": cell.gfc, "VPI": cell.vpi, "VCI": cell.vci,
+            "PT": cell.pt, "CLP": cell.clp,
+            "HEC": cell.header_octets()[4], "PAYLOAD": payload_int})
+        assert words == octets
+
+    def test_generated_atm_interface_round_trip(self):
+        desc = atm_cell_interface()
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        sim.add_clock(clk, period=10)
+        sender, receiver = desc.build(sim, clk)
+        pdu = {"GFC": 0, "VPI": 1, "VCI": 100, "PT": 0, "CLP": 0,
+               "HEC": 0x55, "PAYLOAD": 12345}
+        sender.send(pdu)
+        sim.run(until=10 * 60)
+        assert receiver.pdus == [pdu]
+
+    def test_charging_record_interface(self):
+        desc = charging_record_interface()
+        assert desc.words_per_pdu == 6
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        sim.add_clock(clk, period=10)
+        sender, receiver = desc.build(sim, clk)
+        record = {"VPI": 1, "VCI": 100, "INTERVAL": 0,
+                  "CELLS_CLP0": 7, "CELLS_CLP1": 2, "CHARGE": 16}
+        sender.send(record)
+        sim.run(until=10 * 10)
+        assert receiver.pdus == [record]

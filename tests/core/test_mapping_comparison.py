@@ -1,0 +1,142 @@
+"""Tests for the conversion library and the stream comparator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atm import AtmCell
+from repro.core import (CellMapper, FieldSpec, MappingError,
+                        StreamComparator, StructMapper)
+from repro.netsim import Packet
+
+
+class TestStructMapper:
+    def test_byte_aligned_fields(self):
+        mapper = StructMapper([FieldSpec("VPI", 8), FieldSpec("VCI", 16)])
+        assert mapper.pack({"VPI": 1, "VCI": 0x0203}) == [1, 2, 3]
+        assert mapper.unpack([1, 2, 3]) == {"VPI": 1, "VCI": 0x0203}
+
+    def test_non_byte_aligned_fields(self):
+        mapper = StructMapper([FieldSpec("a", 4), FieldSpec("b", 3),
+                               FieldSpec("c", 1)])
+        octets = mapper.pack({"a": 0xA, "b": 0b101, "c": 1})
+        assert octets == [0xAB]
+        assert mapper.unpack(octets) == {"a": 0xA, "b": 5, "c": 1}
+
+    def test_padding_to_octet_boundary(self):
+        mapper = StructMapper([FieldSpec("x", 12)])
+        assert mapper.total_octets == 2
+        assert mapper.pack({"x": 0xFFF}) == [0xFF, 0xF0]
+
+    def test_value_overflow_rejected(self):
+        mapper = StructMapper([FieldSpec("x", 4)])
+        with pytest.raises(MappingError):
+            mapper.pack({"x": 16})
+
+    def test_missing_field_rejected(self):
+        mapper = StructMapper([FieldSpec("x", 4)])
+        with pytest.raises(MappingError):
+            mapper.pack({})
+
+    def test_wrong_octet_count_rejected(self):
+        mapper = StructMapper([FieldSpec("x", 8)])
+        with pytest.raises(MappingError):
+            mapper.unpack([1, 2])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(MappingError):
+            StructMapper([FieldSpec("x", 4), FieldSpec("x", 4)])
+
+    def test_empty_struct_rejected(self):
+        with pytest.raises(MappingError):
+            StructMapper([])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_property_pack_unpack_inverse(self, data):
+        widths = data.draw(st.lists(st.integers(1, 24), min_size=1,
+                                    max_size=6))
+        fields = [FieldSpec(f"f{i}", w) for i, w in enumerate(widths)]
+        mapper = StructMapper(fields)
+        values = {f.name: data.draw(st.integers(0, (1 << f.bits) - 1))
+                  for f in fields}
+        assert mapper.unpack(mapper.pack(values)) == values
+
+
+class TestCellMapper:
+    def test_packet_round_trip(self):
+        mapper = CellMapper()
+        packet = AtmCell.with_payload(7, 77, [1, 2, 3]).to_packet()
+        octets = mapper.packet_to_octets(packet)
+        assert len(octets) == 53
+        again = mapper.octets_to_packet(octets)
+        assert again["VPI"] == 7
+        assert again["VCI"] == 77
+
+    def test_cell_round_trip(self):
+        mapper = CellMapper()
+        cell = AtmCell.with_payload(1, 2, [9])
+        assert mapper.octets_to_cell(mapper.cell_to_octets(cell)) == cell
+
+    def test_control_schedule_has_cellsync_at_zero(self):
+        assert ("cellsync", 0) in CellMapper().control_schedule()
+
+
+class TestStreamComparator:
+    def test_matching_ordered_streams_pass(self):
+        comp = StreamComparator("t")
+        comp.extend_reference([1, 2, 3])
+        comp.extend_observed([1, 2, 3])
+        report = comp.compare()
+        assert report.passed
+        assert report.matched == 3
+        assert "PASS" in report.summary()
+
+    def test_mismatch_detected(self):
+        comp = StreamComparator("t")
+        comp.extend_reference([1, 2, 3])
+        comp.extend_observed([1, 9, 3])
+        report = comp.compare()
+        assert not report.passed
+        assert report.mismatches[0].index == 1
+        assert report.mismatches[0].expected == 2
+        assert report.mismatches[0].observed == 9
+        assert "FAIL" in report.summary()
+
+    def test_missing_and_unexpected(self):
+        comp = StreamComparator("t")
+        comp.extend_reference([1, 2, 3])
+        comp.extend_observed([1])
+        assert comp.compare().missing == 2
+        comp2 = StreamComparator("t")
+        comp2.extend_reference([1])
+        comp2.extend_observed([1, 2])
+        assert comp2.compare().unexpected == 1
+
+    def test_sorted_normalisation_tolerates_reordering(self):
+        ordered = StreamComparator("t")
+        ordered.extend_reference([(1, 1), (2, 2)])
+        ordered.extend_observed([(2, 2), (1, 1)])
+        assert not ordered.compare().passed
+
+        relaxed = StreamComparator("t", normalize="sorted")
+        relaxed.extend_reference([(1, 1), (2, 2)])
+        relaxed.extend_observed([(2, 2), (1, 1)])
+        assert relaxed.compare().passed
+
+    def test_key_projection(self):
+        comp = StreamComparator("t", key=lambda item: item[0])
+        comp.add_reference((1, "ref-detail"))
+        comp.add_observed((1, "dut-detail"))
+        assert comp.compare().passed
+
+    def test_unknown_normalisation_rejected(self):
+        with pytest.raises(ValueError):
+            StreamComparator("t", normalize="fuzzy")
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 5), max_size=30))
+    def test_property_identical_streams_always_pass(self, items):
+        comp = StreamComparator("t")
+        comp.extend_reference(items)
+        comp.extend_observed(list(items))
+        assert comp.compare().passed

@@ -1,0 +1,120 @@
+"""Unit tests for message queues and the time base."""
+
+import pytest
+
+from repro.core import (CausalityError, MessageQueue, MessageQueueSet,
+                        STM1_LINE_RATE, TimeBase, TimestampedMessage)
+
+
+class TestTimeBase:
+    def test_octet_serial_cell_takes_53_clocks(self):
+        tb = TimeBase.for_line_rate(STM1_LINE_RATE)
+        assert tb.clocks_per_cell == 53
+
+    def test_bit_serial_ratio_is_424(self):
+        """The paper rounds 424 to 'a ratio of 1:400'."""
+        assert TimeBase.bit_serial_ratio() == 424
+
+    def test_clock_period_matches_line_rate(self):
+        tb = TimeBase.for_line_rate(155.52e6, tick_seconds=1e-9)
+        # one octet = 8 bits at 155.52 Mb/s = 51.44 ns -> 51 ticks
+        assert tb.clock_period_ticks == 51
+
+    def test_tick_second_round_trip(self):
+        tb = TimeBase(tick_seconds=1e-9, clock_period_ticks=10)
+        assert tb.to_ticks(1e-6) == 1000
+        assert tb.to_seconds(1000) == pytest.approx(1e-6)
+
+    def test_to_ticks_floors(self):
+        tb = TimeBase(tick_seconds=1e-9, clock_period_ticks=10)
+        assert tb.to_ticks(1.9e-9) == 1
+
+    def test_negative_time_rejected(self):
+        tb = TimeBase()
+        with pytest.raises(ValueError):
+            tb.to_ticks(-1.0)
+
+    def test_clock_conversions(self):
+        tb = TimeBase(clock_period_ticks=10)
+        assert tb.clocks_to_ticks(5) == 50
+        assert tb.ticks_to_clocks(59) == 5
+
+    def test_cell_time_consistency(self):
+        tb = TimeBase.for_line_rate()
+        assert tb.cell_time_ticks == 53 * tb.clock_period_ticks
+        assert tb.cell_time_seconds == pytest.approx(
+            tb.cell_time_ticks * tb.tick_seconds)
+
+    def test_word_parallel_interface(self):
+        tb = TimeBase.for_line_rate(octets_per_clock=2)
+        assert tb.clocks_per_cell == 27  # ceil(53/2)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            TimeBase(tick_seconds=0)
+        with pytest.raises(ValueError):
+            TimeBase(clock_period_ticks=1)
+        with pytest.raises(ValueError):
+            TimeBase(octets_per_clock=0)
+
+
+class TestMessageQueue:
+    def test_fifo_and_times(self):
+        q = MessageQueue("cell", delta_cycles=53)
+        q.push(TimestampedMessage(1.0, "cell", "a"))
+        q.push(TimestampedMessage(2.0, "cell", "b"))
+        assert len(q) == 2
+        assert q.head_time() == 1.0
+        assert q.latest_time() == 2.0
+        assert q.pop().payload == "a"
+
+    def test_time_regression_rejected(self):
+        q = MessageQueue("cell", delta_cycles=1)
+        q.push(TimestampedMessage(2.0, "cell"))
+        with pytest.raises(CausalityError):
+            q.push(TimestampedMessage(1.0, "cell"))
+
+    def test_equal_times_allowed(self):
+        q = MessageQueue("cell", delta_cycles=1)
+        q.push(TimestampedMessage(1.0, "cell"))
+        q.push(TimestampedMessage(1.0, "cell"))
+        assert len(q) == 2
+
+    def test_null_message_advances_time_only(self):
+        q = MessageQueue("cell", delta_cycles=1)
+        q.advance_time(5.0)
+        assert q.latest_time() == 5.0
+        assert len(q) == 0
+        q.advance_time(3.0)  # stale null messages are ignored
+        assert q.latest_time() == 5.0
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            MessageQueue("x", delta_cycles=0)
+
+
+class TestMessageQueueSet:
+    def test_routing_and_counters(self):
+        qs = MessageQueueSet({"cell": 53, "tick": 2})
+        qs.push(TimestampedMessage(1.0, "cell"))
+        qs.push(TimestampedMessage(0.5, "tick"))
+        assert qs.pending() == 2
+        assert qs.min_delta() == 2
+        assert qs.earliest_head() == ("tick", 0.5)
+
+    def test_unknown_type_rejected(self):
+        qs = MessageQueueSet({"cell": 1})
+        with pytest.raises(KeyError):
+            qs.push(TimestampedMessage(0.0, "bogus"))
+
+    def test_all_covered_to(self):
+        qs = MessageQueueSet({"a": 1, "b": 1})
+        qs.push(TimestampedMessage(2.0, "a"))
+        assert not qs.all_covered_to(2.0)  # queue b silent
+        qs["b"].advance_time(2.0)
+        assert qs.all_covered_to(2.0)
+        assert not qs.all_covered_to(3.0)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            MessageQueueSet({})

@@ -1,0 +1,136 @@
+"""Tests for the regression-suite machinery."""
+
+import pytest
+
+from repro.core import RegressionError, RegressionSuite
+
+
+def make_suite(tmp_path, cases):
+    suite = RegressionSuite("demo", golden_path=tmp_path / "golden.json")
+    for name, fn in cases.items():
+        suite.add_case(name, fn)
+    return suite
+
+
+def test_record_then_pass(tmp_path):
+    suite = make_suite(tmp_path, {"a": lambda: {"x": 1},
+                                  "b": lambda: [1, 2, 3]})
+    suite.record_golden()
+    report = suite.run()
+    assert report.passed
+    assert report.counts() == {"pass": 2}
+    assert "2 pass" in report.summary()
+
+
+def test_value_regression_detected_with_diff(tmp_path):
+    state = {"value": 1}
+    suite = make_suite(tmp_path,
+                       {"a": lambda: {"x": state["value"], "y": 2}})
+    suite.record_golden()
+    state["value"] = 9
+    report = suite.run()
+    assert not report.passed
+    (result,) = report.results
+    assert result.status == "fail"
+    assert result.diffs == ("x: 1 -> 9",)
+
+
+def test_structure_changes_reported(tmp_path):
+    state = {"extra": False}
+    def case():
+        result = {"x": 1}
+        if state["extra"]:
+            result["z"] = 3
+        return result
+    suite = make_suite(tmp_path, {"a": case})
+    suite.record_golden()
+    state["extra"] = True
+    (result,) = suite.run().results
+    assert result.status == "fail"
+    assert any("unexpected new field" in d for d in result.diffs)
+
+
+def test_list_length_change(tmp_path):
+    items = [1, 2]
+    suite = make_suite(tmp_path, {"a": lambda: list(items)})
+    suite.record_golden()
+    items.append(3)
+    (result,) = suite.run().results
+    assert any("length 2 -> 3" in d for d in result.diffs)
+
+
+def test_crashing_case_is_an_error(tmp_path):
+    behave = {"crash": False}
+    def case():
+        if behave["crash"]:
+            raise ValueError("boom")
+        return 1
+    suite = make_suite(tmp_path, {"a": case})
+    suite.record_golden()
+    behave["crash"] = True
+    report = suite.run()
+    assert not report.passed
+    assert report.results[0].status == "error"
+    assert "boom" in report.results[0].error
+
+
+def test_new_case_is_ok_but_flagged(tmp_path):
+    suite = make_suite(tmp_path, {"a": lambda: 1})
+    suite.record_golden()
+    suite.add_case("b", lambda: 2)
+    report = suite.run()
+    assert report.passed
+    assert report.counts() == {"pass": 1, "new": 1}
+
+
+def test_run_without_golden_raises(tmp_path):
+    suite = make_suite(tmp_path, {"a": lambda: 1})
+    with pytest.raises(RegressionError):
+        suite.run()
+
+
+def test_wrong_suite_golden_rejected(tmp_path):
+    suite_a = RegressionSuite("a", golden_path=tmp_path / "g.json")
+    suite_a.add_case("c", lambda: 1)
+    suite_a.record_golden()
+    suite_b = RegressionSuite("b", golden_path=tmp_path / "g.json")
+    suite_b.add_case("c", lambda: 1)
+    with pytest.raises(RegressionError):
+        suite_b.run()
+
+
+def test_duplicate_case_rejected(tmp_path):
+    suite = make_suite(tmp_path, {"a": lambda: 1})
+    with pytest.raises(RegressionError):
+        suite.add_case("a", lambda: 2)
+
+
+def test_tuples_normalise_to_lists(tmp_path):
+    """A bench returning tuples must compare equal to its JSON image."""
+    suite = make_suite(tmp_path, {"a": lambda: [(1, 2), (3, 4)]})
+    suite.record_golden()
+    assert suite.run().passed
+
+
+def test_realistic_use_with_coverification_bench(tmp_path):
+    """The intended composition: a CASTANET verification run as a
+    regression case."""
+    from repro.atm import AtmCell
+    from repro.core import CoVerificationEnvironment
+    from repro.rtl import AtmPortModuleRtl
+
+    def bench():
+        env = CoVerificationEnvironment()
+        dut = AtmPortModuleRtl(env.hdl, "dut", env.clk)
+        dut.install(1, 100, 2, 200)
+        entity = env.add_dut(rx_port=dut.rx, tx_port=dut.tx)
+        for k in range(3):
+            entity.send_cell((k + 1) * 4e-6,
+                             AtmCell.with_payload(1, 100, [k]))
+        entity.finish(16e-6)
+        return [(c.vpi, c.vci, c.payload[0])
+                for _t, c in entity.output_cells]
+
+    suite = make_suite(tmp_path, {"port-module": bench})
+    suite.record_golden()
+    assert suite.run().passed

@@ -1,0 +1,111 @@
+"""Tests for conformance test vectors, including a full conformance
+run against the RTL port module."""
+
+import pytest
+
+from repro.atm import AtmCell
+from repro.core import (ConformanceVector, VectorBuilder,
+                        run_cell_conformance,
+                        standard_conformance_suite)
+from repro.hdl import Simulator
+from repro.rtl import AtmPortModuleRtl, CellReceiver, CellSender
+
+
+class TestVectorBuilder:
+    def test_fluent_composition(self):
+        vectors = (VectorBuilder(vpi=1, vci=100)
+                   .cell("plain")
+                   .corrupt_hec("hec", bit=3)
+                   .idle("idle")
+                   .unknown_connection("unknown", 9, 9)
+                   .build())
+        assert [v.expectation for v in vectors] \
+            == ["accept", "drop", "idle", "drop"]
+        assert all(len(v.octets) == 53 for v in vectors)
+
+    def test_corrupt_hec_really_breaks_the_hec(self):
+        (vector,) = VectorBuilder().corrupt_hec("h", bit=0).build()
+        from repro.atm import CellFormatError
+        with pytest.raises(CellFormatError):
+            AtmCell.from_octets(list(vector.octets))
+
+    def test_cell_field_overrides(self):
+        (vector,) = VectorBuilder().cell("x", clp=1, pt=2,
+                                         gfc=5).build()
+        cell = AtmCell.from_octets(list(vector.octets))
+        assert (cell.clp, cell.pt, cell.gfc) == (1, 2, 5)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            VectorBuilder().corrupt_hec("h", bit=8)
+        with pytest.raises(ValueError):
+            VectorBuilder().corrupt_header("h", octet=4, bit=0)
+
+    def test_vector_validation(self):
+        with pytest.raises(ValueError):
+            ConformanceVector("short", (0,) * 52, "accept")
+        with pytest.raises(ValueError):
+            ConformanceVector("bad", (0,) * 53, "maybe")
+
+
+class TestStandardSuite:
+    def test_suite_composition(self):
+        suite = standard_conformance_suite()
+        names = [v.name for v in suite]
+        assert len(names) == len(set(names))  # unique names
+        expectations = {v.expectation for v in suite}
+        assert expectations == {"accept", "drop", "idle"}
+        assert sum(1 for v in suite
+                   if v.name.startswith("hec/")) == 8
+        assert sum(1 for v in suite
+                   if v.name.startswith("payload/walking")) == 8
+
+    def test_accept_vectors_are_valid_cells(self):
+        for vector in standard_conformance_suite():
+            if vector.expectation == "accept":
+                cell = AtmCell.from_octets(list(vector.octets))
+                assert (cell.vpi, cell.vci) == (1, 100)
+
+
+class TestConformanceRun:
+    def run_against_port_module(self, install=True):
+        """Feed each vector through a fresh RTL port module and
+        classify the observed behaviour."""
+        suite = standard_conformance_suite()
+
+        def apply_cell(octets):
+            sim = Simulator()
+            clk = sim.signal("clk", init="0")
+            sim.add_clock(clk, period=10)
+            dut = AtmPortModuleRtl(sim, "pm", clk)
+            if install:
+                dut.install(1, 100, 2, 200)
+            sender = CellSender(sim, "gen", clk, port=dut.rx)
+            receiver = CellReceiver(sim, "mon", clk, dut.tx)
+            sender.send(list(octets))
+            sim.run(until=10 * 150)
+            if receiver.cells:
+                return "accept"
+            if dut.idle_cells:
+                return "idle"
+            return "drop"
+
+        return suite, run_cell_conformance(suite, apply_cell)
+
+    def test_port_module_passes_the_standard_suite(self):
+        suite, report = self.run_against_port_module()
+        assert report.ok, report.failures
+        assert report.passed == report.total == len(suite)
+        assert "PASS" in report.summary()
+
+    def test_unconfigured_dut_fails_accept_vectors(self):
+        """Without the connection installed, every 'accept' vector is
+        dropped — and the report says exactly which ones."""
+        suite, report = self.run_against_port_module(install=False)
+        assert not report.ok
+        accept_count = sum(1 for v in suite
+                           if v.expectation == "accept")
+        assert len(report.failures) == accept_count
+        assert all(expected == "accept" and observed == "drop"
+                   for _name, expected, observed in report.failures)
+        assert "FAIL" in report.summary()

@@ -1,0 +1,197 @@
+"""Tests for the assertion and coverage library."""
+
+import pytest
+
+from repro.hdl import (AssertionEngine, HdlAssertionError, Simulator,
+                       ToggleCoverage, ValueCoverage)
+
+
+def make_bench():
+    sim = Simulator()
+    clk = sim.signal("clk", init="0")
+    sim.add_clock(clk, period=10)
+    return sim, clk
+
+
+class TestAlwaysNever:
+    def test_always_holds(self):
+        sim, clk = make_bench()
+        data = sim.signal("d", width=4, init=3)
+        engine = AssertionEngine(sim, clk)
+        engine.assert_always("d-nonzero", lambda: data.as_int() > 0)
+        sim.run(until=100)
+        assert engine.passed
+        assert engine.checks_evaluated == 10
+
+    def test_always_violation_recorded_with_time(self):
+        sim, clk = make_bench()
+        data = sim.signal("d", width=4, init=3)
+        engine = AssertionEngine(sim, clk)
+        engine.assert_always("d-nonzero", lambda: data.as_int() > 0,
+                             "d went to zero")
+        data.drive(0, delay=42)
+        sim.run(until=100)
+        assert not engine.passed
+        assert engine.failures[0].name == "d-nonzero"
+        assert engine.failures[0].time == 45  # first edge after t=42
+
+    def test_never(self):
+        sim, clk = make_bench()
+        err = sim.signal("err", init="0")
+        engine = AssertionEngine(sim, clk)
+        engine.assert_never("no-err", lambda: err.value == "1")
+        err.drive("1", delay=50)
+        sim.run(until=100)
+        assert len(engine.failures) >= 1
+
+    def test_strict_mode_raises_immediately(self):
+        sim, clk = make_bench()
+        engine = AssertionEngine(sim, clk, strict=True)
+        engine.assert_always("fail", lambda: False)
+        with pytest.raises(HdlAssertionError):
+            sim.run(until=20)
+
+    def test_check_raises_at_end(self):
+        sim, clk = make_bench()
+        engine = AssertionEngine(sim, clk)
+        engine.assert_always("fail", lambda: False)
+        sim.run(until=20)
+        with pytest.raises(HdlAssertionError):
+            engine.check()
+
+
+class TestBoundedResponse:
+    def test_consequent_within_bound_passes(self):
+        sim, clk = make_bench()
+        req = sim.signal("req", init="0")
+        ack = sim.signal("ack", init="0")
+        engine = AssertionEngine(sim, clk)
+        engine.assert_implies_within("req-ack",
+                                     lambda: req.value == "1",
+                                     lambda: ack.value == "1", within=3)
+        req.drive("1", delay=12)
+        req.drive("0", delay=22)
+        ack.drive("1", delay=32)   # 2 edges after the req edge at 15
+        ack.drive("0", delay=42)
+        sim.run(until=120)
+        assert engine.passed, engine.failures
+
+    def test_missing_consequent_fails(self):
+        sim, clk = make_bench()
+        req = sim.signal("req", init="0")
+        ack = sim.signal("ack", init="0")
+        engine = AssertionEngine(sim, clk)
+        engine.assert_implies_within("req-ack",
+                                     lambda: req.value == "1",
+                                     lambda: ack.value == "1", within=3)
+        req.drive("1", delay=12)
+        req.drive("0", delay=22)
+        sim.run(until=120)
+        assert not engine.passed
+        assert "within 3" in engine.failures[0].message
+
+    def test_invalid_bound_rejected(self):
+        sim, clk = make_bench()
+        engine = AssertionEngine(sim, clk)
+        with pytest.raises(ValueError):
+            engine.assert_implies_within("x", lambda: True,
+                                         lambda: True, within=0)
+
+
+class TestStability:
+    def test_stable_signal_passes(self):
+        sim, clk = make_bench()
+        data = sim.signal("d", width=4, init=5)
+        hold = sim.signal("hold", init="1")
+        engine = AssertionEngine(sim, clk)
+        engine.assert_stable_while("d-stable", data,
+                                   lambda: hold.value == "1")
+        sim.run(until=100)
+        assert engine.passed
+
+    def test_change_while_enabled_fails(self):
+        sim, clk = make_bench()
+        data = sim.signal("d", width=4, init=5)
+        hold = sim.signal("hold", init="1")
+        engine = AssertionEngine(sim, clk)
+        engine.assert_stable_while("d-stable", data,
+                                   lambda: hold.value == "1")
+        data.drive(9, delay=42)
+        sim.run(until=100)
+        assert not engine.passed
+
+    def test_change_while_disabled_allowed(self):
+        sim, clk = make_bench()
+        data = sim.signal("d", width=4, init=5)
+        hold = sim.signal("hold", init="0")
+        engine = AssertionEngine(sim, clk)
+        engine.assert_stable_while("d-stable", data,
+                                   lambda: hold.value == "1")
+        data.drive(9, delay=42)
+        sim.run(until=100)
+        assert engine.passed
+
+
+class TestToggleCoverage:
+    def test_full_toggle_coverage(self):
+        sim, clk = make_bench()
+        data = sim.signal("d", width=2, init=0)
+        coverage = ToggleCoverage(sim, [data])
+        for t, value in ((10, 3), (20, 0)):
+            data.drive(value, delay=t)
+        sim.run(until=50)
+        assert coverage.coverage() == 1.0
+        assert coverage.uncovered() == []
+
+    def test_partial_coverage_reported(self):
+        sim, clk = make_bench()
+        data = sim.signal("d", width=2, init=0)
+        coverage = ToggleCoverage(sim, [data])
+        data.drive(2, delay=10)   # bit 0 of the vector (MSB) rises only
+        sim.run(until=50)
+        assert coverage.coverage() == 0.0
+        assert coverage.covered_bits == 0
+        assert len(coverage.uncovered()) == 2
+
+    def test_scalar_signal_tracked(self):
+        sim, clk = make_bench()
+        s = sim.signal("s", init="0")
+        coverage = ToggleCoverage(sim, [s])
+        s.drive("1", delay=10)
+        s.drive("0", delay=20)
+        sim.run(until=50)
+        assert coverage.coverage() == 1.0
+
+    def test_clock_coverage_free(self):
+        """The clock itself reaches full toggle coverage trivially."""
+        sim, clk = make_bench()
+        coverage = ToggleCoverage(sim, [clk])
+        sim.run(until=30)
+        assert coverage.coverage() == 1.0
+
+
+class TestValueCoverage:
+    def test_bins_hit(self):
+        sim, clk = make_bench()
+        data = sim.signal("d", width=4, init=0)
+        coverage = ValueCoverage(sim, clk, data, bins=[0, 5, (8, 15)])
+        data.drive(5, delay=12)
+        data.drive(9, delay=22)
+        sim.run(until=60)
+        assert coverage.coverage() == 1.0
+        assert coverage.missed() == []
+
+    def test_missed_bins_reported(self):
+        sim, clk = make_bench()
+        data = sim.signal("d", width=4, init=0)
+        coverage = ValueCoverage(sim, clk, data, bins=[0, 7, (8, 15)])
+        sim.run(until=60)
+        assert coverage.coverage() == pytest.approx(1 / 3)
+        assert coverage.missed() == [7, (8, 15)]
+
+    def test_metavalues_skipped(self):
+        sim, clk = make_bench()
+        data = sim.signal("d", width=4)  # all 'U'
+        coverage = ValueCoverage(sim, clk, data, bins=[0])
+        sim.run(until=60)
+        assert coverage.samples == 0

@@ -1,0 +1,77 @@
+"""Tests for inertial vs transport delay semantics."""
+
+import pytest
+
+from repro.hdl import Simulator
+
+
+def test_transport_keeps_all_transactions():
+    """Default (transport): every scheduled value applies."""
+    sim = Simulator()
+    s = sim.signal("s", init="0")
+    seen = []
+    sim.add_process("watch",
+                    lambda x: seen.append((x.now, s.value))
+                    if s.event else None,
+                    sensitivity=[s])
+    s.drive("1", delay=5)
+    s.drive("0", delay=7)
+    s.drive("1", delay=9)
+    sim.run(until=20)
+    assert seen == [(5, "1"), (7, "0"), (9, "1")]
+
+
+def test_inertial_preempts_pending_transactions():
+    """Inertial: a later assignment cancels this driver's pending
+    future transactions — the short pulse vanishes."""
+    sim = Simulator()
+    s = sim.signal("s", init="0")
+    seen = []
+    sim.add_process("watch",
+                    lambda x: seen.append((x.now, s.value))
+                    if s.event else None,
+                    sensitivity=[s])
+    s.drive("1", delay=5)
+    s.drive("0", delay=7, inertial=True)   # cancels the t=5 pulse
+    sim.run(until=20)
+    assert seen == []  # '0' onto '0' is no event; the pulse was eaten
+    assert s.value == "0"
+
+
+def test_inertial_glitch_filter_pattern():
+    """The classic use: re-driving with inertial delay swallows a
+    glitch shorter than the delay."""
+    sim = Simulator()
+    out = sim.signal("out", init="0")
+    seen = []
+    sim.add_process("watch",
+                    lambda x: seen.append((x.now, out.value))
+                    if out.event else None,
+                    sensitivity=[out])
+    # a 2-tick glitch re-evaluated with a 5-tick inertial delay
+    out.drive("1", delay=5, inertial=True)   # input rose
+    sim.run(until=2)
+    out.drive("0", delay=5, inertial=True)   # input fell 2 ticks later
+    sim.run(until=20)
+    assert seen == []  # the glitch never reached the output
+
+
+def test_inertial_only_cancels_same_driver():
+    sim = Simulator()
+    bus = sim.signal("bus")
+    sim.add_process("a", lambda x: bus.drive("1", delay=5))
+    sim.initialize()
+    # anonymous testbench driver uses inertial: must not cancel A's
+    bus.drive("Z", delay=7, inertial=True)
+    sim.run(until=20)
+    assert bus.value == "1"  # A's transaction survived
+
+
+def test_inertial_zero_delay_cancels_current_delta():
+    sim = Simulator()
+    s = sim.signal("s", init="0")
+    s.drive("1")
+    s.drive("0", inertial=True)  # replaces the pending delta update
+    sim.run(until=1)
+    assert s.value == "0"
+    assert s.change_count == 0  # never became '1'

@@ -1,0 +1,156 @@
+"""Unit tests for test-bench helpers and the VCD writer."""
+
+import pytest
+
+from repro.hdl import (Scoreboard, ScoreboardError, SignalMonitor,
+                       Simulator, VcdWriter, clocked_driver, drive_sequence)
+
+
+class TestDriveSequence:
+    def test_waveform_applied_in_order(self):
+        sim = Simulator()
+        s = sim.signal("s", init="0")
+        drive_sequence(sim, s, [(5, "1"), (5, "0"), (0, "1")])
+        sim.run(until=4)
+        assert s.value == "1"
+        sim.run(until=9)
+        assert s.value == "0"
+        sim.run(until=10)
+        assert s.value == "1"
+
+    def test_vector_waveform(self):
+        sim = Simulator()
+        v = sim.signal("v", width=4)
+        drive_sequence(sim, v, [(2, 0xA), (2, 0x5)])
+        sim.run(until=1)
+        assert v.as_int() == 0xA
+        sim.run(until=3)
+        assert v.as_int() == 0x5
+
+
+class TestClockedDriver:
+    def test_one_value_per_rising_edge(self):
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        data = sim.signal("data", width=8)
+        sim.add_clock(clk, period=10)
+        clocked_driver(sim, clk, data, [1, 2, 3])
+        sim.run(until=100)
+        assert data.as_int() == 3
+
+
+class TestSignalMonitor:
+    def test_samples_on_rising_edges(self):
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        data = sim.signal("data", width=4, init=0)
+        sim.add_clock(clk, period=10)
+        monitor = SignalMonitor(sim, clk, data, as_int=True)
+        data.drive(7, delay=12)
+        sim.run(until=40)
+        # edges at 5, 15, 25, 35; data becomes 7 at t=12
+        assert monitor.values() == [0, 7, 7, 7]
+        assert [t for t, _v in monitor.samples] == [5, 15, 25, 35]
+
+    def test_enable_gating(self):
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        data = sim.signal("data", width=4, init=3)
+        enable = sim.signal("en", init="0")
+        sim.add_clock(clk, period=10)
+        monitor = SignalMonitor(sim, clk, data, as_int=True, enable=enable)
+        enable.drive("1", delay=20)
+        sim.run(until=40)
+        assert [t for t, _v in monitor.samples] == [25, 35]
+
+    def test_metavalue_sampled_as_none(self):
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        data = sim.signal("data", width=4)  # all 'U'
+        sim.add_clock(clk, period=10)
+        monitor = SignalMonitor(sim, clk, data, as_int=True)
+        sim.run(until=10)
+        assert monitor.values() == [None]
+
+
+class TestScoreboard:
+    def test_matching_stream(self):
+        sb = Scoreboard()
+        sb.expect_all([1, 2, 3])
+        for item in (1, 2, 3):
+            assert sb.observe(item)
+        sb.check_complete()
+        assert sb.matched == 3
+
+    def test_mismatch_raises_in_strict_mode(self):
+        sb = Scoreboard()
+        sb.expect(1)
+        with pytest.raises(ScoreboardError):
+            sb.observe(2)
+
+    def test_unexpected_item_raises(self):
+        sb = Scoreboard()
+        with pytest.raises(ScoreboardError):
+            sb.observe(1)
+
+    def test_lenient_mode_records(self):
+        sb = Scoreboard(strict=False)
+        sb.expect_all([1, 2])
+        sb.observe(9)
+        sb.observe(2)
+        assert sb.mismatches == [(1, 9)]
+        assert sb.matched == 1
+
+    def test_check_complete_flags_outstanding(self):
+        sb = Scoreboard()
+        sb.expect(1)
+        assert sb.outstanding == 1
+        with pytest.raises(ScoreboardError):
+            sb.check_complete()
+
+
+class TestVcd:
+    def test_vcd_file_structure(self, tmp_path):
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        data = sim.signal("data", width=4)
+        path = tmp_path / "wave.vcd"
+        with VcdWriter(sim, path, [clk, data]) as vcd:
+            sim.add_clock(clk, period=10)
+            data.drive(5, delay=7)
+            sim.run(until=20)
+        text = path.read_text()
+        assert "$timescale 1ns $end" in text
+        assert "$var wire 1" in text
+        assert "$var wire 4" in text
+        assert "#5" in text and "#7" in text
+        assert "b0101" in text
+        assert vcd.changes_written >= 3
+
+    def test_initial_values_dumped_as_x_for_u(self, tmp_path):
+        sim = Simulator()
+        s = sim.signal("s")
+        path = tmp_path / "init.vcd"
+        with VcdWriter(sim, path, [s]):
+            sim.run(until=1)
+        assert "x" in path.read_text().split("$dumpvars")[1]
+
+    def test_unselected_signals_not_dumped(self, tmp_path):
+        sim = Simulator()
+        a = sim.signal("a", init="0")
+        b = sim.signal("b", init="0")
+        path = tmp_path / "sel.vcd"
+        with VcdWriter(sim, path, [a]):
+            b.drive("1", delay=2)
+            sim.run(until=5)
+        assert "b" not in path.read_text().split("$enddefinitions")[0].split(
+            "$var")[1]
+
+    def test_close_detaches_hook(self, tmp_path):
+        sim = Simulator()
+        s = sim.signal("s", init="0")
+        vcd = VcdWriter(sim, tmp_path / "d.vcd", [s]).open()
+        vcd.close()
+        assert vcd._on_change not in sim.signal_hooks
+        s.drive("1")
+        sim.run(until=1)  # must not blow up writing to a closed file

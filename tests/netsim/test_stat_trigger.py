@@ -1,0 +1,107 @@
+"""Tests for statistic-triggered interrupts."""
+
+import pytest
+
+from repro.netsim import (InterruptKind, Network, ProcessModel,
+                          ProcessorModule, StatTrigger, State)
+
+
+def make_watcher():
+    """A process that records STAT interrupts."""
+    process = ProcessModel("watcher")
+    seen = []
+    process.add_state(State("idle"))
+    process.add_state(State("hit", forced=True,
+                            enter=lambda p: seen.append(
+                                (p.now, p.interrupt.code,
+                                 p.interrupt.data))))
+    process.add_transition(
+        "idle", "hit",
+        guard=lambda p, i: i.kind == InterruptKind.STAT)
+    process.add_transition("hit", "idle")
+    net = Network()
+    node = net.add_node("n")
+    node.add_module(ProcessorModule("watch", process))
+    return net, process, seen
+
+
+def test_rising_crossing_delivers_interrupt():
+    net, process, seen = make_watcher()
+    level = {"value": 0.0}
+    StatTrigger(net.kernel, process, lambda: level["value"],
+                threshold=5.0, interval=1.0, code=7)
+    net.kernel.schedule(3.5, lambda: level.update(value=9.0))
+    net.run(until=10.0)
+    assert len(seen) == 1
+    time, code, value = seen[0]
+    assert time == 4.0  # first poll after the jump
+    assert code == 7
+    assert value == 9.0
+
+
+def test_no_interrupt_without_crossing():
+    net, process, seen = make_watcher()
+    StatTrigger(net.kernel, process, lambda: 1.0, threshold=5.0,
+                interval=1.0)
+    net.run(until=10.0)
+    assert seen == []
+
+
+def test_retriggers_on_each_crossing():
+    net, process, seen = make_watcher()
+    level = {"value": 0.0}
+    StatTrigger(net.kernel, process, lambda: level["value"],
+                threshold=5.0, interval=1.0)
+    for t, v in ((2.5, 9.0), (4.5, 0.0), (6.5, 9.0)):
+        net.kernel.schedule(t, lambda v=v: level.update(value=v))
+    net.run(until=10.0)
+    assert len(seen) == 2  # two rising crossings
+
+
+def test_falling_direction():
+    net, process, seen = make_watcher()
+    level = {"value": 10.0}
+    StatTrigger(net.kernel, process, lambda: level["value"],
+                threshold=5.0, interval=1.0, direction="falling")
+    net.kernel.schedule(3.5, lambda: level.update(value=1.0))
+    net.run(until=10.0)
+    assert len(seen) == 1
+
+
+def test_cancel_stops_polling():
+    net, process, seen = make_watcher()
+    level = {"value": 0.0}
+    trigger = StatTrigger(net.kernel, process, lambda: level["value"],
+                          threshold=5.0, interval=1.0)
+    net.kernel.schedule(2.5, trigger.cancel)
+    net.kernel.schedule(3.5, lambda: level.update(value=9.0))
+    net.run(until=10.0)
+    assert seen == []
+    assert net.kernel.now == 10.0  # no runaway polling events
+
+
+def test_queue_watermark_use_case():
+    """The realistic use: interrupt when a queue passes a watermark."""
+    from repro.netsim import Packet, QueueModule
+    net, process, seen = make_watcher()
+    node = net.nodes["n"]
+    queue = QueueModule("q")
+    node.add_module(queue)
+    StatTrigger(net.kernel, process, lambda: len(queue), threshold=3,
+                interval=0.1)
+    for i in range(5):
+        net.kernel.schedule(i + 0.05,
+                            lambda: queue.receive(Packet(), 0))
+    net.run(until=6.0)
+    assert len(seen) == 1
+    assert seen[0][2] >= 3
+
+
+def test_invalid_configs():
+    net, process, seen = make_watcher()
+    with pytest.raises(ValueError):
+        StatTrigger(net.kernel, process, lambda: 0, threshold=1,
+                    interval=0)
+    with pytest.raises(ValueError):
+        StatTrigger(net.kernel, process, lambda: 0, threshold=1,
+                    interval=1, direction="sideways")

@@ -1,0 +1,73 @@
+"""Property tests over randomly generated topologies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim import Network, Packet, QueueModule, SinkModule
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=8),
+       st.integers(min_value=1, max_value=20),
+       st.floats(min_value=0.0, max_value=1e-3, allow_nan=False))
+def test_property_chain_delivers_all_packets_in_order(hops, packets,
+                                                      delay):
+    """A chain of store-and-forward nodes delivers every packet, in
+    order, with total latency = hops * (delay + service)."""
+    net = Network()
+    nodes = [net.add_node(f"n{i}") for i in range(hops + 1)]
+    service = 1e-6
+    for i in range(hops):
+        if i == 0:
+            pass  # the head node transmits directly
+        net.add_link(nodes[i], 0, nodes[i + 1], 0, delay=delay)
+    for i in range(1, hops):
+        queue = QueueModule("fwd", service_time=service)
+        nodes[i].add_module(queue)
+        nodes[i].bind_port_input(0, queue, 0)
+        nodes[i].bind_port_output(0, queue, 0)
+    sink = SinkModule("sink", keep=True)
+    nodes[hops].add_module(sink)
+    nodes[hops].bind_port_input(0, sink, 0)
+
+    spacing = 2 * service + 1e-9
+    for k in range(packets):
+        when = k * spacing
+        net.kernel.schedule(
+            when,
+            lambda k=k, t=when: nodes[0].transmit(
+                Packet(fields={"seq": k}, creation_time=t), 0))
+    net.run()
+    received = [p["seq"] for p in sink.received]
+    assert received == list(range(packets))
+    # conservation at every hop
+    for i in range(1, hops):
+        queue = nodes[i].modules["fwd"]
+        assert queue.packets_in == packets
+        assert queue.dropped == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_property_fan_in_conserves_packets(data):
+    """N sources feeding one unbounded queue: nothing is lost and the
+    queue drains completely."""
+    sources = data.draw(st.integers(min_value=1, max_value=6))
+    per_source = data.draw(st.integers(min_value=1, max_value=15))
+    net = Network()
+    hub = net.add_node("hub")
+    queue = QueueModule("q", service_time=1e-6)
+    sink = SinkModule("sink", keep=True)
+    hub.add_module(queue)
+    hub.add_module(sink)
+    hub.connect(queue, 0, sink, 0)
+    # fan-in at module level: every source delivers into the queue
+    total = sources * per_source
+    for s in range(sources):
+        for k in range(per_source):
+            when = (s + k * sources) * 1e-7
+            net.kernel.schedule(
+                when, lambda: queue.receive(Packet(), 0))
+    net.run()
+    assert len(sink.received) == total
+    assert len(queue) == 0

@@ -1,0 +1,121 @@
+"""Tests for the µP register-bus interface of the accounting unit."""
+
+import pytest
+
+from repro.atm import AtmCell
+from repro.hdl import Simulator
+from repro.rtl import (AccountingMgmtSlave, AccountingUnitRtl,
+                       CellSender, CTRL_CLEAR, CTRL_REGISTER, CTRL_TICK,
+                       MpBusMaster, REG_CELLS_HI, REG_CELLS_LO,
+                       REG_CONN_COUNT, REG_CTRL, REG_INTERVAL,
+                       REG_STATUS, REG_UPC, REG_VCI, REG_VPI,
+                       STATUS_FAIL, STATUS_IDLE, STATUS_OK)
+
+
+def make_bench(table_size=64):
+    sim = Simulator()
+    clk = sim.signal("clk", init="0")
+    sim.add_clock(clk, period=10)
+    unit = AccountingUnitRtl(sim, "acct", clk, table_size=table_size)
+    slave = AccountingMgmtSlave(sim, "mgmt", clk, unit)
+    master = MpBusMaster(sim, clk, slave.port)
+    sim.run(until=20)
+    return sim, clk, unit, slave, master
+
+
+def register_via_bus(master, vpi, vci, upc=1):
+    master.write(REG_VPI, vpi)
+    master.write(REG_VCI, vci)
+    master.write(REG_UPC, upc)
+    master.write(REG_CTRL, CTRL_REGISTER)
+
+
+class TestBusProtocol:
+    def test_write_read_staging_register(self):
+        sim, clk, unit, slave, master = make_bench()
+        master.write(REG_VPI, 42)
+        assert master.read(REG_VPI) == 42
+        assert slave.writes == 1
+        assert slave.reads == 1
+
+    def test_unknown_read_returns_dead(self):
+        sim, clk, unit, slave, master = make_bench()
+        assert master.read(0x7F) == 0xDEAD
+
+    def test_write_to_readonly_register_fails(self):
+        sim, clk, unit, slave, master = make_bench()
+        master.write(REG_STATUS, 1)
+        assert master.read(REG_STATUS) == STATUS_FAIL
+
+    def test_status_clear(self):
+        sim, clk, unit, slave, master = make_bench()
+        master.write(REG_STATUS, 1)  # provoke FAIL
+        master.write(REG_CTRL, CTRL_CLEAR)
+        assert master.read(REG_STATUS) == STATUS_IDLE
+
+    def test_held_strobe_executes_once(self):
+        """The master holds wr until ready; the op must not repeat."""
+        sim, clk, unit, slave, master = make_bench()
+        register_via_bus(master, 1, 100)
+        assert master.read(REG_CONN_COUNT) == 1
+        assert master.read(REG_STATUS) == STATUS_OK
+
+
+class TestManagementOperations:
+    def test_connection_registered_through_bus(self):
+        sim, clk, unit, slave, master = make_bench()
+        register_via_bus(master, 1, 100, upc=3)
+        assert unit.connection_count == 1
+        # and it actually counts cells
+        sender = CellSender(sim, "gen", clk, port=unit.rx)
+        sender.send(AtmCell.with_payload(1, 100, [1]).to_octets())
+        sim.run(until=sim.now + 10 * 60)
+        assert unit.cells_seen == 1
+
+    def test_duplicate_registration_flags_fail(self):
+        sim, clk, unit, slave, master = make_bench()
+        register_via_bus(master, 1, 100)
+        register_via_bus(master, 1, 100)
+        assert master.read(REG_STATUS) == STATUS_FAIL
+        assert unit.connection_count == 1
+
+    def test_table_full_flags_fail(self):
+        sim, clk, unit, slave, master = make_bench(table_size=1)
+        register_via_bus(master, 1, 100)
+        register_via_bus(master, 1, 200)
+        assert master.read(REG_STATUS) == STATUS_FAIL
+
+    def test_tariff_tick_through_bus(self):
+        sim, clk, unit, slave, master = make_bench()
+        register_via_bus(master, 1, 100)
+        assert master.read(REG_INTERVAL) == 0
+        master.write(REG_CTRL, CTRL_TICK)
+        sim.run(until=sim.now + 40)
+        assert master.read(REG_INTERVAL) == 1
+
+    def test_cell_counters_readable(self):
+        sim, clk, unit, slave, master = make_bench()
+        register_via_bus(master, 1, 100)
+        sender = CellSender(sim, "gen", clk, port=unit.rx)
+        for i in range(3):
+            sender.send(AtmCell.with_payload(1, 100, [i]).to_octets())
+        sim.run(until=sim.now + 10 * 200)
+        assert master.read(REG_CELLS_LO) == 3
+        assert master.read(REG_CELLS_HI) == 0
+
+    def test_bad_ctrl_code_fails(self):
+        sim, clk, unit, slave, master = make_bench()
+        master.write(REG_CTRL, 99)
+        assert master.read(REG_STATUS) == STATUS_FAIL
+
+
+class TestTimeout:
+    def test_master_times_out_without_slave(self):
+        from repro.rtl import MpBusSlavePort
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        sim.add_clock(clk, period=10)
+        port = MpBusSlavePort(sim, "orphan")
+        master = MpBusMaster(sim, clk, port, timeout_clocks=5)
+        with pytest.raises(TimeoutError):
+            master.write(0, 1)

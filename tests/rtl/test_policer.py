@@ -1,0 +1,142 @@
+"""Tests for the RTL UPC policer, co-verified against the GCRA
+reference model."""
+
+import pytest
+
+from repro.atm import AtmCell, VirtualScheduling
+from repro.hdl import Simulator
+from repro.rtl import CellReceiver, CellSender, UpcPolicerRtl
+
+
+def make_bench(action="drop", bug=None, gap_octets=0):
+    sim = Simulator()
+    clk = sim.signal("clk", init="0")
+    sim.add_clock(clk, period=10)
+    dut = UpcPolicerRtl(sim, "upc", clk, action=action, bug=bug)
+    sender = CellSender(sim, "gen", clk, port=dut.rx,
+                        gap_octets=gap_octets)
+    receiver = CellReceiver(sim, "mon", clk, dut.tx)
+    return sim, dut, sender, receiver
+
+
+def run_cells(sim, sender, cells, extra_clocks=200):
+    for cell in cells:
+        sender.send(cell.to_octets())
+    sim.run(until=10 * (53 * (len(cells) + 2)
+                        + sender.gap_octets * len(cells) + extra_clocks))
+
+
+def test_nominal_rate_all_conforming():
+    """Cells spaced exactly at the contract rate all conform."""
+    sim, dut, sender, receiver = make_bench(gap_octets=53)
+    # one cell every 106 clocks; contract: increment 100, tau 10
+    dut.install_contract(1, 100, increment_clocks=100, limit_clocks=10)
+    run_cells(sim, sender, [AtmCell.with_payload(1, 100, [i])
+                            for i in range(5)])
+    assert dut.cells_conforming == 5
+    assert dut.cells_non_conforming == 0
+    assert len(receiver.cells) == 5
+
+
+def test_back_to_back_burst_partially_rejected():
+    """A burst above the contract rate loses cells at the UPC point."""
+    sim, dut, sender, receiver = make_bench()
+    # back-to-back cells = 53 clocks apart; contract wants 200 apart
+    dut.install_contract(1, 100, increment_clocks=200, limit_clocks=0)
+    run_cells(sim, sender, [AtmCell.with_payload(1, 100, [i])
+                            for i in range(6)])
+    assert dut.cells_non_conforming > 0
+    assert (dut.cells_conforming + dut.cells_non_conforming) == 6
+    assert len(receiver.cells) == dut.cells_conforming
+
+
+def test_cdv_tolerance_absorbs_jitter():
+    sim, dut, sender, receiver = make_bench()
+    # back-to-back (53 clocks) with increment 60 but tau 60: the small
+    # early arrivals stay inside the tolerance for a while
+    dut.install_contract(1, 100, increment_clocks=60, limit_clocks=60)
+    run_cells(sim, sender, [AtmCell.with_payload(1, 100, [i])
+                            for i in range(4)])
+    assert dut.cells_non_conforming == 0
+
+
+def test_tagging_action_sets_clp_and_fixes_hec():
+    sim, dut, sender, receiver = make_bench(action="tag")
+    dut.install_contract(1, 100, increment_clocks=500, limit_clocks=0)
+    run_cells(sim, sender, [AtmCell.with_payload(1, 100, [i], clp=0)
+                            for i in range(3)])
+    assert len(receiver.cells) == 3  # tagged, not dropped
+    # from_octets verifies the regenerated HEC
+    cells = [AtmCell.from_octets(octs) for octs in receiver.cells]
+    assert cells[0].clp == 0             # first cell conforms
+    assert all(c.clp == 1 for c in cells[1:])  # the rest are tagged
+
+
+def test_unregistered_connection_passes_unpoliced():
+    sim, dut, sender, receiver = make_bench()
+    run_cells(sim, sender, [AtmCell.with_payload(9, 9, [1])])
+    assert dut.unpoliced_cells == 1
+    assert len(receiver.cells) == 1
+
+
+def test_idle_cells_not_policed():
+    sim, dut, sender, receiver = make_bench()
+    run_cells(sim, sender, [AtmCell.idle()])
+    assert dut.idle_cells == 1
+    assert receiver.cells == []
+
+
+def test_per_connection_isolation():
+    """A greedy connection must not steal another's contract."""
+    sim, dut, sender, receiver = make_bench()
+    dut.install_contract(1, 100, increment_clocks=300, limit_clocks=0)
+    dut.install_contract(1, 200, increment_clocks=60, limit_clocks=10)
+    cells = []
+    for i in range(4):
+        cells.append(AtmCell.with_payload(1, 100, [i]))
+        cells.append(AtmCell.with_payload(1, 200, [i]))
+    run_cells(sim, sender, cells)
+    verdicts_200 = [d.conforming for d in dut.decisions if d.vci == 200]
+    assert all(verdicts_200)  # 106-clock spacing meets its 60/10 contract
+    verdicts_100 = [d.conforming for d in dut.decisions if d.vci == 100]
+    assert not all(verdicts_100)  # 106 < 300: bursty vs its contract
+
+
+def test_rtl_matches_reference_gcra():
+    """Co-verification: replay the logged arrival clocks through the
+    algorithmic GCRA; verdicts must be identical."""
+    sim, dut, sender, receiver = make_bench(gap_octets=11)
+    dut.install_contract(1, 100, increment_clocks=90, limit_clocks=30)
+    run_cells(sim, sender, [AtmCell.with_payload(1, 100, [i])
+                            for i in range(12)])
+    reference = VirtualScheduling(increment=90.0, limit=30.0)
+    for decision in dut.decisions:
+        assert reference.arrival(float(decision.clock)) \
+            == decision.conforming, decision
+
+
+@pytest.mark.parametrize("bug", ["ignore_cdv", "stale_tat"])
+def test_injected_bugs_diverge_from_reference(bug):
+    sim, dut, sender, receiver = make_bench(bug=bug)
+    dut.install_contract(1, 100, increment_clocks=60, limit_clocks=40)
+    run_cells(sim, sender, [AtmCell.with_payload(1, 100, [i])
+                            for i in range(12)])
+    reference = VirtualScheduling(increment=60.0, limit=40.0)
+    mismatches = sum(
+        1 for d in dut.decisions
+        if reference.arrival(float(d.clock)) != d.conforming)
+    assert mismatches > 0, f"bug {bug} produced no divergence"
+
+
+def test_invalid_configs():
+    sim = Simulator()
+    clk = sim.signal("clk", init="0")
+    with pytest.raises(ValueError):
+        UpcPolicerRtl(sim, "u", clk, action="shred")
+    with pytest.raises(ValueError):
+        UpcPolicerRtl(sim, "u2", clk, bug="gremlin")
+    dut = UpcPolicerRtl(sim, "u3", clk)
+    with pytest.raises(ValueError):
+        dut.install_contract(1, 1, increment_clocks=0)
+    with pytest.raises(ValueError):
+        dut.install_contract(1, 1, increment_clocks=1, limit_clocks=-1)

@@ -1,0 +1,100 @@
+"""Tests for the RTL port module (HEC check + VPI/VCI translation)."""
+
+import pytest
+
+from repro.atm import AtmCell
+from repro.hdl import Simulator
+from repro.rtl import AtmPortModuleRtl, CellReceiver, CellSender
+
+
+def make_port_bench():
+    sim = Simulator()
+    clk = sim.signal("clk", init="0")
+    sim.add_clock(clk, period=10)
+    port = AtmPortModuleRtl(sim, "pm", clk)
+    sender = CellSender(sim, "tx", clk, port=port.rx)
+    receiver = CellReceiver(sim, "mon", clk, port.tx)
+    return sim, port, sender, receiver
+
+
+def test_translated_cell_comes_out():
+    sim, port, sender, receiver = make_port_bench()
+    port.install(1, 100, 2, 200)
+    cell = AtmCell.with_payload(1, 100, list(range(48)), clp=1, pt=3)
+    sender.send(cell.to_octets())
+    sim.run(until=10 * 150)
+    assert port.cells_translated == 1
+    assert len(receiver.cells) == 1
+    out = AtmCell.from_octets(receiver.cells[0])  # HEC verified here
+    assert (out.vpi, out.vci) == (2, 200)
+    assert out.payload == cell.payload
+    assert out.pt == 3 and out.clp == 1  # PT/CLP preserved
+
+
+def test_output_hec_is_regenerated():
+    sim, port, sender, receiver = make_port_bench()
+    port.install(1, 100, 9, 900)
+    sender.send(AtmCell.with_payload(1, 100, [1]).to_octets())
+    sim.run(until=10 * 150)
+    octets = receiver.cells[0]
+    # from_octets with verify_hec=True raises on a stale HEC
+    assert AtmCell.from_octets(octets, verify_hec=True).vpi == 9
+
+
+def test_unknown_connection_dropped():
+    sim, port, sender, receiver = make_port_bench()
+    sender.send(AtmCell.with_payload(3, 33, []).to_octets())
+    sim.run(until=10 * 150)
+    assert port.unknown_connections == 1
+    assert receiver.cells == []
+
+
+def test_hec_error_dropped():
+    sim, port, sender, receiver = make_port_bench()
+    port.install(1, 100, 2, 200)
+    octets = AtmCell.with_payload(1, 100, []).to_octets()
+    octets[4] ^= 0xFF  # corrupt the HEC
+    sender.send(octets)
+    sim.run(until=10 * 150)
+    assert port.hec_errors == 1
+    assert receiver.cells == []
+
+
+def test_idle_cells_stripped():
+    sim, port, sender, receiver = make_port_bench()
+    sender.send(AtmCell.idle().to_octets())
+    sim.run(until=10 * 150)
+    assert port.idle_cells == 1
+    assert receiver.cells == []
+
+
+def test_remove_connection():
+    sim, port, sender, receiver = make_port_bench()
+    port.install(1, 100, 2, 200)
+    port.remove(1, 100)
+    sender.send(AtmCell.with_payload(1, 100, []).to_octets())
+    sim.run(until=10 * 150)
+    assert port.unknown_connections == 1
+
+
+def test_stream_of_cells_all_translated():
+    sim, port, sender, receiver = make_port_bench()
+    for vci in range(1, 6):
+        port.install(1, vci, 2, vci + 1000)
+    for vci in range(1, 6):
+        sender.send(AtmCell.with_payload(1, vci, [vci]).to_octets())
+    sim.run(until=10 * 600)
+    assert port.cells_translated == 5
+    vcis = [AtmCell.from_octets(c).vci for c in receiver.cells]
+    assert vcis == [1001, 1002, 1003, 1004, 1005]
+
+
+def test_pipeline_latency_roughly_one_cell():
+    """First output octet appears shortly after the last input octet."""
+    sim, port, sender, receiver = make_port_bench()
+    port.install(1, 100, 2, 200)
+    sender.send(AtmCell.with_payload(1, 100, []).to_octets())
+    sim.run(until=10 * 300)
+    assert len(receiver.cells) == 1
+    # 53 octets in (530 ticks) + ~2 clock pipeline + 53 octets out
+    assert 10 * 100 <= sim.now

@@ -1,0 +1,189 @@
+"""Tests for the RTL switch fabric (4 port modules + shared GCU),
+including co-verification against the abstract switch model."""
+
+import pytest
+
+from repro.atm import AtmCell, AtmSwitch, STM1_CELL_TIME
+from repro.hdl import Simulator
+from repro.netsim import Network, SinkModule
+from repro.rtl import AtmSwitchRtl, CellReceiver, CellSender
+
+
+def make_fabric(num_ports=4, lookup_latency=4, queue_depth=16,
+                gap_octets=8):
+    sim = Simulator()
+    clk = sim.signal("clk", init="0")
+    sim.add_clock(clk, period=10)
+    fabric = AtmSwitchRtl(sim, "fab", clk, num_ports=num_ports,
+                          lookup_latency=lookup_latency,
+                          queue_depth=queue_depth)
+    senders = [CellSender(sim, f"gen{i}", clk, port=fabric.rx_ports[i],
+                          gap_octets=gap_octets)
+               for i in range(num_ports)]
+    receivers = [CellReceiver(sim, f"mon{i}", clk, fabric.tx_ports[i])
+                 for i in range(num_ports)]
+    return sim, fabric, senders, receivers
+
+
+def run_clocks(sim, clocks):
+    sim.run(until=sim.now + 10 * clocks)
+
+
+def test_cell_switched_and_translated():
+    sim, fabric, senders, receivers = make_fabric()
+    fabric.install_connection(0, 1, 100, 2, 7, 700)
+    senders[0].send(AtmCell.with_payload(1, 100, [42], clp=1).to_octets())
+    run_clocks(sim, 250)
+    assert fabric.cells_switched == 1
+    assert len(receivers[2].cells) == 1
+    out = AtmCell.from_octets(receivers[2].cells[0])
+    assert (out.vpi, out.vci, out.clp) == (7, 700, 1)
+    assert out.payload[0] == 42
+
+
+def test_unknown_connection_dropped():
+    sim, fabric, senders, receivers = make_fabric()
+    senders[0].send(AtmCell.with_payload(9, 9, []).to_octets())
+    run_clocks(sim, 250)
+    assert fabric.cells_dropped_unknown == 1
+    assert all(not r.cells for r in receivers)
+
+
+def test_idle_and_hec_errors_filtered():
+    sim, fabric, senders, receivers = make_fabric()
+    senders[0].send(AtmCell.idle().to_octets())
+    bad = AtmCell.with_payload(1, 100, []).to_octets()
+    bad[4] ^= 0xFF
+    senders[0].send(bad)
+    run_clocks(sim, 350)
+    assert fabric.idle_cells == 1
+    assert fabric.hec_errors == 1
+    assert fabric.gcu.lookups_served == 0  # neither reached the GCU
+
+
+def test_all_ports_switch_concurrently():
+    sim, fabric, senders, receivers = make_fabric()
+    for port in range(4):
+        fabric.install_connection(port, 1, 100 + port, (port + 1) % 4,
+                                  2, 200 + port)
+        senders[port].send(
+            AtmCell.with_payload(1, 100 + port, [port]).to_octets())
+    run_clocks(sim, 400)
+    assert fabric.cells_switched == 4
+    for port in range(4):
+        cells = receivers[(port + 1) % 4].cells
+        assert len(cells) == 1
+        assert AtmCell.from_octets(cells[0]).vci == 200 + port
+
+
+def test_gcu_serialises_lookups():
+    """Four simultaneous cells share one GCU: lookups serialise."""
+    sim, fabric, senders, receivers = make_fabric(lookup_latency=6)
+    for port in range(4):
+        fabric.install_connection(port, 1, 100, port, 1, 100)
+        senders[port].send(AtmCell.with_payload(1, 100, []).to_octets())
+    run_clocks(sim, 500)
+    assert fabric.gcu.lookups_served == 4
+    assert fabric.gcu.busy_cycles >= 4 * 6
+
+
+def test_output_queue_overflow():
+    """Many ports converging on one output overflow its cell queue."""
+    sim, fabric, senders, receivers = make_fabric(queue_depth=2,
+                                                  gap_octets=0)
+    for port in range(4):
+        fabric.install_connection(port, 1, 100, 0, 1, 100 + port)
+        for i in range(4):
+            senders[port].send(
+                AtmCell.with_payload(1, 100, [i]).to_octets())
+    run_clocks(sim, 2000)
+    total = 16
+    delivered = len(receivers[0].cells)
+    assert fabric.cells_dropped_overflow > 0
+    assert delivered + fabric.cells_dropped_overflow == total
+
+
+def test_sustained_stream_all_delivered():
+    sim, fabric, senders, receivers = make_fabric(gap_octets=30)
+    fabric.install_connection(0, 1, 100, 1, 1, 100)
+    for i in range(10):
+        senders[0].send(AtmCell.with_payload(1, 100, [i]).to_octets())
+    run_clocks(sim, 10 * 90 + 400)
+    payloads = [AtmCell.from_octets(c).payload[0]
+                for c in receivers[1].cells]
+    assert payloads == list(range(10))
+    assert fabric.backlog() == {"awaiting_lookup": 0, "awaiting_tx": 0}
+
+
+def test_remove_connection():
+    sim, fabric, senders, receivers = make_fabric()
+    fabric.install_connection(0, 1, 100, 1, 1, 100)
+    fabric.remove_connection(0, 1, 100)
+    senders[0].send(AtmCell.with_payload(1, 100, []).to_octets())
+    run_clocks(sim, 250)
+    assert fabric.cells_dropped_unknown == 1
+
+
+def test_invalid_configs():
+    sim = Simulator()
+    clk = sim.signal("clk", init="0")
+    with pytest.raises(ValueError):
+        AtmSwitchRtl(sim, "f", clk, num_ports=0)
+    with pytest.raises(ValueError):
+        AtmSwitchRtl(sim, "f2", clk, queue_depth=0)
+    fabric = AtmSwitchRtl(sim, "f3", clk, num_ports=2)
+    with pytest.raises(ValueError):
+        fabric.install_connection(0, 1, 1, 5, 1, 1)
+
+
+def test_rtl_fabric_matches_abstract_switch():
+    """Co-verification: the same cell sequence through the RTL fabric
+    and the abstract switch model yields identical translated cells
+    per output port."""
+    workload = []
+    for i in range(12):
+        port = i % 3
+        workload.append((port, AtmCell.with_payload(1, 100 + port,
+                                                    [i % 256])))
+    connections = [(p, 1, 100 + p, (p + 2) % 4, 3, 300 + p)
+                   for p in range(3)]
+
+    # RTL fabric
+    sim, fabric, senders, receivers = make_fabric(gap_octets=60)
+    for conn in connections:
+        fabric.install_connection(*conn)
+    for port, cell in workload:
+        senders[port].send(cell.to_octets())
+    run_clocks(sim, 12 * 120 + 600)
+    rtl_out = {p: [AtmCell.from_octets(c) for c in receivers[p].cells]
+               for p in range(4)}
+
+    # abstract switch
+    net = Network()
+    switch = AtmSwitch(net, "sw", num_ports=4)
+    for conn in connections:
+        switch.install_connection(*conn)
+    hosts = []
+    for p in range(4):
+        host = net.add_node(f"h{p}")
+        sink = SinkModule("sink", keep=True)
+        host.add_module(sink)
+        host.bind_port_input(0, sink, 0)
+        net.add_link(host, 0, switch.node, p, rate_bps=155.52e6)
+        net.add_link(switch.node, p, host, 0, rate_bps=155.52e6)
+        hosts.append(host)
+    when = {p: 0.0 for p in range(4)}
+    for port, cell in workload:
+        when[port] += 3 * STM1_CELL_TIME
+        net.kernel.schedule(
+            when[port],
+            lambda c=cell, p=port, t=when[port]:
+                hosts[p].transmit(c.to_packet(t), 0))
+    net.run()
+    abstract_out = {p: [AtmCell.from_packet(pkt)
+                        for pkt in hosts[p].modules["sink"].received]
+                    for p in range(4)}
+
+    for p in range(4):
+        assert [(c.vpi, c.vci, c.payload[0]) for c in rtl_out[p]] \
+            == [(c.vpi, c.vci, c.payload[0]) for c in abstract_out[p]]

@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_inventory_lists_all_subpackages(capsys):
+    assert main(["inventory"]) == 0
+    out = capsys.readouterr().out
+    for name in ("netsim", "traffic", "atm", "hdl", "rtl", "board",
+                 "core", "analysis"):
+        assert f"repro.{name}" in out
+
+
+def test_examples_listing(capsys):
+    assert main(["examples"]) == 0
+    out = capsys.readouterr().out
+    assert "quickstart" in out
+    assert "accounting_coverification" in out
+
+
+def test_unknown_example_rejected(capsys):
+    assert main(["example", "does_not_exist"]) == 2
+    assert "unknown example" in capsys.readouterr().err
+
+
+def test_run_example_quickstart(capsys):
+    assert main(["example", "quickstart"]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out.lower()
+
+
+def test_results_prints_tables_when_present(capsys):
+    from repro.cli import _results_dir
+    code = main(["results"])
+    out = capsys.readouterr().out
+    if _results_dir().is_dir() and any(_results_dir().glob("*.txt")):
+        assert code == 0
+        assert "E1" in out or "E2" in out or "E" in out
+    else:
+        assert code == 1

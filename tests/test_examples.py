@@ -1,0 +1,34 @@
+"""Smoke tests: every example script runs to a zero exit code.
+
+The examples are documentation that executes; a broken example is a
+broken promise in the README.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 5
+    assert "quickstart" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name, capsys):
+    path = EXAMPLES_DIR / f"{name}.py"
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+        code = 0
+    except SystemExit as exc:
+        code = int(exc.code or 0)
+    out = capsys.readouterr().out
+    assert code == 0, f"{name} exited {code}; output:\n{out}"
+    assert "PROBLEM" not in out
+    assert "FAIL]" not in out.replace("[FAIL] accounting-rtl-buggy", "")

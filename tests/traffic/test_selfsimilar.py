@@ -1,0 +1,121 @@
+"""Tests for self-similar (Pareto on-off) traffic."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traffic import (ParetoOnOffSource, PoissonArrivals,
+                           SelfSimilarAggregate, hurst_from_shape,
+                           sample_arrivals, variance_time_slopes)
+
+
+class TestHurst:
+    def test_formula(self):
+        assert hurst_from_shape(1.5) == pytest.approx(0.75)
+        assert hurst_from_shape(1.2) == pytest.approx(0.9)
+
+    def test_shape_bounds(self):
+        with pytest.raises(ValueError):
+            hurst_from_shape(1.0)
+        with pytest.raises(ValueError):
+            hurst_from_shape(2.0)
+
+
+class TestParetoOnOff:
+    def test_gaps_at_least_peak_period(self):
+        src = ParetoOnOffSource(peak_period=1.0, mean_on=10.0,
+                                mean_off=5.0, seed=3)
+        gaps = [src.next_interarrival() for _ in range(400)]
+        assert all(g >= 1.0 - 1e-12 for g in gaps)
+
+    def test_reset_reproduces(self):
+        src = ParetoOnOffSource(peak_period=0.1, mean_on=1.0,
+                                mean_off=1.0, seed=5)
+        first = [src.next_interarrival() for _ in range(50)]
+        src.reset()
+        assert [src.next_interarrival() for _ in range(50)] == first
+
+    def test_long_run_rate_near_formula(self):
+        src = ParetoOnOffSource(peak_period=0.01, mean_on=1.0,
+                                mean_off=1.0, alpha=1.8, seed=7)
+        times = sample_arrivals(src, 30000)
+        measured = len(times) / times[-1]
+        # heavy tails converge slowly: generous tolerance
+        assert measured == pytest.approx(src.mean_rate(), rel=0.35)
+
+    def test_heavier_tail_means_longer_extreme_bursts(self):
+        """Smaller alpha -> heavier tails -> larger extreme OFF gaps."""
+        def extreme_gap(alpha):
+            src = ParetoOnOffSource(peak_period=0.01, mean_on=0.5,
+                                    mean_off=0.5, alpha=alpha, seed=11)
+            return max(src.next_interarrival() for _ in range(20000))
+        assert extreme_gap(1.2) > extreme_gap(1.9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ParetoOnOffSource(0, 1, 1)
+        with pytest.raises(ValueError):
+            ParetoOnOffSource(1, 1, 1, alpha=2.5)
+
+
+class TestAggregate:
+    def test_rate_is_sum_of_sources(self):
+        agg = SelfSimilarAggregate(sources=4, peak_period=0.01,
+                                   mean_on=1.0, mean_off=1.0)
+        single = ParetoOnOffSource(peak_period=0.01, mean_on=1.0,
+                                   mean_off=1.0)
+        assert agg.mean_rate() == pytest.approx(4 * single.mean_rate())
+        assert agg.source_count == 4
+
+    def test_merged_stream_is_time_ordered(self):
+        agg = SelfSimilarAggregate(sources=5, peak_period=0.02,
+                                   mean_on=0.5, mean_off=0.5, seed=2)
+        gaps = [agg.next_interarrival() for _ in range(2000)]
+        assert all(g >= 0.0 for g in gaps)
+
+    def test_reset_reproduces(self):
+        agg = SelfSimilarAggregate(sources=3, peak_period=0.05,
+                                   mean_on=0.5, mean_off=0.5, seed=9)
+        first = [agg.next_interarrival() for _ in range(100)]
+        agg.reset()
+        assert [agg.next_interarrival() for _ in range(100)] == first
+
+    def test_needs_a_source(self):
+        with pytest.raises(ValueError):
+            SelfSimilarAggregate(sources=0, peak_period=1, mean_on=1,
+                                 mean_off=1)
+
+    def test_variance_decays_slower_than_poisson(self):
+        """The self-similarity signature: across doubling aggregation
+        levels, the aggregate's rate variance decays more slowly than
+        a Poisson stream of the same rate."""
+        agg = SelfSimilarAggregate(sources=8, peak_period=0.01,
+                                   mean_on=0.4, mean_off=0.6,
+                                   alpha=1.3, seed=4)
+        agg_times = sample_arrivals(agg, 40000)
+        rate = len(agg_times) / agg_times[-1]
+        poisson = PoissonArrivals(rate=rate, seed=4)
+        poi_times = sample_arrivals(poisson, 40000)
+
+        base = 50 * 0.01
+        agg_var = variance_time_slopes(agg_times, base_bin=base,
+                                       levels=5)
+        poi_var = variance_time_slopes(poi_times, base_bin=base,
+                                       levels=5)
+        # total decay across 4 doublings: self-similar decays less
+        agg_decay = agg_var[0] / agg_var[-1]
+        poi_decay = poi_var[0] / poi_var[-1]
+        assert agg_decay < poi_decay
+
+
+class TestVarianceTime:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            variance_time_slopes([], 1.0)
+        with pytest.raises(ValueError):
+            variance_time_slopes([1.0], 0.0)
+
+    def test_levels_count(self):
+        times = [i * 0.1 for i in range(100)]
+        assert len(variance_time_slopes(times, 0.5, levels=4)) == 4
