@@ -18,20 +18,21 @@ values stress the same shapes with more cells.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.atm import (AccountingUnit, AtmCell, AtmSwitch, Tariff)
-from repro.core import (CoVerificationEnvironment, StreamComparator,
-                        TimeBase)
-from repro.hdl import RisingEdge, Simulator
-from repro.netsim import Network, SinkModule
-from repro.rtl import (AccountingUnitRtl, AtmPortModuleRtl, AtmSwitchRtl,
-                       CellReceiver, CellSender, RECORD_WORDS)
+from repro.core import CoVerificationEnvironment, TimeBase
+from repro.hdl import CycleEngine, RisingEdge, Simulator
+from repro.netsim import SinkModule
+from repro.rtl import (AccountingUnitRtl, AtmSwitchRtl, CellReceiver,
+                       CellSender, RECORD_WORDS)
 from repro.traffic import ConstantBitRate, TrafficSource
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 #: cell slot time on the modelled 155.52 Mb/s line, octet-serial clock
 TIMEBASE = TimeBase.for_line_rate()
@@ -56,21 +57,38 @@ def save_table(name: str, text: str) -> None:
     print(text)
 
 
+def save_bench_json(name: str, payload: Dict) -> Path:
+    """Persist machine-readable benchmark results at the repo root
+    (``BENCH_<name>.json``) so the perf trajectory is tracked across
+    PRs; returns the written path."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    payload = dict(payload)
+    payload.setdefault("benchmark", name)
+    payload.setdefault("scale", scale())
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 # ---------------------------------------------------------------------------
 # Co-verification setup (abstract system + one RTL DUT)
 # ---------------------------------------------------------------------------
 
 def build_cosim_accounting(num_cells: int, load: float = 0.25,
                            lockstep: bool = False,
-                           bug: Optional[str] = None):
+                           bug: Optional[str] = None,
+                           clocking: str = "cycle"):
     """Figure-1 setup: 4-port abstract switch, CBR sources at *load*
     per port, the RTL accounting unit coupled as the DUT on the
     aggregate switched stream.
 
+    *clocking* selects the DUT clock scheme ("cycle" fast dispatch,
+    the default, or the seed "event" generator clock).
+
     Returns (env, dut, entity, reference, finish) where finish() runs
     the drain and returns DUT records.
     """
-    env = CoVerificationEnvironment(timebase=TIMEBASE, lockstep=lockstep)
+    env = CoVerificationEnvironment(timebase=TIMEBASE, lockstep=lockstep,
+                                    clocking=clocking)
     dut = AccountingUnitRtl(env.hdl, "acct", env.clk, bug=bug)
     entity = env.add_dut(rx_port=dut.rx, tick_signal=dut.tariff_tick)
     reference = AccountingUnit(drop_unknown=True)
@@ -156,7 +174,8 @@ def reference_records(reference: AccountingUnit) -> List[Tuple[int, ...]]:
 # Pure-RTL baseline (everything event-driven in the HDL simulator)
 # ---------------------------------------------------------------------------
 
-def build_pure_rtl_system(cells_per_port: int, load: float = 0.25):
+def build_pure_rtl_system(cells_per_port: int, load: float = 0.25,
+                          clocking: str = "cycle"):
     """The fully-RTL alternative — the paper's device list verbatim:
     an RTL switch of **four port modules and one global control unit**
     (:class:`repro.rtl.AtmSwitchRtl`), driven at line occupancy by RTL
@@ -164,12 +183,21 @@ def build_pure_rtl_system(cells_per_port: int, load: float = 0.25):
     wire), monitored on every output, with the accounting DUT listening
     on port 0's output stream.
 
+    *clocking* selects the clock scheme ("cycle" fast dispatch, the
+    default, or the seed "event" generator clock).
+
     Returns (sim, run) where run() executes the bench and returns the
     measurement dict.
     """
     sim = Simulator(time_unit=TIMEBASE.tick_seconds)
     clk = sim.signal("clk", init="0")
-    sim.add_clock(clk, period=TIMEBASE.clock_period_ticks)
+    if clocking == "cycle":
+        CycleEngine(sim, clk, period=TIMEBASE.clock_period_ticks)
+    elif clocking == "event":
+        sim.add_clock(clk, period=TIMEBASE.clock_period_ticks)
+    else:
+        raise ValueError(
+            f"clocking must be 'cycle' or 'event', got {clocking!r}")
 
     fabric = AtmSwitchRtl(sim, "fabric", clk, num_ports=4,
                           queue_depth=64)

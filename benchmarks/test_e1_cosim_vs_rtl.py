@@ -18,7 +18,6 @@ land in the 2-10x band around the paper's 4.3x.
 
 import time
 
-import pytest
 
 from repro.analysis import ExperimentResult, format_table, speedup
 

@@ -13,7 +13,6 @@ Claims reproduced:
 
 import time
 
-import pytest
 
 from repro.analysis import ExperimentResult, format_table
 from repro.core import (ConservativeSynchronizer, LockstepSynchronizer,
@@ -150,7 +149,7 @@ def test_e2_delta_parameter_ablation(benchmark):
         }))
     save_table("e2_delta_ablation.txt", format_table(
         f"E2b: processing-delay (delta_j) ablation, {N_MESSAGES} "
-        f"messages at 120-clock gaps",
+        "messages at 120-clock gaps",
         ["sync_msgs", "hdl_ticks", "windows"], rows))
     assert len(set(exchanges)) == 1  # exchanges independent of delta
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -13,7 +13,6 @@ Claims reproduced:
   event counters.
 """
 
-import pytest
 
 from repro.analysis import EventAccounting, ExperimentResult, format_table
 from repro.atm import AtmCell
@@ -21,8 +20,8 @@ from repro.core import CellMapper, TimeBase
 from repro.hdl import Simulator
 from repro.rtl import CellReceiver, CellSender
 
-from .common import (TIMEBASE, build_cosim_accounting,
-                     run_cosim_accounting, save_table, scaled)
+from .common import (build_cosim_accounting, run_cosim_accounting, save_table,
+                     scaled)
 
 CELLS = scaled(60)
 

@@ -27,10 +27,8 @@ from repro.hdl import Simulator
 from repro.rtl import AccountingUnitRtl
 from repro.traffic import OnOffSource, PoissonArrivals
 
-from .common import (CELL_TIME, TIMEBASE, build_cosim_accounting,
-                     collect_rtl_records, group_records,
-                     reference_records, run_cosim_accounting, save_table,
-                     scaled)
+from .common import (CELL_TIME, TIMEBASE, collect_rtl_records, group_records,
+                     reference_records, save_table, scaled)
 
 CELLS = scaled(60)
 
@@ -174,7 +172,7 @@ def test_e5_correct_dut_passes_all_paths(benchmark):
     ]
     save_table("e5_case_study.txt", format_table(
         f"E5: accounting-unit verification, {CELLS} cells, "
-        f"one network-level test bench, three targets",
+        "one network-level test bench, three targets",
         ["records", "verdict"], rows))
     assert cosim_report.passed, cosim_report.summary()
     assert board_report.passed, board_report.summary()

@@ -17,13 +17,12 @@ Two claims:
 
 import time
 
-import pytest
 
 from repro.analysis import ExperimentResult, format_table, speedup
 from repro.atm import AtmCell
 from repro.hdl import CycleEngine, Simulator
 from repro.rtl import AtmPortModuleRtl, CellReceiver, CellSender
-from repro.traffic import (PoissonArrivals, Trace, TraceReplayArrivals)
+from repro.traffic import PoissonArrivals, Trace
 
 from .common import CELL_TIME, save_table, scaled
 

@@ -17,7 +17,6 @@ RTL):
   ones the buffer sacrifices under overload.
 """
 
-import pytest
 
 from repro.analysis import ExperimentResult, format_table
 from repro.atm import AtmCell, PbsQueueModule, STM1_CELL_TIME, \

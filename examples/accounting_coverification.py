@@ -122,7 +122,7 @@ def compare(expected, observed, label):
 def main() -> int:
     workload = build_workload()
     print(f"authored one network-level test bench: {len(workload)} cells, "
-          f"2 tariff intervals\n")
+          "2 tariff intervals\n")
     expected = run_reference(workload)
 
     print("-- correct RTL through CASTANET " + "-" * 30)

@@ -74,7 +74,7 @@ def main() -> int:
 
     engine.check()
     print(f"assertions evaluated      : {engine.checks_evaluated} "
-          f"(0 failures)")
+          "(0 failures)")
     print(f"toggle coverage           : {coverage.coverage() * 100:.1f}% "
           f"({coverage.covered_bits}/{coverage.total_bits} bits)")
     uncovered = coverage.uncovered()

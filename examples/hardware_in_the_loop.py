@@ -76,12 +76,12 @@ def main() -> int:
           f"{scsi.total_time * 1e3:.2f} ms")
     wall = interface.total_wall_time()
     print(f"modelled wall-clock       : {wall * 1e3:.2f} ms")
-    print(f"effective DUT clock       : "
+    print("effective DUT clock       : "
           f"{interface.effective_clock_hz() / 1e3:.0f} kHz "
           f"(board clock: {board.clock_hz / 1e6:.0f} MHz)")
     hw = sum(s.hw_time for s in interface.cycle_stats)
     print(f"hardware-activity share   : {hw / wall * 100:.1f} % "
-          f"(longer test cycles raise this)")
+          "(longer test cycles raise this)")
     return 0 if report.passed else 1
 
 

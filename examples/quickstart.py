@@ -64,9 +64,9 @@ def main() -> int:
     report = comparator.compare()
     print(report.summary())
     print(f"cells through the coupling : {entity.cells_in}")
-    print(f"HDL clock cycles simulated : "
+    print("HDL clock cycles simulated : "
           f"{env.hdl.now // env.timebase.clock_period_ticks}")
-    print(f"sync messages exchanged    : "
+    print("sync messages exchanged    : "
           f"{entity.sync.stats.messages_posted} data + "
           f"{entity.sync.stats.null_messages} null")
     return 0 if report.passed else 1

@@ -78,13 +78,13 @@ def run_policing():
     print("\n-- traffic-management hardware " + "-" * 33)
     print(f"cells policed     : {len(dut.decisions)} "
           f"(burst at ~66-clock spacing vs {CONTRACT_CLOCKS}-clock "
-          f"contract)")
+          "contract)")
     print(f"conforming        : {dut.cells_conforming}")
     print(f"tagged (CLP=1)    : {dut.cells_non_conforming}")
     tagged_out = sum(
         1 for octs in receiver.cells if AtmCell.from_octets(octs).clp)
     print(f"tagged on the wire: {tagged_out} (HEC regenerated, "
-          f"verified on receive)")
+          "verified on receive)")
     print(f"RTL vs reference GCRA verdict mismatches: {mismatches}")
     return dut, mismatches
 

@@ -56,7 +56,7 @@ def main() -> int:
             switch.install_connection(port, 1, vci, 3, 1, vci,
                                       tariff=Tariff(units_per_cell=1))
             source = TrafficSource(
-                f"src", arrivals,
+                "src", arrivals,
                 packet_factory=lambda i, v=vci: AtmCell.with_payload(
                     1, v, [i % 256]).to_packet())
             host.add_module(source)

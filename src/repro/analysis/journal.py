@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Deque, Iterable, List, Optional, Sequence, Union
+from typing import Deque, List, Optional, Union
 
 __all__ = ["JournalEntry", "RunJournal"]
 
@@ -115,7 +115,7 @@ class RunJournal:
                  for entry in self.entries(category=category)]
         if self.dropped:
             lines.insert(0, f"... {self.dropped} earlier entries "
-                            f"evicted ...")
+                            "evicted ...")
         return "\n".join(lines)
 
     def save(self, path: Union[str, Path],

@@ -7,7 +7,7 @@ rows EXPERIMENTS.md quotes come from one formatting path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Sequence
 
 __all__ = ["EventAccounting", "ExperimentResult", "format_table",
            "histogram", "speedup"]

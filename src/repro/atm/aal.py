@@ -106,7 +106,7 @@ class Reassembler:
         if len(buffer) > self.max_pdu_octets + PAYLOAD_OCTETS + TRAILER_OCTETS:
             del self._partial[key]
             raise AalError(f"PDU on {key} exceeds {self.max_pdu_octets} "
-                           f"octets without completing")
+                           "octets without completing")
         if not cell.pt & 1:
             return None
         # AUU set: this cell ends the CPCS-PDU.

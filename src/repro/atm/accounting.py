@@ -23,8 +23,8 @@ checks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 __all__ = ["Tariff", "ChargingRecord", "AccountingUnit", "AccountingError"]
 

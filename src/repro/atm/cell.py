@@ -22,7 +22,7 @@ octet  contents
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..netsim.packet import Packet
 from .hec import check_hec, hec_octet

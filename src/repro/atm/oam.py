@@ -20,9 +20,8 @@ Cell format (ITU-T I.610):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
-from ..netsim.kernel import Kernel
 from ..netsim.node import Module
 from ..netsim.packet import Packet
 from .cell import AtmCell, PAYLOAD_OCTETS

@@ -17,7 +17,7 @@ acknowledges setups/teardowns on its control interface when the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..netsim.events import InterruptKind

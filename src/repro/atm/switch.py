@@ -19,8 +19,7 @@ This model is the *algorithm reference* the RTL implementations in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from ..netsim.events import InterruptKind
 from ..netsim.node import Module, Node, ProcessorModule, QueueModule

@@ -10,7 +10,7 @@ path — the same split the paper's switch model uses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Tuple
 
 __all__ = ["RoutingEntry", "ConnectionTable", "RoutingError"]
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from .device import PinLevelDevice
-from .pinmap import (ConfigurationDataSet, NUM_BYTE_LANES, PinMapError)
+from .pinmap import ConfigurationDataSet, NUM_BYTE_LANES
 from .scsi import ScsiBus
 
 __all__ = ["HardwareTestBoard", "TestCycleStats", "BoardError",

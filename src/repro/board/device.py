@@ -13,7 +13,7 @@ verification paths in Figure 1.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..hdl.signal import Signal
 from ..hdl.simulator import Simulator

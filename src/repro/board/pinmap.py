@@ -21,8 +21,8 @@ they are inverse to each other for every legal configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["PinSegment", "PortMapping", "IoPortMapping", "CtrlPortMapping",
            "ConfigurationDataSet", "PinMapError",
@@ -58,7 +58,7 @@ class PinSegment:
             raise PinMapError(
                 f"start bit {self.start_bit} outside 0..{LANE_WIDTH-1}")
         if self.num_bits < 1:
-            raise PinMapError(f"segment needs >= 1 bit")
+            raise PinMapError("segment needs >= 1 bit")
         if self.start_bit - self.num_bits + 1 < 0:
             raise PinMapError(
                 f"segment (start {self.start_bit}, {self.num_bits} bits) "
@@ -85,7 +85,7 @@ class PortMapping:
 
     def __post_init__(self) -> None:
         if self.width < 1:
-            raise PinMapError(f"port width must be >= 1")
+            raise PinMapError("port width must be >= 1")
         total = sum(seg.num_bits for seg in self.segments)
         if total != self.width:
             raise PinMapError(
@@ -214,7 +214,7 @@ class ConfigurationDataSet:
                 if pin in driven:
                     raise PinMapError(
                         f"pin {pin}: {label} collides with {driven[pin]} "
-                        f"(no I/O port declared)")
+                        "(no I/O port declared)")
 
     # -- frame packing --------------------------------------------------------
     def pack_stimulus(self, inport_values: Dict[int, int],

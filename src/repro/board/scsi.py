@@ -9,8 +9,8 @@ SW-activity cost that long hardware test cycles amortise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List
 
 __all__ = ["ScsiBus", "ScsiTransfer"]
 

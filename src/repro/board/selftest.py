@@ -10,8 +10,8 @@ equivalent of the power-on self-test any lab instrument runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from .board import HardwareTestBoard
 from .device import LoopbackDevice

@@ -15,9 +15,9 @@ behavioural) device that drove the RTL co-simulation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
-from ..atm.cell import AtmCell, CELL_OCTETS
+from ..atm.cell import AtmCell
 from ..board.board import HardwareTestBoard, TestCycleStats
 from ..board.device import PinLevelDevice
 from ..board.pinmap import (ConfigurationDataSet, PinSegment, PortMapping)

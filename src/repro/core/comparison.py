@@ -14,8 +14,8 @@ within one tariff interval).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
 
 __all__ = ["StreamComparator", "VerificationReport", "Mismatch"]
 

@@ -14,7 +14,7 @@ message-level API the network-simulator side drives.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..atm.cell import AtmCell
 from ..hdl.signal import Signal
@@ -55,6 +55,13 @@ class CosimulationEntity:
     Outputs captured from ``tx_port`` are collected in
     :attr:`output_cells` as ``(hdl_seconds, AtmCell)`` tuples and
     passed to :attr:`on_output` when set.
+
+    The entity advances the DUT exclusively through ``hdl.run(until=...)``
+    (via the synchroniser), so it is clocking-agnostic: with a
+    :class:`~repro.hdl.cycle.CycleEngine` attached (the environment's
+    default) every granted window executes through the engine's fast
+    edge dispatch, with the event-driven generator clock it runs the
+    seed scheduler — byte-identical traces either way.
     """
 
     def __init__(self, hdl: Simulator, clk: Signal, timebase: TimeBase,

@@ -18,8 +18,9 @@ coupled DUT(s), and (optionally) forwards it unchanged.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
+from ..hdl.cycle import CycleEngine
 from ..hdl.simulator import Simulator
 from ..netsim.node import Module
 from ..netsim.packet import Packet
@@ -81,15 +82,31 @@ class CoVerificationEnvironment:
 
     def __init__(self, name: str = "castanet",
                  timebase: Optional[TimeBase] = None,
-                 lockstep: bool = False) -> None:
+                 lockstep: bool = False,
+                 clocking: str = "cycle") -> None:
         self.name = name
         self.timebase = timebase if timebase is not None \
             else TimeBase.for_line_rate()
         self.network = Network(f"{name}.net")
         self.hdl = Simulator(time_unit=self.timebase.tick_seconds)
         self.clk = self.hdl.signal("clk", init="0")
-        self.hdl.add_clock(self.clk,
-                           period=self.timebase.clock_period_ticks)
+        # The DUT clock.  "cycle" (default since the hot-path overhaul)
+        # attaches a CycleEngine: clock edges are applied by direct
+        # dispatch with no heap/resume traffic, trace-identical to the
+        # event-driven generator clock that "event" (the seed scheme,
+        # kept for equivalence regression) still provides.
+        self.clock_engine: Optional[CycleEngine] = None
+        if clocking == "cycle":
+            self.clock_engine = CycleEngine(
+                self.hdl, self.clk,
+                period=self.timebase.clock_period_ticks)
+        elif clocking == "event":
+            self.hdl.add_clock(self.clk,
+                               period=self.timebase.clock_period_ticks)
+        else:
+            raise ValueError(
+                f"clocking must be 'cycle' or 'event', got {clocking!r}")
+        self.clocking = clocking
         self.lockstep = lockstep
         self.entities: List[CosimulationEntity] = []
         self.board_interfaces: List[BoardInterfaceModel] = []

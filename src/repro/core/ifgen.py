@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..hdl.logic import vector_to_int
 from ..hdl.processes import RisingEdge
@@ -66,7 +66,7 @@ class InterfaceDescription:
         if self.word_bits < 8 or self.word_bits % 8:
             raise MappingError(
                 f"word width {self.word_bits} must be a positive "
-                f"multiple of 8")
+                "multiple of 8")
         if self.start_signal is None and self.valid_signal is None:
             raise MappingError(
                 "an interface needs at least a start or a valid signal "

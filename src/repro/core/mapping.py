@@ -15,7 +15,7 @@ schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..atm.cell import AtmCell, CELL_OCTETS
 from ..netsim.packet import Packet

@@ -14,7 +14,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Deque, Dict, Optional, Tuple
 
 __all__ = ["TimestampedMessage", "MessageQueue", "MessageQueueSet",
            "CausalityError"]

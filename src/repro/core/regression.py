@@ -15,7 +15,7 @@ golden store is a reviewable text file.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
@@ -110,11 +110,11 @@ class RegressionSuite:
         if not self.golden_path.exists():
             raise RegressionError(
                 f"no golden results at {self.golden_path}; run "
-                f"record_golden() on a blessed build first")
+                "record_golden() on a blessed build first")
         payload = json.loads(self.golden_path.read_text())
         if payload.get("suite") != self.name:
             raise RegressionError(
-                f"golden file belongs to suite "
+                "golden file belongs to suite "
                 f"{payload.get('suite')!r}, not {self.name!r}")
         return payload["results"]
 

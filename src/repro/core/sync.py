@@ -20,11 +20,16 @@ The protocol, quoting the paper:
 the E2 ablation baseline.  Both maintain — and check — the safety
 invariant that the HDL simulator's local time never overtakes the
 network simulator's.
+
+Both strategies advance the HDL simulator only through
+``hdl.run(until=tick)``, which delegates to the attached clock engine
+when one is present — the synchronisation protocol is independent of
+the clocking scheme.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Optional
 
 from ..hdl.simulator import Simulator
 from .messages import (CausalityError, MessageQueueSet, TimestampedMessage)
@@ -72,7 +77,7 @@ class _SynchronizerBase:
             raise CausalityError(
                 f"HDL time {hdl_seconds}s overtook the network "
                 f"simulator's {self.originator_time}s — the conservative "
-                f"protocol's lag invariant is broken")
+                "protocol's lag invariant is broken")
         self.stats.max_lag_seconds = max(
             self.stats.max_lag_seconds,
             self.originator_time - hdl_seconds)

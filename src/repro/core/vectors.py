@@ -16,10 +16,9 @@ against any octet-stream DUT.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from ..atm.cell import AtmCell, CELL_OCTETS
-from ..atm.hec import hec_octet
 
 __all__ = ["ConformanceVector", "VectorBuilder",
            "standard_conformance_suite", "run_cell_conformance",
@@ -173,7 +172,7 @@ class ConformanceReport:
         """One-line verdict."""
         verdict = "PASS" if self.ok else "FAIL"
         return (f"[{verdict}] conformance: {self.passed}/{self.total} "
-                f"vectors behaved as specified")
+                "vectors behaved as specified")
 
 
 def run_cell_conformance(vectors: Sequence[ConformanceVector],

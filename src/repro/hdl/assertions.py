@@ -16,7 +16,7 @@ Failures are recorded (with times) and optionally raised immediately.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .signal import Signal

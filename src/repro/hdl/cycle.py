@@ -6,10 +6,24 @@ integration of cycle-based simulation techniques is required."
 
 :class:`CycleEngine` drives a clock signal *without* the event-driven
 machinery the generator-based clock needs: no heap push/pop per edge
-and no process resume for the clock generator itself — each cycle is
-two direct delta evaluations.  Everything else (sensitivity lists,
-delta cycles, generator waits on clock edges) behaves identically, so
-the same RTL design runs under both schemes and E6 measures the gap.
+and no process resume for the clock generator itself — each edge is a
+direct delta evaluation.  Everything else (sensitivity lists, delta
+cycles, generator waits on clock edges) behaves identically, so the
+same RTL design runs under both schemes and E6 measures the gap.
+
+Since the hot-path overhaul the engine is also the *default* clocking
+scheme of the co-verification environment (it attaches itself to the
+simulator, and ``Simulator.run(until=...)`` delegates to it), with two
+further accelerations:
+
+* the initial clock level is primed during initialisation exactly like
+  the generator clock's first drive, so the two schemes are
+  event-count-identical (this fixed the historic one-event E6b gap);
+* clock edges are applied by *fast dispatch*: the edge's delta cycle
+  is evaluated inline against a precomputed edge-sensitivity table (a
+  snapshot of the clock's sensitivity list, refreshed only when
+  processes are added) plus the current edge waiters, skipping the
+  general delta loop's changed-signal bookkeeping.
 
 Restrictions:
 * the clock signal must not have another driver (do not also call
@@ -20,9 +34,9 @@ Restrictions:
 
 from __future__ import annotations
 
-import heapq
-from typing import Optional
+from typing import List, Optional, Tuple
 
+from .processes import Process
 from .signal import Signal
 from .simulator import Simulator
 
@@ -31,6 +45,15 @@ __all__ = ["CycleEngine"]
 
 class CycleEngine:
     """Clocks a simulator cycle-by-cycle.
+
+    Args:
+        sim: the simulator to clock.
+        clk: the clock signal (must have no other driver).
+        period: clock period in ticks.
+        duty_ticks: high time in ticks (default ``period // 2``).
+        attach: register the engine as *sim*'s clocking scheme so that
+            ``sim.run(until=...)`` is engine-driven (the default; pass
+            ``False`` to keep the engine purely manual).
 
     Example:
         >>> sim = Simulator()
@@ -42,7 +65,8 @@ class CycleEngine:
     """
 
     def __init__(self, sim: Simulator, clk: Signal, period: int,
-                 duty_ticks: Optional[int] = None) -> None:
+                 duty_ticks: Optional[int] = None,
+                 attach: bool = True) -> None:
         if period < 2:
             raise ValueError("clock period must be >= 2 ticks")
         high = duty_ticks if duty_ticks is not None else period // 2
@@ -54,38 +78,151 @@ class CycleEngine:
         self.high_ticks = high
         self.low_ticks = period - high
         self._driver = object()
+        self._primed = False
+        #: absolute tick of the next edge and the level it drives
+        self._next_edge_time: Optional[int] = None
+        self._next_edge_value = "1"
+        #: cached snapshot of clk's sensitivity list (the edge table)
+        self._edge_table: Tuple[Process, ...] = ()
+        self._edge_table_len = -1
         self.cycles_run = 0
+        if attach:
+            sim._attach_engine(self)
 
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
     def run_cycles(self, cycles: int) -> None:
         """Advance the design by *cycles* full clock periods."""
         sim = self.sim
         sim.initialize()
+        self._prime()
+        sim._execute_deltas()
         for _ in range(cycles):
-            self._advance_to(sim.now + self.low_ticks)
-            self._edge("1")
-            self._advance_to(sim.now + self.high_ticks)
-            self._edge("0")
+            self._advance_to(self._next_edge_time)   # rising edge
+            self._apply_edge()
+            self._advance_to(self._next_edge_time)   # falling edge
+            self._apply_edge()
             self.cycles_run += 1
+
+    def _run_until(self, until: Optional[int]) -> int:
+        """Engine-driven equivalent of ``Simulator.run(until=...)``:
+        apply every clock edge up to *until*, draining timed heap
+        events in between, and land exactly on *until*."""
+        sim = self.sim
+        sim.initialize()
+        self._prime()
+        sim._execute_deltas()
+        if until is None:
+            # No horizon: interleave edges with heap events until the
+            # heap drains (the clock itself never schedules, so this
+            # terminates exactly when an event-driven run of the
+            # non-clock events would).  Same-time ordering matches the
+            # event-driven kernel: heap events apply before the edge.
+            while True:
+                next_time = sim.next_event_time()
+                if next_time is None:
+                    return sim.now
+                while self._next_edge_time < next_time:
+                    self._advance_to(self._next_edge_time)
+                    self._apply_edge()
+                self._advance_to(next_time)
+        if until < sim.now:
+            return sim.now
+        while self._next_edge_time <= until:
+            self._advance_to(self._next_edge_time)
+            self._apply_edge()
+        self._advance_to(until)
+        return sim.now
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _edge(self, value: str) -> None:
+    def _prime(self) -> None:
+        """Apply the pre-first-edge clock level once, mirroring the
+        generator clock's initial drive (this keeps the two clocking
+        schemes event-identical, including kernel event counts)."""
+        if self._primed:
+            return
+        self._primed = True
+        self.sim._pending_updates.append((self.clk, self._driver, "0"))
+        if self._next_edge_time is None:
+            self._next_edge_time = self.sim.now + self.low_ticks
+            self._next_edge_value = "1"
+
+    def _apply_edge(self) -> None:
+        """Drive the scheduled edge at the current time by direct
+        dispatch: one inline delta cycle waking the edge table and the
+        current waiters, then the general loop for any follow-up
+        deltas."""
         sim = self.sim
-        sim._pending_updates.append((self.clk, self._driver, value))
-        sim._execute_deltas()
+        clk = self.clk
+        value = self._next_edge_value
+        if value == "1":
+            self._next_edge_value = "0"
+            self._next_edge_time += self.high_ticks
+        else:
+            self._next_edge_value = "1"
+            self._next_edge_time += self.low_ticks
+
+        if sim._pending_updates or sim._pending_resumes:
+            # Coincident same-time work: keep strict delta ordering by
+            # going through the general kernel path.
+            sim._pending_updates.append((clk, self._driver, value))
+            sim._execute_deltas()
+            return
+
+        # -- fast dispatch: the edge is the only delta-0 work ---------
+        sim._delta_stamp += 1
+        sim.delta_cycles += 1
+        sim.events_executed += 1
+        if not clk._apply(self._driver, value):
+            sim._delta_stamp += 1    # settle stamp, as the loop would
+            return
+        clk._event_delta = sim._delta_stamp
+        clk.last_event_time = sim.now
+        sim.signal_events += 1
+
+        sensitive = clk._sensitive
+        if len(sensitive) != self._edge_table_len:
+            self._edge_table = tuple(sensitive)
+            self._edge_table_len = len(sensitive)
+        runnable: List[Process] = [
+            p for p in self._edge_table if not p.finished]
+        bucket = sim._waiters.get(id(clk))
+        if bucket:
+            seen = set(runnable)
+            for process in list(bucket):
+                if process not in seen and process._satisfied_by(clk):
+                    seen.add(process)
+                    process._disarm(sim)
+                    runnable.append(process)
+
+        for process in runnable:
+            sim._current_process = process
+            try:
+                process._run(sim)
+                sim.process_runs += 1
+            finally:
+                sim._current_process = None
+
+        hooks = sim.signal_hooks
+        if hooks:
+            for hook in hooks:
+                hook(clk)
+
+        if sim._pending_updates or sim._pending_resumes:
+            sim._execute_deltas()    # follow-up deltas + settle stamp
+        else:
+            sim._delta_stamp += 1    # settle stamp
 
     def _advance_to(self, target: int) -> None:
         """Drain heap events up to *target*, then land on it."""
         sim = self.sim
-        while sim._heap and sim._heap[0][0] <= target:
-            next_time = sim._heap[0][0]
+        heap = sim._heap
+        while heap and heap[0][0] <= target:
+            next_time = heap[0][0]
             sim.now = next_time
-            while sim._heap and sim._heap[0][0] == next_time:
-                _t, _s, item = heapq.heappop(sim._heap)
-                if item[0] == "update":
-                    sim._pending_updates.append(item[1:])
-                else:
-                    sim._pending_resumes.append(item[1])
+            sim._pop_due(next_time)
             sim._execute_deltas()
         sim.now = target

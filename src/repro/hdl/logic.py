@@ -82,6 +82,17 @@ def resolve_many(values: Iterable[str]) -> str:
     return result
 
 
+# Conversion caches.  Vector signals are driven with the same small
+# set of integers over and over (octets on a cell stream, opcodes on a
+# bus), and converted back just as repetitively; memoising the
+# conversions takes them off the kernel's hot path.  Both caches are
+# capped so a pathological workload degrades to the uncached cost
+# instead of growing without bound.
+_INT_VECTOR_CACHE: dict = {}
+_VECTOR_INT_CACHE: dict = {}
+_CACHE_LIMIT = 65536
+
+
 def to_vector(value: Union[int, str, Sequence[str]],
               width: int) -> Tuple[str, ...]:
     """Build an MSB-first *width*-bit vector from an int, a literal
@@ -92,12 +103,18 @@ def to_vector(value: Union[int, str, Sequence[str]],
     if width <= 0:
         raise LogicError(f"non-positive vector width {width}")
     if isinstance(value, int):
+        cached = _INT_VECTOR_CACHE.get((width, value))
+        if cached is not None:
+            return cached
         if value < 0:
             raise LogicError(f"negative value {value} for a vector")
         if value >= (1 << width):
             raise LogicError(f"value {value} does not fit in {width} bits")
-        return tuple("1" if (value >> (width - 1 - i)) & 1 else "0"
-                     for i in range(width))
+        vector = tuple("1" if (value >> (width - 1 - i)) & 1 else "0"
+                       for i in range(width))
+        if len(_INT_VECTOR_CACHE) < _CACHE_LIMIT:
+            _INT_VECTOR_CACHE[(width, value)] = vector
+        return vector
     vector = tuple(value)
     if len(vector) != width:
         raise LogicError(
@@ -114,6 +131,10 @@ def vector_to_int(vector: Sequence[str]) -> int:
         LogicError: any bit is not a strong 0/1 (metavalues do not
             convert; this is how X-propagation bugs surface in tests).
     """
+    if type(vector) is tuple:
+        cached = _VECTOR_INT_CACHE.get(vector)
+        if cached is not None:
+            return cached
     result = 0
     for bit in vector:
         if bit == "1":
@@ -123,6 +144,8 @@ def vector_to_int(vector: Sequence[str]) -> int:
         else:
             raise LogicError(
                 f"vector {''.join(vector)!r} contains metavalue {bit!r}")
+    if type(vector) is tuple and len(_VECTOR_INT_CACHE) < _CACHE_LIMIT:
+        _VECTOR_INT_CACHE[vector] = result
     return result
 
 

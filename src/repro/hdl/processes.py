@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Generator, Iterable, Optional, Sequence, \
-    Tuple, Union, TYPE_CHECKING
+from typing import Callable, Generator, Sequence, Tuple, TYPE_CHECKING
+
+from .signal import Signal
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .signal import Signal
     from .simulator import Simulator
 
 __all__ = ["Process", "CallbackProcess", "GeneratorProcess",
@@ -57,6 +57,8 @@ class FallingEdge:
 class Process:
     """Base class: identity + bookkeeping for simulator processes."""
 
+    __slots__ = ("id", "name", "runs", "finished")
+
     def __init__(self, name: str) -> None:
         self.id = next(_process_ids)
         self.name = name
@@ -69,6 +71,8 @@ class Process:
 
 class CallbackProcess(Process):
     """A function re-run on every event of its sensitivity list."""
+
+    __slots__ = ("fn", "sensitivity")
 
     def __init__(self, name: str, fn: Callable[["Simulator"], None],
                  sensitivity: Sequence["Signal"] = ()) -> None:
@@ -86,6 +90,8 @@ class CallbackProcess(Process):
 class GeneratorProcess(Process):
     """A generator-based behavioural process."""
 
+    __slots__ = ("generator", "_waiting_on")
+
     def __init__(self, name: str,
                  generator: Generator, ) -> None:
         super().__init__(name)
@@ -96,8 +102,12 @@ class GeneratorProcess(Process):
     # -- wait bookkeeping --------------------------------------------------
     def _arm(self, sim: "Simulator", yielded) -> None:
         """Interpret a yield value and arm the corresponding wakeup."""
-        from .signal import Signal  # local import to avoid a cycle
-
+        # Edge waits dominate RTL benches (one per clocked consumer per
+        # cycle), so they are tested first.
+        if isinstance(yielded, RisingEdge):
+            self._waiting_on = ((yielded.signal, "rise"),)
+            sim._add_waiter(yielded.signal, self)
+            return
         if isinstance(yielded, int):
             if yielded < 0:
                 raise ProcessError(
@@ -107,8 +117,6 @@ class GeneratorProcess(Process):
             return
         if isinstance(yielded, Signal):
             self._waiting_on = ((yielded, "any"),)
-        elif isinstance(yielded, RisingEdge):
-            self._waiting_on = ((yielded.signal, "rise"),)
         elif isinstance(yielded, FallingEdge):
             self._waiting_on = ((yielded.signal, "fall"),)
         elif isinstance(yielded, (tuple, list)):

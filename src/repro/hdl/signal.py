@@ -13,7 +13,7 @@ and the device under test.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, Union, TYPE_CHECKING
 
 from .logic import (LogicError, resolve_many, to_vector, vector_to_int)
 
@@ -50,12 +50,22 @@ class Signal:
     driver).  ``sig.release()`` removes the caller's driver ('Z').
     """
 
+    __slots__ = ("sim", "name", "width", "_value", "_previous",
+                 "_drivers", "_sensitive", "_event_delta",
+                 "last_event_time", "change_count", "_norm_cache",
+                 "_driver_gen")
+
+    #: normalisation memo cap per signal (see :meth:`_normalize`)
+    _NORM_CACHE_LIMIT = 4096
+
     def __init__(self, sim: "Simulator", name: str,
                  width: Optional[int] = None,
                  init: Optional[Value] = None) -> None:
         self.sim = sim
         self.name = name
         self.width = width
+        #: memo of already-normalised drive values (vector signals)
+        self._norm_cache: Dict[object, Value] = {}
         if init is None:
             init = "U" if width is None else ("U",) * width
         self._value: Value = self._normalize(init)
@@ -64,6 +74,10 @@ class Signal:
         self._drivers: Dict[object, Value] = {}
         #: processes statically sensitive to this signal
         self._sensitive: List["Process"] = []
+        #: driver identity -> inertial-preemption generation; bumped by
+        #: the kernel's O(1) cancellation (scheduled updates carrying a
+        #: stale generation are tombstones, dropped when popped)
+        self._driver_gen: Dict[object, int] = {}
         self._event_delta: int = -1
         self.last_event_time: Optional[int] = None
         self.change_count = 0
@@ -91,7 +105,7 @@ class Signal:
                 return 0
             raise LogicError(
                 f"signal {self.name}: scalar value {self._value!r} "
-                f"is not 0/1")
+                "is not 0/1")
         return vector_to_int(self._value)
 
     @property
@@ -161,21 +175,41 @@ class Signal:
                     f"got {value}")
             raise DriveError(
                 f"signal {self.name}: bad scalar value {value!r}")
+        # Vector path: memoise validated conversions per signal — the
+        # same octets/words recur on every bus and cell stream, and
+        # to_vector's per-bit validation dominates drive() otherwise.
+        cache = self._norm_cache
         try:
-            return to_vector(value, self.width)
+            cached = cache.get(value)
+        except TypeError:            # unhashable (e.g. a list literal)
+            cached = None
+            cacheable = False
+        else:
+            cacheable = True
+        if cached is not None:
+            return cached
+        try:
+            vector = to_vector(value, self.width)
         except LogicError as exc:
             raise DriveError(f"signal {self.name}: {exc}") from exc
+        if cacheable and len(cache) < self._NORM_CACHE_LIMIT:
+            cache[value] = vector
+        return vector
 
     def _apply(self, driver: object, value: Optional[Value]) -> bool:
         """Install a driver value and recompute the resolution.
 
         Returns True when the resolved value changed (an event).
         """
+        drivers = self._drivers
         if value is None:
-            self._drivers.pop(driver, None)
+            drivers.pop(driver, None)
+            resolved = self._resolve()
         else:
-            self._drivers[driver] = value
-        resolved = self._resolve()
+            drivers[driver] = value
+            # Single-driver fast path: the driven (already normalised)
+            # value IS the resolution — no table walk, no list/zip.
+            resolved = value if len(drivers) == 1 else self._resolve()
         if resolved == self._value:
             return False
         self._previous = self._value
@@ -184,11 +218,14 @@ class Signal:
         return True
 
     def _resolve(self) -> Value:
-        if not self._drivers:
+        drivers = self._drivers
+        if not drivers:
             # No drivers: a signal keeps its current value (VHDL keeps
             # the initial value of an undriven signal).
             return self._value
-        values = list(self._drivers.values())
+        values = list(drivers.values())
+        if len(values) == 1:
+            return values[0]
         if self.width is None:
             return resolve_many(values)
         return tuple(resolve_many(column) for column in zip(*values))

@@ -20,6 +20,19 @@ The kernel counts events, delta cycles and process runs — the raw
 material for the paper's observation that "the number of events that
 event-driven simulators have to evaluate is an order of magnitude
 higher compared to the system-level simulation" (experiment E3).
+
+Hot-path design notes (the paper's conclusion is that "event-driven
+VHDL-simulators are obviously a bottleneck in the co-verification
+process"; this kernel is where that bottleneck lives in the repro):
+
+* future updates are slotted :class:`_ScheduledUpdate` records, and
+  inertial-delay preemption is O(1) *tombstoning* — cancelling bumps a
+  per-driver generation counter on the signal, and stale records are
+  dropped when popped — instead of rescanning/re-heapifying the heap;
+* a :class:`~repro.hdl.cycle.CycleEngine` may be *attached* to the
+  simulator; :meth:`Simulator.run` then delegates to the engine, which
+  applies clock edges by direct dispatch instead of heap-scheduled
+  generator resumes (see ``cycle.py``).
 """
 
 from __future__ import annotations
@@ -27,11 +40,9 @@ from __future__ import annotations
 import heapq
 import itertools
 from typing import Callable, Dict, Generator, List, Optional, Sequence, \
-    Tuple, Union
+    Tuple
 
-from .logic import LogicError
-from .processes import (CallbackProcess, FallingEdge, GeneratorProcess,
-                        Process, ProcessError, RisingEdge)
+from .processes import CallbackProcess, GeneratorProcess, Process
 from .signal import Signal
 
 __all__ = ["Simulator", "SimulationError", "CombinationalLoopError"]
@@ -44,6 +55,24 @@ class SimulationError(Exception):
 class CombinationalLoopError(SimulationError):
     """Raised when delta cycles at one time step exceed the bound —
     the classic symptom of a zero-delay feedback loop."""
+
+
+class _ScheduledUpdate:
+    """A future (non-delta) signal update waiting on the heap.
+
+    ``gen`` snapshots the driver's preemption generation at scheduling
+    time; a mismatch at pop time means the update was cancelled by an
+    inertial re-drive and the record is a tombstone.
+    """
+
+    __slots__ = ("signal", "driver", "value", "gen")
+
+    def __init__(self, signal: Signal, driver: object, value,
+                 gen: int) -> None:
+        self.signal = signal
+        self.driver = driver
+        self.value = value
+        self.gen = gen
 
 
 class Simulator:
@@ -68,7 +97,7 @@ class Simulator:
         #: hooks called with each signal after a value change (VCD etc.)
         self.signal_hooks: List[Callable[[Signal], None]] = []
 
-        self._heap: List[Tuple[int, int, tuple]] = []
+        self._heap: List[Tuple[int, int, object]] = []
         self._seq = itertools.count()
         self._pending_updates: List[tuple] = []
         self._pending_resumes: List[GeneratorProcess] = []
@@ -77,6 +106,9 @@ class Simulator:
         self._anonymous_driver = object()
         self._delta_stamp = 0
         self._initialized = False
+        #: attached cycle-based clock engine (at most one); when set,
+        #: :meth:`run` delegates the clocking to it
+        self._engine = None
 
         # statistics
         self.events_executed = 0     # applied signal updates
@@ -115,7 +147,7 @@ class Simulator:
                   duty_ticks: Optional[int] = None) -> GeneratorProcess:
         """Drive *signal* as a free-running clock of *period* ticks."""
         if period < 2:
-            raise SimulationError(f"clock period must be >= 2 ticks")
+            raise SimulationError("clock period must be >= 2 ticks")
         high = duty_ticks if duty_ticks is not None else period // 2
         if not 0 < high < period:
             raise SimulationError(
@@ -143,6 +175,8 @@ class Simulator:
         if self._initialized:
             return
         self._initialized = True
+        if self._engine is not None:
+            self._engine._prime()
         for process in list(self.processes):
             self._run_process(process)
         self._execute_deltas()
@@ -151,24 +185,24 @@ class Simulator:
         """Run until the event queue drains or *until* ticks.
 
         The clock is advanced to exactly *until* on return when given.
+        With a cycle engine attached the engine supplies the clock
+        edges (same observable semantics, no heap traffic per edge).
         Returns the current time.
         """
         self.initialize()
+        if self._engine is not None:
+            return self._engine._run_until(until)
         self._execute_deltas()
-        while self._heap:
-            next_time = self._heap[0][0]
+        heap = self._heap
+        while heap:
+            next_time = heap[0][0]
             if until is not None and next_time > until:
                 break
             if next_time < self.now:
                 raise SimulationError(
                     f"time reversal: event at {next_time} < {self.now}")
             self.now = next_time
-            while self._heap and self._heap[0][0] == next_time:
-                _t, _s, item = heapq.heappop(self._heap)
-                if item[0] == "update":
-                    self._pending_updates.append(item[1:])
-                else:
-                    self._pending_resumes.append(item[1])
+            self._pop_due(next_time)
             self._execute_deltas()
         if until is not None and until > self.now:
             self.now = until
@@ -180,7 +214,11 @@ class Simulator:
 
     @property
     def pending_event_count(self) -> int:
-        """Scheduled-but-unapplied updates/resumes (incl. future)."""
+        """Scheduled-but-unapplied updates/resumes (incl. future).
+
+        May over-count by inertially cancelled transactions that are
+        still on the heap as tombstones.
+        """
         return (len(self._heap) + len(self._pending_updates)
                 + len(self._pending_resumes))
 
@@ -188,12 +226,17 @@ class Simulator:
         """Time of the earliest scheduled future event, or ``None``."""
         if self._pending_updates or self._pending_resumes:
             return self.now
-        if not self._heap:
-            return None
-        return self._heap[0][0]
+        heap = self._heap
+        while heap:
+            item = heap[0][2]
+            if type(item) is _ScheduledUpdate and self._is_stale(item):
+                heapq.heappop(heap)     # discard the tombstone
+                continue
+            return heap[0][0]
+        return None
 
     # ------------------------------------------------------------------
-    # Kernel internals (used by Signal and processes)
+    # Kernel internals (used by Signal, processes and CycleEngine)
     # ------------------------------------------------------------------
     def _register_signal(self, signal: Signal) -> None:
         self.signals.append(signal)
@@ -201,6 +244,25 @@ class Simulator:
     def _current_driver(self) -> object:
         return (self._current_process if self._current_process is not None
                 else self._anonymous_driver)
+
+    @staticmethod
+    def _is_stale(item: "_ScheduledUpdate") -> bool:
+        return item.gen != item.signal._driver_gen.get(item.driver, 0)
+
+    def _pop_due(self, time: int) -> None:
+        """Move every heap entry stamped *time* to the pending lists,
+        dropping tombstoned updates."""
+        heap = self._heap
+        pending_updates = self._pending_updates
+        pending_resumes = self._pending_resumes
+        while heap and heap[0][0] == time:
+            item = heapq.heappop(heap)[2]
+            if type(item) is _ScheduledUpdate:
+                if item.gen == item.signal._driver_gen.get(item.driver, 0):
+                    pending_updates.append(
+                        (item.signal, item.driver, item.value))
+            else:
+                pending_resumes.append(item)
 
     def _schedule_update(self, signal: Signal, driver: object,
                          value, delay: int) -> None:
@@ -210,28 +272,24 @@ class Simulator:
         if delay == 0:
             self._pending_updates.append((signal, driver, value))
         else:
-            heapq.heappush(self._heap, (self.now + delay, next(self._seq),
-                                        ("update", signal, driver, value)))
+            record = _ScheduledUpdate(
+                signal, driver, value, signal._driver_gen.get(driver, 0))
+            heapq.heappush(self._heap,
+                           (self.now + delay, next(self._seq), record))
 
     def _cancel_pending_updates(self, signal: Signal,
                                 driver: object) -> None:
         """Drop this driver's not-yet-applied updates on *signal*
-        (inertial-delay preemption).  Future (heap) updates are
-        rewritten in place; current-delta updates are filtered."""
-        self._pending_updates = [
-            item for item in self._pending_updates
-            if not (item[0] is signal and item[1] is driver)]
-        kept = []
-        dropped = False
-        for time, seq, item in self._heap:
-            if (item[0] == "update" and item[1] is signal
-                    and item[2] is driver):
-                dropped = True
-                continue
-            kept.append((time, seq, item))
-        if dropped:
-            self._heap = kept
-            heapq.heapify(self._heap)
+        (inertial-delay preemption).  Current-delta updates are
+        filtered from the (small) pending list; future updates become
+        O(1) tombstones — the driver's generation counter is bumped and
+        stale heap records are discarded when they surface."""
+        if self._pending_updates:
+            self._pending_updates = [
+                item for item in self._pending_updates
+                if not (item[0] is signal and item[1] is driver)]
+        gens = signal._driver_gen
+        gens[driver] = gens.get(driver, 0) + 1
 
     def _schedule_resume(self, process: GeneratorProcess,
                          delay: int) -> None:
@@ -239,7 +297,7 @@ class Simulator:
             self._pending_resumes.append(process)
         else:
             heapq.heappush(self._heap, (self.now + delay, next(self._seq),
-                                        ("resume", process)))
+                                        process))
 
     def _add_waiter(self, signal: Signal,
                     process: GeneratorProcess) -> None:
@@ -255,11 +313,20 @@ class Simulator:
         # Late-added callback processes execute in the next delta.
         self._pending_resumes.append(process)  # type: ignore[arg-type]
 
+    def _attach_engine(self, engine) -> None:
+        """Install *engine* as this simulator's clocking scheme."""
+        if self._engine is not None:
+            raise SimulationError(
+                "a cycle engine is already attached to this simulator")
+        self._engine = engine
+
     # ------------------------------------------------------------------
     # The delta loop
     # ------------------------------------------------------------------
     def _execute_deltas(self) -> None:
         rounds = 0
+        hooks = self.signal_hooks
+        waiters = self._waiters
         while self._pending_updates or self._pending_resumes:
             rounds += 1
             if rounds > self.max_delta_cycles:
@@ -267,46 +334,55 @@ class Simulator:
                     f"more than {self.max_delta_cycles} delta cycles at "
                     f"t={self.now}: zero-delay feedback loop?")
             self._delta_stamp += 1
+            stamp = self._delta_stamp
             self.delta_cycles += 1
             updates = self._pending_updates
             resumes = self._pending_resumes
             self._pending_updates = []
             self._pending_resumes = []
 
+            now = self.now
             changed: List[Signal] = []
+            self.events_executed += len(updates)
             for signal, driver, value in updates:
-                self.events_executed += 1
                 if signal._apply(driver, value):
-                    signal._event_delta = self._delta_stamp
-                    signal.last_event_time = self.now
-                    self.signal_events += 1
+                    signal._event_delta = stamp
+                    signal.last_event_time = now
                     changed.append(signal)
+            self.signal_events += len(changed)
 
             runnable: List[Process] = []
             seen = set()
             for signal in changed:
                 for process in signal._sensitive:
-                    if id(process) not in seen and not process.finished:
-                        seen.add(id(process))
+                    if process not in seen and not process.finished:
+                        seen.add(process)
                         runnable.append(process)
-                bucket = self._waiters.get(id(signal), [])
-                for process in list(bucket):
-                    if (id(process) not in seen
-                            and process._satisfied_by(signal)):
-                        seen.add(id(process))
-                        process._disarm(self)
-                        runnable.append(process)
+                bucket = waiters.get(id(signal))
+                if bucket:
+                    for process in list(bucket):
+                        if (process not in seen
+                                and process._satisfied_by(signal)):
+                            seen.add(process)
+                            process._disarm(self)
+                            runnable.append(process)
             for process in resumes:
-                if id(process) not in seen and not process.finished:
-                    seen.add(id(process))
+                if process not in seen and not process.finished:
+                    seen.add(process)
                     runnable.append(process)
 
             for process in runnable:
-                self._run_process(process)
+                self._current_process = process
+                try:
+                    process._run(self)
+                    self.process_runs += 1
+                finally:
+                    self._current_process = None
 
-            for signal in changed:
-                for hook in self.signal_hooks:
-                    hook(signal)
+            if hooks:
+                for signal in changed:
+                    for hook in hooks:
+                        hook(signal)
         # Leave the stamp pointing past the last delta so that
         # Signal.event reads False once delta processing has settled.
         self._delta_stamp += 1

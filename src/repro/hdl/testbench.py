@@ -8,7 +8,7 @@ them.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from .logic import vector_to_int
 from .processes import RisingEdge
@@ -126,7 +126,7 @@ class Scoreboard:
             if self.strict:
                 raise ScoreboardError(
                     f"{self.name}: unexpected item {item!r} "
-                    f"(nothing expected)")
+                    "(nothing expected)")
             return False
         expected = self._expected.pop(0)
         if expected != item:
@@ -152,4 +152,4 @@ class Scoreboard:
         if self._expected:
             raise ScoreboardError(
                 f"{self.name}: {len(self._expected)} expected items "
-                f"never observed")
+                "never observed")

@@ -9,7 +9,7 @@ by GTKWave and friends.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, TextIO, Union
+from typing import Dict, Optional, Sequence, TextIO, Union
 
 from .signal import Signal
 from .simulator import Simulator

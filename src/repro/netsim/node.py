@@ -17,15 +17,12 @@ interrupt at the current time (plus an optional explicit delay).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from .events import Interrupt, InterruptKind
 from .kernel import Kernel
 from .packet import Packet
 from .process import ProcessModel
-
-if TYPE_CHECKING:  # pragma: no cover
-    from .links import Link
 
 __all__ = ["Node", "Module", "ProcessorModule", "QueueModule",
            "SinkModule", "WiringError"]

@@ -9,7 +9,7 @@ process on each crossing, carrying the observed value.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 from .events import Interrupt, InterruptKind
 from .kernel import Kernel

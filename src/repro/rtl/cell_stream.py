@@ -15,7 +15,8 @@ RTL DUTs and by CASTANET's co-simulation entity:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from collections import deque
+from typing import Callable, Deque, List, Optional, Sequence
 
 from ..hdl.logic import vector_to_int
 from ..hdl.processes import RisingEdge
@@ -57,27 +58,34 @@ class CellSender(Component):
         super().__init__(sim, name)
         self.port = port if port is not None else CellStreamPort(sim, name)
         self.gap_octets = gap_octets
-        self._queue: List[Sequence[int]] = []
+        self._queue: Deque[Sequence[int]] = deque()
         self.cells_sent = 0
 
         def run():
+            # One reusable wait object and local bindings: this loop
+            # runs once per clock for the whole simulation.
+            edge = RisingEdge(clk)
+            queue = self._queue
+            atmdata = self.port.atmdata
+            cellsync = self.port.cellsync
+            valid = self.port.valid
             while True:
-                if not self._queue:
+                if not queue:
                     self._drive_idle()
-                    yield RisingEdge(clk)
+                    yield edge
                     continue
-                octets = self._queue.pop(0)
+                octets = queue.popleft()
                 # Drive one octet after each rising edge; the consumer
                 # samples it on the following edge.
                 for index, octet in enumerate(octets):
-                    self.port.atmdata.drive(octet)
-                    self.port.cellsync.drive("1" if index == 0 else "0")
-                    self.port.valid.drive("1")
-                    yield RisingEdge(clk)
+                    atmdata.drive(octet)
+                    cellsync.drive("1" if index == 0 else "0")
+                    valid.drive("1")
+                    yield edge
                 self.cells_sent += 1
                 self._drive_idle()
                 for _ in range(self.gap_octets):
-                    yield RisingEdge(clk)
+                    yield edge
 
         sim.add_generator(f"{name}.sender", run())
 
@@ -116,6 +124,10 @@ class CellReceiver(Component):
         self.cells: List[List[int]] = []
         self._partial: Optional[List[int]] = None
         self.framing_errors = 0
+        # hot-loop bindings (one sample per clock edge)
+        self._valid = port.valid
+        self._cellsync = port.cellsync
+        self._atmdata = port.atmdata
         self.clocked(clk, self._tick)
 
     @property
@@ -124,10 +136,10 @@ class CellReceiver(Component):
         return self._partial is not None
 
     def _tick(self) -> None:
-        if self.port.valid.value != "1":
+        if self._valid.value != "1":
             return
-        octet = vector_to_int(self.port.atmdata.value)
-        if self.port.cellsync.value == "1":
+        octet = vector_to_int(self._atmdata.value)
+        if self._cellsync.value == "1":
             if self._partial is not None:
                 self.framing_errors += 1
             self._partial = [octet]

@@ -18,7 +18,7 @@ Per-client signal bundle (client ``i``):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..hdl.logic import vector_to_int
 from ..hdl.signal import Signal

@@ -42,7 +42,6 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..hdl.logic import vector_to_int
-from ..hdl.processes import RisingEdge
 from ..hdl.signal import Signal
 from ..hdl.simulator import Simulator
 from .accounting_unit import AccountingUnitRtl

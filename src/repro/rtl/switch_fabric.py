@@ -18,7 +18,7 @@ each other in ``tests/rtl/test_switch_fabric.py``.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List
 
 from ..hdl.logic import vector_to_int
 from ..hdl.signal import Signal
@@ -68,7 +68,7 @@ class AtmSwitchRtl(Component):
         if num_ports < 1:
             raise ValueError(f"need >= 1 port, got {num_ports}")
         if queue_depth < 1:
-            raise ValueError(f"queue depth must be >= 1")
+            raise ValueError("queue depth must be >= 1")
         self.num_ports = num_ports
         self.queue_depth = queue_depth
         self.gcu = GlobalControlUnitRtl(sim, f"{name}.gcu", clk,

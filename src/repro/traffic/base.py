@@ -12,7 +12,7 @@ build test-vector files for the hardware test board.
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional
 
 from ..netsim.node import Module
 from ..netsim.packet import Packet

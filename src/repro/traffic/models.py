@@ -9,7 +9,6 @@ seeded and reproducible.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from .base import ArrivalProcess
 

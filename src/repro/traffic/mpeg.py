@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterator, List, Sequence, Tuple
+from typing import List, Tuple
 
 from .base import ArrivalProcess
 

@@ -11,7 +11,6 @@ is H = (3 - α) / 2 for Pareto shape 1 < α < 2.
 
 from __future__ import annotations
 
-import math
 import random
 from typing import List, Sequence
 

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.atm import (AtmCell, CallControlProcess, CallRequest,
                        PbsQueueModule, Tariff)
-from repro.netsim import Network, Packet, ProcessorModule, SinkModule
+from repro.netsim import Network, ProcessorModule, SinkModule
 
 
 def make_pbs(capacity=8, threshold=4, service_time=None):

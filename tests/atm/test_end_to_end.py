@@ -6,7 +6,6 @@ breaking AAL5 CRCs), which is why charging/policing hardware needs to
 exist in the first place.
 """
 
-import pytest
 
 from repro.atm import (AalError, AtmCell, AtmSwitch, Reassembler,
                        STM1_CELL_TIME, segment)

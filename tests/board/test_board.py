@@ -3,9 +3,8 @@
 import pytest
 
 from repro.board import (BoardError, ConfigurationDataSet, HardwareTestBoard,
-                         LoopbackDevice, MAX_BOARD_CLOCK_HZ,
-                         MAX_CYCLE_CLOCKS, NUM_BYTE_LANES, PinSegment,
-                         PortMapping, RtlPinDevice, ScsiBus)
+                         LoopbackDevice, MAX_CYCLE_CLOCKS, NUM_BYTE_LANES,
+                         PinSegment, PortMapping, RtlPinDevice, ScsiBus)
 from repro.hdl import Simulator
 from repro.rtl import Counter
 

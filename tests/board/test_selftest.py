@@ -1,6 +1,5 @@
 """Tests for the board power-on self-test."""
 
-import pytest
 
 from repro.board import (BoardSelfTest, HardwareTestBoard,
                          LoopbackDevice, loopback_all_lanes_config)

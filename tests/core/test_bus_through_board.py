@@ -13,7 +13,6 @@ direction control), and open-loop stimulus vectors perform register
 writes and read-backs through the pins.
 """
 
-import pytest
 
 from repro.board import (ConfigurationDataSet, CtrlPortMapping,
                          HardwareTestBoard, IoPortMapping, PinSegment,

@@ -8,8 +8,7 @@ model at the system level.
 import pytest
 
 from repro.atm import AccountingUnit, AtmCell, Tariff
-from repro.core import (CoVerificationEnvironment, StreamComparator,
-                        TapModule, TimeBase)
+from repro.core import CoVerificationEnvironment, StreamComparator, TapModule
 from repro.netsim import SinkModule
 from repro.rtl import (AccountingUnitRtl, AtmPortModuleRtl, RECORD_WORDS)
 from repro.traffic import ConstantBitRate, TrafficSource

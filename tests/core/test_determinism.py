@@ -5,18 +5,17 @@ bit-reproducible — the property every golden-result comparison in
 this repository quietly depends on.
 """
 
-import pytest
 
 from repro.atm import AtmCell
 from repro.core import CoVerificationEnvironment
 from repro.rtl import AtmPortModuleRtl
-from repro.traffic import (MarkovModulatedPoisson, OnOffSource,
-                           PoissonArrivals, TrafficSource)
+from repro.traffic import (MarkovModulatedPoisson, PoissonArrivals,
+                           TrafficSource)
 from repro.netsim import Network, SinkModule
 
 
-def run_coverification_once():
-    env = CoVerificationEnvironment()
+def run_coverification_once(clocking="cycle"):
+    env = CoVerificationEnvironment(clocking=clocking)
     dut = AtmPortModuleRtl(env.hdl, "dut", env.clk)
     dut.install(1, 100, 2, 200)
     entity = env.add_dut(rx_port=dut.rx, tx_port=dut.tx)
@@ -32,7 +31,7 @@ def run_coverification_once():
     host.connect(source, 0, tap, 0)
     env.run()
     env.finish()
-    return ([(round(t, 12), c.vci, c.payload[0])
+    return ([(round(t, 12), c.to_octets())
              for t, c in entity.output_cells],
             env.hdl.events_executed,
             env.network.kernel.executed_events)
@@ -40,6 +39,19 @@ def run_coverification_once():
 
 def test_full_coverification_run_is_reproducible():
     assert run_coverification_once() == run_coverification_once()
+
+
+def test_clocking_schemes_are_trace_identical():
+    """Kernel-equivalence regression: the fast-dispatch cycle engine
+    (the default since the hot-path overhaul) and the seed event-driven
+    generator clock must yield byte-identical DUT output cell streams,
+    identical timestamps and identical kernel event counts."""
+    cycle = run_coverification_once(clocking="cycle")
+    event = run_coverification_once(clocking="event")
+    assert cycle[0] == event[0]     # (time, octets) byte-identical
+    assert len(cycle[0]) == 20
+    assert cycle[1] == event[1]     # same kernel events executed
+    assert cycle[2] == event[2]     # same netsim events
 
 
 def run_network_once(seed):

@@ -5,7 +5,6 @@ observed at the network level are queued to a board-hosted device, and
 ``env.finish()`` flushes the remaining partial test cycle.
 """
 
-import pytest
 
 from repro.atm import AccountingUnit, AtmCell, Tariff
 from repro.board import HardwareTestBoard, RtlPinDevice

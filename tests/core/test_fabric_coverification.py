@@ -7,7 +7,6 @@ decision.  The heaviest composition in the test suite: netsim +
 4-way coupling + GCU arbitration + stream comparison.
 """
 
-import pytest
 
 from repro.atm import AtmCell
 from repro.core import CoVerificationEnvironment

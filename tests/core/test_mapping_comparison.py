@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 from repro.atm import AtmCell
 from repro.core import (CellMapper, FieldSpec, MappingError,
                         StreamComparator, StructMapper)
-from repro.netsim import Packet
 
 
 class TestStructMapper:

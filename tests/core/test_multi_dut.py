@@ -5,11 +5,9 @@ of hardware devices" — one network-level test bench must drive several
 coupled devices at once.
 """
 
-import pytest
 
 from repro.atm import AccountingUnit, AtmCell, Tariff
 from repro.core import CoVerificationEnvironment
-from repro.netsim import SinkModule
 from repro.rtl import AccountingUnitRtl, AtmPortModuleRtl
 from repro.traffic import ConstantBitRate, TrafficSource
 

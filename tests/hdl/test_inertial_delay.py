@@ -1,6 +1,5 @@
 """Tests for inertial vs transport delay semantics."""
 
-import pytest
 
 from repro.hdl import Simulator
 

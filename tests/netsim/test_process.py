@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.netsim import (FsmError, Interrupt, InterruptKind, Kernel,
-                          Network, Packet, ProcessModel, ProcessorModule,
-                          SinkModule, State)
+from repro.netsim import (FsmError, InterruptKind, Network, Packet,
+                          ProcessModel, ProcessorModule, SinkModule, State)
 
 
 def make_hosted_process(process):

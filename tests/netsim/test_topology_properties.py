@@ -1,6 +1,5 @@
 """Property tests over randomly generated topologies."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.netsim import Network, Packet, QueueModule, SinkModule

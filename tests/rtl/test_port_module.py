@@ -1,6 +1,5 @@
 """Tests for the RTL port module (HEC check + VPI/VCI translation)."""
 
-import pytest
 
 from repro.atm import AtmCell
 from repro.hdl import Simulator

@@ -5,7 +5,6 @@ broken promise in the README.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -1,6 +1,5 @@
 """Unit tests for MPEG trace synthesis and trace record/replay."""
 
-import math
 
 import pytest
 

@@ -1,9 +1,7 @@
 """Tests for self-similar (Pareto on-off) traffic."""
 
-import statistics
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.traffic import (ParetoOnOffSource, PoissonArrivals,
                            SelfSimilarAggregate, hurst_from_shape,

@@ -1,6 +1,5 @@
 """Integration tests: traffic sources feeding a network model."""
 
-import pytest
 
 from repro.netsim import Network, Packet, SinkModule
 from repro.traffic import (ConstantBitRate, PoissonArrivals, TrafficSource,
