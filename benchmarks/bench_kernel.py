@@ -100,7 +100,10 @@ def bench_e1(cells=None):
     """E1 throughput: co-simulation vs the pure-RTL bench."""
     cells = scaled(160) if cells is None else cells
 
-    env, dut, entity, reference = build_cosim_accounting(cells)
+    # observability off: this benchmark tracks the raw kernel/protocol
+    # throughput (the repro-stats scenario measures the observed run)
+    env, dut, entity, reference = build_cosim_accounting(cells,
+                                                         observe=False)
     start = time.perf_counter()
     cosim_stats = run_cosim_accounting(env, dut, entity, reference)
     cosim_wall = time.perf_counter() - start

@@ -1,0 +1,101 @@
+"""Benchmark regression guard — fails CI on a large perf drop.
+
+Reads the *committed* ``BENCH_kernel.json`` / ``BENCH_e1.json``
+baselines at the repo root (before they get overwritten), re-runs both
+benchmarks fresh, writes the new artifacts, and compares the
+throughput figures (simulated DUT clock cycles per wall second):
+
+* kernel: event-driven and cycle-engine clocking of the port-module
+  bench;
+* e1: co-simulation and pure-RTL throughput of the headline workload.
+
+A metric more than ``REPRO_BENCH_TOLERANCE`` (default 0.30, i.e. 30 %)
+below its baseline fails the run with exit code 1.  The generous
+default absorbs hardware differences between the machine that
+committed the baseline and the CI runner; throughput is roughly
+scale-independent, so smoke scales compare against full-scale
+baselines.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # script mode
+    sys.path.insert(0, str(Path(__file__).parent))
+    from bench_kernel import bench_e1, bench_kernel
+    from common import save_bench_json, scale
+else:
+    from .bench_kernel import bench_e1, bench_kernel
+    from .common import save_bench_json, scale
+
+REPO_ROOT = Path(__file__).parent.parent
+
+#: (artifact, human label, key path to the guarded throughput figure)
+CHECKS = [
+    ("kernel", "kernel event-driven", ("event_driven", "cycles_per_s")),
+    ("kernel", "kernel cycle-engine", ("cycle_engine", "cycles_per_s")),
+    ("e1", "e1 co-simulation", ("cosim", "cycles_per_s")),
+    ("e1", "e1 pure RTL", ("pure_rtl", "cycles_per_s")),
+]
+
+
+def _dig(payload, keys):
+    for key in keys:
+        if not isinstance(payload, dict) or key not in payload:
+            return None
+        payload = payload[key]
+    return payload
+
+
+def main() -> int:
+    tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.30"))
+
+    # baselines first: the fresh run overwrites the artifacts in place
+    baselines = {}
+    for name in ("kernel", "e1"):
+        path = REPO_ROOT / f"BENCH_{name}.json"
+        if path.is_file():
+            baselines[name] = json.loads(path.read_text())
+
+    print(f"benchmark regression guard "
+          f"(tolerance {tolerance:.0%}, REPRO_BENCH_SCALE={scale():g})")
+    fresh = {"kernel": bench_kernel(), "e1": bench_e1()}
+    for name, payload in fresh.items():
+        save_bench_json(name, payload)
+
+    if not baselines:
+        print("no committed baselines found — artifacts written, "
+              "nothing to compare")
+        return 0
+
+    failures = []
+    for name, label, keys in CHECKS:
+        old = _dig(baselines.get(name, {}), keys)
+        new = _dig(fresh[name], keys)
+        if old is None or new is None or old <= 0:
+            print(f"  {label:<22} baseline missing — skipped")
+            continue
+        ratio = new / old
+        verdict = "ok"
+        if ratio < 1.0 - tolerance:
+            verdict = "REGRESSION"
+            failures.append(label)
+        print(f"  {label:<22} {old:>10.0f} -> {new:>10.0f} cyc/s "
+              f"({ratio:>6.2f}x)  {verdict}")
+
+    if failures:
+        print(f"FAIL: {len(failures)} metric(s) regressed more than "
+              f"{tolerance:.0%}: {', '.join(failures)}")
+        return 1
+    print("all guarded metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

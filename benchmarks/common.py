@@ -76,19 +76,22 @@ def save_bench_json(name: str, payload: Dict) -> Path:
 def build_cosim_accounting(num_cells: int, load: float = 0.25,
                            lockstep: bool = False,
                            bug: Optional[str] = None,
-                           clocking: str = "cycle"):
+                           clocking: str = "cycle",
+                           observe: bool = True):
     """Figure-1 setup: 4-port abstract switch, CBR sources at *load*
     per port, the RTL accounting unit coupled as the DUT on the
     aggregate switched stream.
 
     *clocking* selects the DUT clock scheme ("cycle" fast dispatch,
-    the default, or the seed "event" generator clock).
+    the default, or the seed "event" generator clock); *observe=False*
+    disables the metrics registry (the perf benchmarks measure the
+    un-instrumented stack).
 
     Returns (env, dut, entity, reference, finish) where finish() runs
     the drain and returns DUT records.
     """
     env = CoVerificationEnvironment(timebase=TIMEBASE, lockstep=lockstep,
-                                    clocking=clocking)
+                                    clocking=clocking, observe=observe)
     dut = AccountingUnitRtl(env.hdl, "acct", env.clk, bug=bug)
     entity = env.add_dut(rx_port=dut.rx, tick_signal=dut.tariff_tick)
     reference = AccountingUnit(drop_unknown=True)

@@ -214,6 +214,15 @@ class HardwareTestBoard:
         self.total_clocks += n
         return n / self.clock_hz
 
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Machine-readable board counters for observability."""
+        return {
+            "cycles_run": self.cycles_run,
+            "total_clocks": self.total_clocks,
+            "clock_hz": self.clock_hz,
+            "scsi": self.scsi.stats_snapshot(),
+        }
+
     # ------------------------------------------------------------------
     # Complete test cycle
     # ------------------------------------------------------------------

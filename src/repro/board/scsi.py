@@ -43,6 +43,8 @@ class ScsiBus:
         self.bandwidth = bandwidth_bytes_per_s
         self.overhead = command_overhead_s
         self.log: List[ScsiTransfer] = []
+        self._sum_time = 0.0
+        self._sum_bytes = 0
 
     def transfer(self, command: str, payload_bytes: int) -> float:
         """Execute one transaction; returns its duration in seconds."""
@@ -50,14 +52,24 @@ class ScsiBus:
             raise ValueError(f"negative payload {payload_bytes}")
         duration = self.overhead + payload_bytes / self.bandwidth
         self.log.append(ScsiTransfer(command, payload_bytes, duration))
+        self._sum_time += duration
+        self._sum_bytes += payload_bytes
         return duration
 
     @property
     def total_time(self) -> float:
         """Accumulated bus time over all transactions."""
-        return sum(item.duration for item in self.log)
+        return self._sum_time
 
     @property
     def total_bytes(self) -> int:
         """Accumulated payload bytes over all transactions."""
-        return sum(item.payload_bytes for item in self.log)
+        return self._sum_bytes
+
+    def stats_snapshot(self) -> dict:
+        """Machine-readable bus totals for observability snapshots."""
+        return {
+            "transfers": len(self.log),
+            "total_bytes": self._sum_bytes,
+            "total_time_s": self._sum_time,
+        }

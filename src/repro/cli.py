@@ -5,17 +5,22 @@ Small operational conveniences for exploring the reproduction:
 * ``inventory`` — the package map (what substitutes what);
 * ``examples`` — list runnable example scripts;
 * ``example NAME`` — run one example;
-* ``results`` — print the experiment tables of the last benchmark run.
+* ``results`` — print the experiment tables of the last benchmark run;
+* ``stats`` — run the observed E1 scenario and report the
+  co-simulation metrics (sync windows, null messages, lag histogram,
+  kernel counters, per-cell latency), exporting JSON alongside the
+  ``BENCH_*.json`` artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import runpy
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 __all__ = ["main"]
 
@@ -103,6 +108,93 @@ def _cmd_results(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == 0.0:
+        return "0"
+    for unit, scale in (("s", 1.0), ("ms", 1e-3), ("us", 1e-6),
+                        ("ns", 1e-9)):
+        if abs(value) >= scale:
+            return f"{value / scale:.3g} {unit}"
+    return f"{value:.3g} s"
+
+
+def _print_histogram(label: str, hist: Dict[str, object]) -> None:
+    print(f"  {label}: n={hist['count']}"
+          f"  mean={_format_seconds(hist['mean'])}"
+          f"  p50={_format_seconds(hist['p50'])}"
+          f"  p99={_format_seconds(hist['p99'])}"
+          f"  max={_format_seconds(hist['max'])}")
+    for bucket in hist["buckets"]:
+        le = bucket["le"]
+        bound = "+inf" if le == "inf" else _format_seconds(le)
+        print(f"      <= {bound:<8} {bucket['count']}")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    # Lazy import: the scenario pulls in the whole stack, and
+    # repro.obs deliberately does not import it (repro.core imports
+    # repro.obs — the reverse edge would be circular).
+    from repro.obs.scenario import run_observed_e1
+
+    report = run_observed_e1(cells=args.cells, load=args.load,
+                             lockstep=args.lockstep, trace=args.trace)
+    workload = report["workload"]
+    print(f"observed E1 scenario — {workload['cells']} cells, "
+          f"load {workload['load']}, "
+          f"{'lockstep' if args.lockstep else 'conservative'} sync")
+    print(f"  {workload['hdl_clocks']} DUT clocks in "
+          f"{workload['wall_s']:.3f} s wall "
+          f"({workload['cycles_per_s']:,.0f} cycles/s)")
+
+    print("\nsynchronisation:")
+    for entity in report["entities"]:
+        sync = entity["sync"]
+        print(f"  windows granted     {sync['windows_granted']}")
+        print(f"  null messages       {sync['null_messages']}")
+        print(f"  stale advances      {sync['stale_advances']}")
+        print(f"  messages posted     {sync['messages_posted']}")
+        print(f"  messages released   {sync['messages_released']}")
+        print(f"  drains              {sync['drains']}")
+        print(f"  max lag             "
+              f"{_format_seconds(sync['max_lag_seconds'])}")
+
+    print("\nkernels:")
+    hdl = report["hdl_kernel"]
+    net = report["netsim_kernel"]
+    print(f"  hdl: {hdl['events_executed']} events, "
+          f"{hdl['delta_cycles']} delta cycles, "
+          f"{hdl['signal_events']} signal events, "
+          f"{hdl['process_runs']} process runs")
+    print(f"  netsim: {net['executed_events']} events, "
+          f"{net['time_advances']} time advances, "
+          f"peak queue {net['peak_pending_events']}")
+
+    instruments = report.get("instruments", {})
+    histograms = instruments.get("histograms", {})
+    print("\ndistributions:")
+    for name in ("sync.lag_s", "sync.queue_wait_s.cell",
+                 "sync.queue_wait_s.tariff_tick",
+                 "cosim.cell_ingress_latency_s",
+                 "cosim.cell_e2e_latency_s"):
+        if name in histograms:
+            _print_histogram(name, histograms[name])
+    unmatched = instruments.get("counters", {}).get(
+        "cosim.latency_unmatched", 0)
+    if unmatched:
+        print(f"  WARNING: {unmatched} latency sample(s) unmatched")
+
+    if args.json:
+        path = Path(args.json)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True)
+                        + "\n")
+        print(f"\nwrote {path}")
+    if args.trace:
+        print(f"wrote trace {args.trace}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -122,6 +214,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         "results",
         help="print the latest benchmark tables").set_defaults(
         fn=_cmd_results)
+    stats = commands.add_parser(
+        "stats",
+        help="run the observed E1 scenario and report co-simulation "
+             "metrics")
+    stats.add_argument("--cells", type=int, default=64,
+                       help="total cell budget (default 64)")
+    stats.add_argument("--load", type=float, default=0.25,
+                       help="per-port line occupancy (default 0.25)")
+    stats.add_argument("--lockstep", action="store_true",
+                       help="use the naive per-clock synchroniser "
+                            "(the E2 ablation)")
+    stats.add_argument("--json",
+                       default=str(_repo_root() / "BENCH_stats.json"),
+                       help="metrics JSON output path "
+                            "(default BENCH_stats.json; '' disables)")
+    stats.add_argument("--trace", default=None,
+                       help="also write a JSON-lines decision trace "
+                            "to this path")
+    stats.set_defaults(fn=_cmd_stats)
     args = parser.parse_args(argv)
     if not getattr(args, "fn", None):
         parser.print_help()

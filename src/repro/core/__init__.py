@@ -11,7 +11,8 @@ from .board_interface import (BoardInterfaceModel, IN_ATMDATA, IN_CELLSYNC,
                               IN_TICK, IN_VALID, OUT_REC_VALID,
                               OUT_REC_WORD, cell_stream_pin_config)
 from .comparison import Mismatch, StreamComparator, VerificationReport
-from .cosim import CELL_MSG, CosimulationEntity, TICK_MSG
+from .cosim import (CELL_MSG, CosimulationEntity,
+                    ResidualBacklogWarning, TICK_MSG)
 from .environment import CoVerificationEnvironment, TapModule
 from .ifgen import (GeneratedBundle, GeneratedReceiver, GeneratedSender,
                     InterfaceDescription, atm_cell_interface,
@@ -33,7 +34,8 @@ __all__ = [
     "IN_VALID", "OUT_REC_VALID", "OUT_REC_WORD",
     "cell_stream_pin_config",
     "Mismatch", "StreamComparator", "VerificationReport",
-    "CELL_MSG", "CosimulationEntity", "TICK_MSG",
+    "CELL_MSG", "CosimulationEntity", "ResidualBacklogWarning",
+    "TICK_MSG",
     "CoVerificationEnvironment", "TapModule",
     "GeneratedBundle", "GeneratedReceiver", "GeneratedSender",
     "InterfaceDescription", "atm_cell_interface",

@@ -160,6 +160,19 @@ class BoardInterfaceModel:
             if response.get(OUT_REC_VALID, 0) == 1:
                 self.record_words.append(response[OUT_REC_WORD])
 
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Machine-readable hardware-in-the-loop counters."""
+        hw_time = sum(stats.hw_time for stats in self.cycle_stats)
+        return {
+            "cells_sent": self.cells_sent,
+            "ticks_sent": self.ticks_sent,
+            "test_cycles": len(self.cycle_stats),
+            "record_words": len(self.record_words),
+            "hw_time_s": hw_time,
+            "total_wall_time_s": self.total_wall_time(),
+            "board": self.board.stats_snapshot(),
+        }
+
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------

@@ -14,7 +14,10 @@ message-level API the network-simulator side drives.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import warnings
+from collections import deque
+from typing import (Callable, Deque, Dict, List, Optional, Tuple,
+                    TYPE_CHECKING)
 
 from ..atm.cell import AtmCell
 from ..hdl.signal import Signal
@@ -26,12 +29,23 @@ from .messages import TimestampedMessage
 from .sync import ConservativeSynchronizer, LockstepSynchronizer
 from .timebase import TimeBase
 
-__all__ = ["CosimulationEntity", "CELL_MSG", "TICK_MSG"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.trace import TraceWriter
+
+__all__ = ["CosimulationEntity", "ResidualBacklogWarning", "CELL_MSG",
+           "TICK_MSG"]
 
 #: message type of a data cell crossing into the HDL simulator
 CELL_MSG = "cell"
 #: message type of a tariff-interval tick (accounting case study)
 TICK_MSG = "tariff_tick"
+
+
+class ResidualBacklogWarning(RuntimeWarning):
+    """Issued when :meth:`CosimulationEntity.finish` exhausts its
+    settle budget with stimulus still queued or a cell still being
+    collected — ``output_cells`` is then truncated."""
 
 
 class CosimulationEntity:
@@ -69,7 +83,9 @@ class CosimulationEntity:
                  tx_port: Optional[CellStreamPort] = None,
                  tick_signal: Optional[Signal] = None,
                  deltas: Optional[Dict[str, int]] = None,
-                 lockstep: bool = False) -> None:
+                 lockstep: bool = False,
+                 metrics: Optional["MetricsRegistry"] = None,
+                 trace: Optional["TraceWriter"] = None) -> None:
         self.hdl = hdl
         self.clk = clk
         self.timebase = timebase
@@ -99,6 +115,27 @@ class CosimulationEntity:
                                                  handlers=handlers)
         self.cells_in = 0
         self.ticks_in = 0
+        #: earliest HDL tick at which the next tariff pulse may start
+        #: (pulses are serialised so every tick has a distinct edge)
+        self._tick_free = 0
+
+        # -- observability (None-guarded; zero cost when absent) ------
+        self._trace = trace
+        self._ingress_hist = None
+        self._e2e_hist = None
+        self._latency_unmatched = None
+        self._inflight_ingress: Deque[float] = deque()
+        self._inflight_e2e: Deque[float] = deque()
+        self.sync.attach_observability(metrics, trace)
+        if metrics is not None and metrics.enabled:
+            self._ingress_hist = metrics.histogram(
+                "cosim.cell_ingress_latency_s")
+            self._latency_unmatched = metrics.counter(
+                "cosim.latency_unmatched")
+            self.sender.on_cell_sent = self._on_cell_ingress
+            if self.receiver is not None:
+                self._e2e_hist = metrics.histogram(
+                    "cosim.cell_e2e_latency_s")
 
     # ------------------------------------------------------------------
     # Network-simulator-side API
@@ -108,6 +145,10 @@ class CosimulationEntity:
         stamped with netsim *time*."""
         if isinstance(cell, Packet):
             cell = AtmCell.from_packet(cell)
+        if self._ingress_hist is not None:
+            self._inflight_ingress.append(time)
+            if self._e2e_hist is not None:
+                self._inflight_e2e.append(time)
         self.sync.post(CELL_MSG, time, cell)
 
     def send_tariff_tick(self, time: float) -> None:
@@ -128,12 +169,21 @@ class CosimulationEntity:
         last responses out (a cell in flight on ``tx_port``); the
         entity keeps the clock running, one cell time per round, until
         the output has been quiet for a full cell time.
+
+        If *max_settle_cells* rounds pass with the DUT still busy
+        (stimulus cells queued, or a cell partially collected on
+        ``tx_port``), :attr:`output_cells` is truncated; a
+        :class:`ResidualBacklogWarning` reporting the residual backlog
+        is issued rather than returning silently.
         """
         if isinstance(self.sync, ConservativeSynchronizer):
             self.sync.drain(time)
         elif time is not None:
             self.sync.advance_time(time)
         cell_ticks = self.timebase.cell_time_ticks
+        still_busy = (self.sender.backlog > 0
+                      or (self.receiver is not None
+                          and self.receiver.collecting))
         for _ in range(max_settle_cells):
             before = len(self.output_cells)
             target = self.hdl.now + cell_ticks
@@ -147,6 +197,21 @@ class CosimulationEntity:
                               and self.receiver.collecting))
             if not still_busy and len(self.output_cells) == before:
                 break
+        if self._trace is not None:
+            self._trace.emit("finish",
+                             hdl_s=self.timebase.to_seconds(self.hdl.now),
+                             residual=self.sender.backlog)
+        if still_busy:
+            collecting = (self.receiver is not None
+                          and self.receiver.collecting)
+            warnings.warn(
+                f"CosimulationEntity.finish: settle budget of "
+                f"{max_settle_cells} cell times exhausted with "
+                f"{self.sender.backlog} stimulus cell(s) still queued"
+                + (" and a cell partially collected on tx_port"
+                   if collecting else "")
+                + " — output_cells is truncated; raise max_settle_cells",
+                ResidualBacklogWarning, stacklevel=2)
 
     # ------------------------------------------------------------------
     # HDL-side internals
@@ -157,15 +222,49 @@ class CosimulationEntity:
             self.sender.send(self.mapper.cell_to_octets(message.payload))
         elif message.msg_type == TICK_MSG:
             self.ticks_in += 1
-            self.tick_signal.drive("1")
-            self.tick_signal.drive(
-                "0", delay=self.timebase.clock_period_ticks)
+            # Pulses are serialised: back-to-back ticks within one
+            # clock period would otherwise merge into a single high
+            # level (one observable edge for several ticks).  Each
+            # pulse is one period high followed by one period low, so
+            # every tick produces a distinct rising edge on the DUT.
+            period = self.timebase.clock_period_ticks
+            start = max(self.hdl.now, self._tick_free)
+            delay = start - self.hdl.now
+            self.tick_signal.drive("1", delay=delay)
+            self.tick_signal.drive("0", delay=delay + period)
+            self._tick_free = start + 2 * period
+            if self._trace is not None:
+                self._trace.emit("tick_pulse", hdl_tick=start,
+                                 deferred_ticks=delay)
         else:  # pragma: no cover - future message types
             raise KeyError(f"unhandled message type {message.msg_type!r}")
+
+    def _on_cell_ingress(self) -> None:
+        """Observability hook: a stimulus cell finished clocking into
+        the DUT — record netsim-injection → ingress-complete latency."""
+        if not self._inflight_ingress:
+            self._latency_unmatched.inc()
+            return
+        injected = self._inflight_ingress.popleft()
+        self._ingress_hist.record(max(
+            0.0, self.timebase.to_seconds(self.hdl.now) - injected))
 
     def _on_cell_out(self, octets: List[int]) -> None:
         cell = self.mapper.octets_to_cell(octets)
         when = self.timebase.to_seconds(self.hdl.now)
         self.output_cells.append((when, cell))
+        if self._e2e_hist is not None:
+            # FIFO matching: exact for in-order DUTs; a dropped cell
+            # skews subsequent samples (counted via latency_unmatched
+            # when the deque underruns).
+            if self._inflight_e2e:
+                injected = self._inflight_e2e.popleft()
+                latency = max(0.0, when - injected)
+                self._e2e_hist.record(latency)
+                if self._trace is not None:
+                    self._trace.emit("cell_out", hdl_s=when,
+                                     latency_s=latency)
+            else:
+                self._latency_unmatched.inc()
         if self.on_output is not None:
             self.on_output(when, cell)

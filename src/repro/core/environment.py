@@ -18,13 +18,17 @@ coupled DUT(s), and (optionally) forwards it unchanged.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 from ..hdl.cycle import CycleEngine
 from ..hdl.simulator import Simulator
 from ..netsim.node import Module
 from ..netsim.packet import Packet
 from ..netsim.topology import Network
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
+from ..obs.trace import TraceWriter
 from ..rtl.cell_stream import CellStreamPort
 from .board_interface import BoardInterfaceModel
 from .comparison import StreamComparator, VerificationReport
@@ -83,8 +87,22 @@ class CoVerificationEnvironment:
     def __init__(self, name: str = "castanet",
                  timebase: Optional[TimeBase] = None,
                  lockstep: bool = False,
-                 clocking: str = "cycle") -> None:
+                 clocking: str = "cycle",
+                 observe: bool = True,
+                 trace: Optional[Union[str, Path,
+                                       TraceWriter]] = None) -> None:
         self.name = name
+        # Observability: the registry collects lag/queue-wait/latency
+        # histograms from the synchronisers and entities; *trace* (a
+        # path or a TraceWriter) additionally streams every
+        # co-simulation decision as JSON lines.  ``observe=False``
+        # installs the shared null registry — instrumented sites then
+        # cost one attribute check each, nothing is recorded.
+        self.metrics_registry = MetricsRegistry() if observe \
+            else NULL_REGISTRY
+        if trace is not None and not isinstance(trace, TraceWriter):
+            trace = TraceWriter(trace)
+        self.trace: Optional[TraceWriter] = trace
         self.timebase = timebase if timebase is not None \
             else TimeBase.for_line_rate()
         self.network = Network(f"{name}.net")
@@ -126,7 +144,9 @@ class CoVerificationEnvironment:
         entity = CosimulationEntity(self.hdl, self.clk, self.timebase,
                                     rx_port=rx_port, tx_port=tx_port,
                                     tick_signal=tick_signal,
-                                    deltas=deltas, lockstep=self.lockstep)
+                                    deltas=deltas, lockstep=self.lockstep,
+                                    metrics=self.metrics_registry,
+                                    trace=self.trace)
         self.entities.append(entity)
         return entity
 
@@ -159,7 +179,8 @@ class CoVerificationEnvironment:
             max_events: Optional[int] = None) -> float:
         """Run the network simulation; coupled DUTs follow along via
         the synchronisation protocol."""
-        return self.network.run(until=until, max_events=max_events)
+        with self.metrics_registry.timer("env.run_wall_s"):
+            return self.network.run(until=until, max_events=max_events)
 
     def finish(self) -> None:
         """Drain every coupled simulator and board interface."""
@@ -167,10 +188,13 @@ class CoVerificationEnvironment:
             return
         self._finished = True
         horizon = self.network.kernel.now
-        for entity in self.entities:
-            entity.finish(horizon)
-        for interface in self.board_interfaces:
-            interface.flush()
+        with self.metrics_registry.timer("env.finish_wall_s"):
+            for entity in self.entities:
+                entity.finish(horizon)
+            for interface in self.board_interfaces:
+                interface.flush()
+        if self.trace is not None:
+            self.trace.close()
 
     def reports(self) -> List[VerificationReport]:
         """Compare every registered comparator and collect reports."""
@@ -179,6 +203,53 @@ class CoVerificationEnvironment:
     def all_passed(self) -> bool:
         """True when every comparator's report passes."""
         return all(report.passed for report in self.reports())
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, object]:
+        """One machine-readable snapshot of the whole environment:
+        kernel counters of both simulators, per-entity synchronisation
+        statistics, board-interface totals and every registry
+        instrument (lag/queue-wait/latency histograms, span timers).
+
+        The metric names and trace schema are documented in DESIGN.md
+        §"Observability"."""
+        snapshot: Dict[str, object] = {
+            "name": self.name,
+            "clocking": self.clocking,
+            "lockstep": self.lockstep,
+            "hdl_kernel": self.hdl.stats_snapshot(),
+            "netsim_kernel": self.network.kernel.stats_snapshot(),
+            "entities": [
+                {
+                    "cells_in": entity.cells_in,
+                    "ticks_in": entity.ticks_in,
+                    "output_cells": len(entity.output_cells),
+                    "sender_backlog": entity.sender.backlog,
+                    "sync": entity.sync.stats.as_dict(),
+                }
+                for entity in self.entities
+            ],
+            "board_interfaces": [
+                interface.stats_snapshot()
+                for interface in self.board_interfaces
+            ],
+        }
+        if self.clock_engine is not None:
+            snapshot["clock_engine"] = self.clock_engine.stats_snapshot()
+        if self.metrics_registry.enabled:
+            snapshot["instruments"] = self.metrics_registry.snapshot()
+        if self.trace is not None:
+            snapshot["trace_records"] = self.trace.emitted
+        return snapshot
+
+    def export_metrics(self, path: Union[str, Path]) -> Path:
+        """Write :meth:`metrics` as indented JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.metrics(), indent=2,
+                                   sort_keys=True) + "\n")
+        return path
 
     # ------------------------------------------------------------------
     # Internals

@@ -29,11 +29,15 @@ the clocking scheme.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
 
 from ..hdl.simulator import Simulator
 from .messages import (CausalityError, MessageQueueSet, TimestampedMessage)
 from .timebase import TimeBase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.trace import TraceWriter
 
 __all__ = ["ConservativeSynchronizer", "LockstepSynchronizer",
            "SyncStatistics"]
@@ -42,7 +46,11 @@ Handler = Callable[[TimestampedMessage], None]
 
 
 class SyncStatistics:
-    """Counters shared by the synchronisation strategies."""
+    """Counters shared by the synchronisation strategies.
+
+    Always-on (plain integer adds): the E2 sync-exchange accounting
+    must be available even with the observability registry disabled.
+    """
 
     def __init__(self) -> None:
         self.messages_posted = 0
@@ -50,6 +58,14 @@ class SyncStatistics:
         self.windows_granted = 0
         self.ticks_simulated = 0
         self.max_lag_seconds = 0.0
+        #: messages released from their input queue to a handler
+        self.messages_released = 0
+        #: null messages whose stamp could not advance anything —
+        #: behind the known originator time (conservative) or at/behind
+        #: the HDL's local time (lockstep)
+        self.stale_advances = 0
+        #: end-of-run drains executed
+        self.drains = 0
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view for reports."""
@@ -59,6 +75,9 @@ class SyncStatistics:
             "windows_granted": self.windows_granted,
             "ticks_simulated": self.ticks_simulated,
             "max_lag_seconds": self.max_lag_seconds,
+            "messages_released": self.messages_released,
+            "stale_advances": self.stale_advances,
+            "drains": self.drains,
         }
 
 
@@ -69,6 +88,19 @@ class _SynchronizerBase:
         self.stats = SyncStatistics()
         #: largest originator time stamp seen so far (netsim side)
         self.originator_time = 0.0
+        self._lag_hist = None
+        self._trace: Optional["TraceWriter"] = None
+
+    def attach_observability(self,
+                             metrics: Optional["MetricsRegistry"] = None,
+                             trace: Optional["TraceWriter"] = None
+                             ) -> None:
+        """Wire the optional metrics registry (lag histogram) and
+        structured trace stream into this synchroniser.  Without a
+        call, only the always-on :class:`SyncStatistics` counters run."""
+        if metrics is not None and metrics.enabled:
+            self._lag_hist = metrics.histogram("sync.lag_s")
+        self._trace = trace
 
     # -- invariant -----------------------------------------------------------
     def _check_lag_invariant(self) -> None:
@@ -78,9 +110,11 @@ class _SynchronizerBase:
                 f"HDL time {hdl_seconds}s overtook the network "
                 f"simulator's {self.originator_time}s — the conservative "
                 "protocol's lag invariant is broken")
-        self.stats.max_lag_seconds = max(
-            self.stats.max_lag_seconds,
-            self.originator_time - hdl_seconds)
+        lag = self.originator_time - hdl_seconds
+        if lag > self.stats.max_lag_seconds:
+            self.stats.max_lag_seconds = lag
+        if self._lag_hist is not None:
+            self._lag_hist.record(lag)
 
     def _run_hdl_until_tick(self, tick: int) -> None:
         if tick > self.hdl.now:
@@ -121,6 +155,21 @@ class ConservativeSynchronizer(_SynchronizerBase):
         #: t_cur of §3.1 — the netsim-side time horizon granted to the
         #: HDL simulator (seconds)
         self.t_cur = 0.0
+        #: msg_type -> queue-wait histogram (observability, see
+        #: :meth:`attach_observability`)
+        self._wait_hists: Dict[str, Any] = {}
+        self._metrics: Optional["MetricsRegistry"] = None
+
+    def attach_observability(self,
+                             metrics: Optional["MetricsRegistry"] = None,
+                             trace: Optional["TraceWriter"] = None
+                             ) -> None:
+        super().attach_observability(metrics, trace)
+        if metrics is not None and metrics.enabled:
+            self._metrics = metrics
+            for name in self.queues.queues:
+                self._wait_hists[name] = metrics.histogram(
+                    f"sync.queue_wait_s.{name}")
 
     def set_handler(self, msg_type: str, handler: Handler) -> None:
         """Install the delivery callable for *msg_type*."""
@@ -137,15 +186,29 @@ class ConservativeSynchronizer(_SynchronizerBase):
                                             payload=payload))
         self.stats.messages_posted += 1
         self.originator_time = max(self.originator_time, time)
+        if self._trace is not None:
+            self._trace.emit("post", type=msg_type, t=time,
+                             hdl_s=self.timebase.to_seconds(self.hdl.now))
         self._advance()
 
     def advance_time(self, time: float) -> None:
         """Receive a null message: all queues learn the originator has
-        reached *time* (no payload)."""
+        reached *time* (no payload).
+
+        A stamp behind the known originator time is a *stale* null
+        message: harmless (a lower bound the receiver already holds)
+        but counted in ``stats.stale_advances``.
+        """
+        stale = time < self.originator_time
+        if stale:
+            self.stats.stale_advances += 1
         for queue in self.queues.queues.values():
             queue.advance_time(time)
         self.stats.null_messages += 1
         self.originator_time = max(self.originator_time, time)
+        if self._trace is not None:
+            self._trace.emit("null", t=time, stale=stale,
+                             hdl_s=self.timebase.to_seconds(self.hdl.now))
         self._advance()
 
     def drain(self, time: Optional[float] = None) -> None:
@@ -154,6 +217,9 @@ class ConservativeSynchronizer(_SynchronizerBase):
         *time* defaults to far enough past the last message for every
         processing window to complete.
         """
+        self.stats.drains += 1
+        if self._trace is not None:
+            self._trace.emit("drain", t=time)
         if time is not None:
             self.advance_time(time)
         while self.queues.pending():
@@ -190,6 +256,10 @@ class ConservativeSynchronizer(_SynchronizerBase):
         if t_k > self.t_cur:
             self.stats.windows_granted += 1
             self.t_cur = t_k
+            if self._trace is not None:
+                self._trace.emit(
+                    "window", t_cur=t_k,
+                    hdl_s=self.timebase.to_seconds(self.hdl.now))
         self._run_hdl_until_tick(self.timebase.to_ticks(t_k))
         self._check_lag_invariant()
 
@@ -197,6 +267,15 @@ class ConservativeSynchronizer(_SynchronizerBase):
         """Deliver the head message of *msg_type* and advance the local
         time by the minimum processing delay."""
         message = self.queues[msg_type].pop()
+        self.stats.messages_released += 1
+        hdl_seconds = self.timebase.to_seconds(self.hdl.now)
+        wait = max(0.0, hdl_seconds - message.time)
+        wait_hist = self._wait_hists.get(msg_type)
+        if wait_hist is not None:
+            wait_hist.record(wait)
+        if self._trace is not None:
+            self._trace.emit("release", type=msg_type, t=message.time,
+                             hdl_s=hdl_seconds, wait_s=wait)
         handler = self.handlers.get(msg_type)
         if handler is not None:
             handler(message)
@@ -223,12 +302,22 @@ class LockstepSynchronizer(_SynchronizerBase):
         self.handler = handler
 
     def post(self, msg_type: str, time: float, payload: Any = None) -> None:
-        """Deliver a message, synchronising clock by clock up to it."""
-        if time < self.timebase.to_seconds(self.hdl.now):
+        """Deliver a message, synchronising clock by clock up to it.
+
+        The past check is at tick granularity: ``to_ticks`` absorbs
+        binary-float quotient error, so a stamp whose tick equals the
+        HDL's current tick is *simultaneous*, not late — comparing raw
+        seconds would spuriously reject it whenever the float stamp
+        lands a hair below the tick boundary.
+        """
+        if self.timebase.to_ticks(time) < self.hdl.now:
             raise CausalityError(
                 f"lockstep message at t={time} in the HDL past")
         self.originator_time = max(self.originator_time, time)
         self.stats.messages_posted += 1
+        if self._trace is not None:
+            self._trace.emit("post", type=msg_type, t=time,
+                             hdl_s=self.timebase.to_seconds(self.hdl.now))
         target = self.timebase.to_ticks(time)
         period = self.timebase.clock_period_ticks
         while self.hdl.now + period <= target:
@@ -236,15 +325,32 @@ class LockstepSynchronizer(_SynchronizerBase):
             self.stats.null_messages += 1  # one sync exchange per clock
         self._run_hdl_until_tick(target)
         self._check_lag_invariant()
+        self.stats.messages_released += 1
         if self.handler is not None:
             self.handler(TimestampedMessage(time=time, msg_type=msg_type,
                                             payload=payload))
 
     def advance_time(self, time: float) -> None:
-        """Clock the DUT up to *time*, one sync exchange per clock."""
-        if time < self.timebase.to_seconds(self.hdl.now):
-            return
+        """Clock the DUT up to *time*, one sync exchange per clock.
+
+        Unlike :meth:`post` — where a stamp in the HDL past is an
+        unrecoverable causality error — a null message merely carries a
+        lower bound on the originator's clock, so a stale stamp (at or
+        behind the HDL's local time) is a no-op.  The seed silently
+        dropped it, skipping the originator-time update, the exchange
+        count and the invariant check; now the stale path runs the same
+        bookkeeping as a live advance and is counted in
+        ``stats.stale_advances``.
+        """
+        stale = time <= self.timebase.to_seconds(self.hdl.now)
         self.originator_time = max(self.originator_time, time)
+        if self._trace is not None:
+            self._trace.emit("null", t=time, stale=stale,
+                             hdl_s=self.timebase.to_seconds(self.hdl.now))
+        if stale:
+            self.stats.stale_advances += 1
+            self._check_lag_invariant()
+            return
         target = self.timebase.to_ticks(time)
         period = self.timebase.clock_period_ticks
         while self.hdl.now + period <= target:

@@ -86,6 +86,8 @@ class CycleEngine:
         self._edge_table: Tuple[Process, ...] = ()
         self._edge_table_len = -1
         self.cycles_run = 0
+        #: clock edges applied through fast dispatch (observability)
+        self.edges_applied = 0
         if attach:
             sim._attach_engine(self)
 
@@ -157,6 +159,7 @@ class CycleEngine:
         deltas."""
         sim = self.sim
         clk = self.clk
+        self.edges_applied += 1
         value = self._next_edge_value
         if value == "1":
             self._next_edge_value = "0"
@@ -215,6 +218,14 @@ class CycleEngine:
             sim._execute_deltas()    # follow-up deltas + settle stamp
         else:
             sim._delta_stamp += 1    # settle stamp
+
+    def stats_snapshot(self) -> dict:
+        """Engine counters for observability snapshots."""
+        return {
+            "period_ticks": self.period,
+            "cycles_run": self.cycles_run,
+            "edges_applied": self.edges_applied,
+        }
 
     def _advance_to(self, target: int) -> None:
         """Drain heap events up to *target*, then land on it."""

@@ -116,6 +116,20 @@ class Simulator:
         self.delta_cycles = 0
         self.process_runs = 0
 
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Machine-readable kernel counters (the raw material of the
+        paper's event-count comparison, E3) — plain reads, no reset."""
+        return {
+            "now_ticks": self.now,
+            "events_executed": self.events_executed,
+            "signal_events": self.signal_events,
+            "delta_cycles": self.delta_cycles,
+            "process_runs": self.process_runs,
+            "pending_events": self.pending_event_count,
+            "signals": len(self.signals),
+            "processes": len(self.processes),
+        }
+
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------

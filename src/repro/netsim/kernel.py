@@ -45,6 +45,10 @@ class Kernel:
         self._running = False
         self._executed_events = 0
         self._stop_requested = False
+        #: largest event-list length ever reached (observability)
+        self.peak_pending_events = 0
+        #: number of distinct time advances (observability)
+        self.time_advances = 0
         #: Hooks invoked with the kernel each time ``now`` advances.
         self.time_listeners: List[Callable[[float], None]] = []
 
@@ -65,6 +69,16 @@ class Kernel:
     def pending_events(self) -> int:
         """Number of events currently in the event list (incl. cancelled)."""
         return sum(1 for e in self._queue if not e.cancelled)
+
+    def stats_snapshot(self) -> dict:
+        """Machine-readable kernel counters — plain reads, no reset."""
+        return {
+            "now_s": self._now,
+            "executed_events": self._executed_events,
+            "pending_events": self.pending_events,
+            "peak_pending_events": self.peak_pending_events,
+            "time_advances": self.time_advances,
+        }
 
     def next_event_time(self) -> Optional[float]:
         """Time stamp of the earliest pending event, or ``None`` if empty."""
@@ -88,6 +102,8 @@ class Kernel:
                 f"event scheduled at t={time} in the past of t={self._now}")
         event = Event(time=time, priority=priority, action=action)
         heapq.heappush(self._queue, event)
+        if len(self._queue) > self.peak_pending_events:
+            self.peak_pending_events = len(self._queue)
         return event
 
     def schedule_after(self, delay: float, action: Callable[[], None],
@@ -161,6 +177,7 @@ class Kernel:
                 f"attempt to move time backwards: {self._now} -> {time}")
         if time != self._now:
             self._now = time
+            self.time_advances += 1
             for listener in self.time_listeners:
                 listener(time)
 

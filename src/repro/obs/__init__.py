@@ -1,0 +1,24 @@
+"""Observability layer for the co-verification stack.
+
+Counters, histograms and span timers (:mod:`repro.obs.metrics`), a
+structured JSON-lines trace of co-simulation decisions
+(:mod:`repro.obs.trace`), and the observed E1 reference scenario
+behind ``python -m repro stats`` (:mod:`repro.obs.scenario` — imported
+lazily to keep this package free of a dependency cycle with
+:mod:`repro.core`).
+
+Wiring: :class:`repro.core.CoVerificationEnvironment` owns a
+:class:`MetricsRegistry` (pass ``observe=False`` for the null
+registry) and hands instruments to the synchronisers and co-simulation
+entities; ``env.metrics()`` composes the registry snapshot with the
+kernel statistics of both simulators.  Metric names and the trace
+schema are documented in DESIGN.md §"Observability".
+"""
+
+from .metrics import (Counter, DEFAULT_SECONDS_BOUNDS, Histogram,
+                      MetricsRegistry, NULL_REGISTRY, SpanTimer)
+from .trace import TraceWriter
+
+__all__ = ["Counter", "DEFAULT_SECONDS_BOUNDS", "Histogram",
+           "MetricsRegistry", "NULL_REGISTRY", "SpanTimer",
+           "TraceWriter"]

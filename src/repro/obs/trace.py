@@ -1,0 +1,87 @@
+"""Structured trace stream of co-simulation decisions.
+
+A :class:`TraceWriter` emits one JSON object per line — the schema the
+perf and scaling PRs consume (see DESIGN.md §"Observability"):
+
+* every record carries ``ev`` (the event kind) plus event-specific
+  fields;
+* co-simulation records stamp both time domains where meaningful:
+  ``t`` is the network-simulator (originator) time in seconds,
+  ``hdl_s`` the HDL simulator's local time in seconds.
+
+Event kinds emitted by the instrumented stack:
+
+==============  =========================================================
+``post``        data message entered a synchroniser input queue
+``null``        null (time-only) message announced the originator time
+``window``      the conservative protocol granted a processing window
+``release``     a queued message was released to its handler
+``drain``       end-of-run drain started
+``tick_pulse``  a tariff tick pulse was scheduled on the DUT input
+``cell_out``    a cell was captured on the DUT ``tx_port``
+``finish``      entity settle loop completed (``residual`` > 0 means
+                the DUT was still busy when the settle budget ran out)
+==============  =========================================================
+
+The writer targets a file path, an open file-like object, or — when
+constructed without a sink — an in-memory list (:attr:`records`),
+which is what the tests use.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Union
+
+__all__ = ["TraceWriter"]
+
+
+class TraceWriter:
+    """JSON-lines trace sink.
+
+    Args:
+        sink: a path (``str`` / :class:`~pathlib.Path`), an open
+            text-mode file-like object, or ``None`` to collect records
+            in memory (:attr:`records`).
+    """
+
+    def __init__(self,
+                 sink: Optional[Union[str, Path, IO[str]]] = None) -> None:
+        self.emitted = 0
+        self.records: List[Dict[str, object]] = []
+        self._own_file = False
+        self._file: Optional[IO[str]] = None
+        self.path: Optional[Path] = None
+        if sink is None:
+            return
+        if isinstance(sink, (str, Path)):
+            self.path = Path(sink)
+            self._file = self.path.open("w")
+            self._own_file = True
+        else:
+            self._file = sink
+
+    def emit(self, ev: str, **fields) -> None:
+        """Append one trace record of kind *ev*."""
+        record: Dict[str, object] = {"ev": ev}
+        record.update(fields)
+        self.emitted += 1
+        if self._file is not None:
+            self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        else:
+            self.records.append(record)
+
+    def close(self) -> None:
+        """Flush and close an owned file sink (idempotent)."""
+        if self._file is not None:
+            self._file.flush()
+            if self._own_file:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

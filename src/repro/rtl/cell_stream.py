@@ -60,6 +60,9 @@ class CellSender(Component):
         self.gap_octets = gap_octets
         self._queue: Deque[Sequence[int]] = deque()
         self.cells_sent = 0
+        #: optional observer invoked after a cell's last octet has been
+        #: driven (used for per-cell ingress-latency accounting)
+        self.on_cell_sent: Optional[Callable[[], None]] = None
 
         def run():
             # One reusable wait object and local bindings: this loop
@@ -83,6 +86,8 @@ class CellSender(Component):
                     valid.drive("1")
                     yield edge
                 self.cells_sent += 1
+                if self.on_cell_sent is not None:
+                    self.on_cell_sent()
                 self._drive_idle()
                 for _ in range(self.gap_octets):
                     yield edge

@@ -1,0 +1,71 @@
+"""Regression: every tariff tick produces a distinct observable edge.
+
+The seed's ``_deliver`` drove the pulse at the delivery time directly;
+two TICK_MSG deliveries landing within one clock period left the
+signal high across both (transport drives of the same value produce no
+event), so the DUT saw a single rising edge for several ticks.  The
+entity now serialises pulses — one period high, one period low each —
+deferring a pulse that would overlap the previous one.
+"""
+
+import pytest
+
+from repro.core import CoVerificationEnvironment, TimeBase
+from repro.hdl import RisingEdge
+from repro.rtl import CellStreamPort
+
+TB = TimeBase(tick_seconds=1e-9, clock_period_ticks=10)
+
+
+def build():
+    env = CoVerificationEnvironment(timebase=TB, observe=False)
+    rx = CellStreamPort(env.hdl, "dut.rx")
+    tick = env.hdl.signal("dut.tariff_tick", init="0")
+    entity = env.add_dut(rx_port=rx, tick_signal=tick)
+
+    edges = []
+
+    def watch():
+        while True:
+            yield RisingEdge(tick)
+            edges.append(env.hdl.now)
+
+    env.hdl.add_generator("tick_watch", watch())
+    return env, entity, edges
+
+
+def finish(env, entity, horizon):
+    entity.advance_time(horizon)
+    entity.finish(horizon)
+
+
+def test_two_ticks_one_ns_apart_give_two_edges():
+    env, entity, edges = build()
+    entity.send_tariff_tick(1e-6)
+    entity.send_tariff_tick(1e-6 + 1e-9)  # same clock period
+    finish(env, entity, 2e-6)
+    assert entity.ticks_in == 2
+    assert len(edges) == 2
+    # pulses are serialised: edges at least two periods apart
+    assert edges[1] - edges[0] >= 2 * TB.clock_period_ticks
+
+
+@pytest.mark.parametrize("burst", [2, 3, 5])
+def test_same_timestamp_burst_gives_one_edge_each(burst):
+    env, entity, edges = build()
+    for _ in range(burst):
+        entity.send_tariff_tick(1e-6)
+    finish(env, entity, 1e-5)
+    assert entity.ticks_in == burst
+    assert len(edges) == burst
+
+
+def test_well_spaced_ticks_unaffected():
+    env, entity, edges = build()
+    times = [1e-6, 2e-6, 3e-6]
+    for t in times:
+        entity.send_tariff_tick(t)
+    finish(env, entity, 4e-6)
+    assert len(edges) == len(times)
+    # a pulse with no backlog starts at its delivery time
+    assert edges[0] <= TB.to_ticks(1e-6) + 2 * TB.clock_period_ticks

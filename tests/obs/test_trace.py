@@ -1,0 +1,47 @@
+"""Tests for the JSON-lines trace writer (repro.obs.trace)."""
+
+import io
+import json
+
+from repro.obs import TraceWriter
+
+
+def test_in_memory_records():
+    trace = TraceWriter()
+    trace.emit("post", t=1e-6, type="cell")
+    trace.emit("null", t=2e-6, stale=False)
+    assert trace.emitted == 2
+    assert trace.records[0] == {"ev": "post", "t": 1e-6, "type": "cell"}
+    assert trace.records[1]["ev"] == "null"
+
+
+def test_path_sink_writes_json_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with TraceWriter(path) as trace:
+        trace.emit("window", t_cur=1e-6, hdl_s=0.0)
+        trace.emit("drain", t=None)
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first == {"ev": "window", "hdl_s": 0.0, "t_cur": 1e-6}
+    # keys are sorted for deterministic diffs
+    assert lines[0].index('"ev"') < lines[0].index('"t_cur"')
+
+
+def test_file_like_sink_not_closed():
+    buffer = io.StringIO()
+    trace = TraceWriter(buffer)
+    trace.emit("finish", residual=0)
+    trace.close()
+    assert not buffer.closed  # writer does not own the sink
+    assert json.loads(buffer.getvalue())["ev"] == "finish"
+    # in-memory list stays empty when a sink is present
+    assert trace.records == []
+
+
+def test_close_idempotent(tmp_path):
+    trace = TraceWriter(tmp_path / "t.jsonl")
+    trace.emit("post", t=0.0)
+    trace.close()
+    trace.close()
+    assert trace.emitted == 1

@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 
 from repro.cli import main
 
@@ -32,6 +33,31 @@ def test_run_example_quickstart(capsys):
 def test_no_command_prints_help(capsys):
     assert main([]) == 2
     assert "usage" in capsys.readouterr().out.lower()
+
+
+def test_stats_reports_cosim_metrics(capsys, tmp_path):
+    json_path = tmp_path / "stats.json"
+    trace_path = tmp_path / "trace.jsonl"
+    assert main(["stats", "--cells", "16",
+                 "--json", str(json_path),
+                 "--trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    for needle in ("windows granted", "null messages", "stale advances",
+                   "sync.lag_s", "cell_ingress_latency", "delta cycles"):
+        assert needle in out
+    report = json.loads(json_path.read_text())
+    assert report["workload"]["scenario"] == "e1_accounting"
+    assert report["entities"][0]["sync"]["messages_posted"] > 0
+    assert trace_path.read_text().count('"ev"') == \
+        report["trace_records"]
+
+
+def test_stats_lockstep_disables_json(capsys):
+    assert main(["stats", "--cells", "8", "--lockstep",
+                 "--json", ""]) == 0
+    out = capsys.readouterr().out
+    assert "lockstep sync" in out
+    assert "wrote" not in out
 
 
 def test_results_prints_tables_when_present(capsys):
