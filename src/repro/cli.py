@@ -9,7 +9,11 @@ Small operational conveniences for exploring the reproduction:
 * ``stats`` — run the observed E1 scenario and report the
   co-simulation metrics (sync windows, null messages, lag histogram,
   kernel counters, per-cell latency), exporting JSON alongside the
-  ``BENCH_*.json`` artifacts.
+  ``BENCH_*.json`` artifacts;
+* ``sweep`` — fan a declarative scenario matrix (traffic model ×
+  port count × seed × sync mode) out over worker processes and
+  aggregate the results into ``BENCH_sweep.json`` plus a human table
+  (see ``docs/api/sweep.md``).
 """
 
 from __future__ import annotations
@@ -32,6 +36,8 @@ _SUBPACKAGES = [
     ("rtl", "RTL device-under-test designs"),
     ("board", "RAVEN-equivalent hardware test board model"),
     ("core", "CASTANET: coupling, sync protocol, interfaces, compare"),
+    ("obs", "observability: metrics registry, decision traces"),
+    ("sweep", "parallel scenario-matrix sweep runner"),
     ("analysis", "result collection and report rendering"),
 ]
 
@@ -195,6 +201,49 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _csv(values: str) -> List[str]:
+    """Split a comma-separated CLI value, dropping empties."""
+    return [item.strip() for item in values.split(",") if item.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    # Lazy import (same reason as stats: the sweep pulls in the whole
+    # co-simulation stack).
+    from repro.sweep import (SweepRunner, SweepSpec, SweepSpecError,
+                             render_sweep_report)
+
+    try:
+        if args.spec:
+            spec = SweepSpec.from_file(args.spec)
+        else:
+            spec = SweepSpec(
+                traffic=_csv(args.traffic),
+                ports=[int(v) for v in _csv(args.ports)],
+                seeds=[int(v) for v in _csv(args.seeds)],
+                sync=_csv(args.sync),
+                cells=args.cells, load=args.load)
+        runner = SweepRunner(spec, jobs=args.jobs,
+                             timeout_s=args.timeout)
+    except (SweepSpecError, ValueError) as exc:
+        print(f"invalid sweep: {exc}", file=sys.stderr)
+        return 2
+
+    runs = spec.expand()
+    print(f"sweeping {len(runs)} scenario(s) over "
+          f"{runner.jobs} worker(s), {runner.timeout_s:g} s/run budget")
+    payload = runner.run()
+    print()
+    print(render_sweep_report(payload))
+    if args.json:
+        path = Path(args.json)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n")
+        print(f"\nwrote {path}")
+    aggregate = payload["aggregate"]
+    ok = (aggregate["runs_passed"] == aggregate["runs_total"])
+    return 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -233,6 +282,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="also write a JSON-lines decision trace "
                             "to this path")
     stats.set_defaults(fn=_cmd_stats)
+    sweep = commands.add_parser(
+        "sweep",
+        help="run a scenario matrix over worker processes and "
+             "aggregate the results")
+    sweep.add_argument("--spec", default=None,
+                       help="TOML/JSON sweep spec (see "
+                            "examples/sweep_small.toml); flags below "
+                            "define the matrix when omitted")
+    sweep.add_argument("--traffic", default="cbr",
+                       help="comma list of traffic models "
+                            "(cbr,poisson,onoff; default cbr)")
+    sweep.add_argument("--ports", default="4",
+                       help="comma list of switch port counts "
+                            "(default 4)")
+    sweep.add_argument("--seeds", default="0",
+                       help="comma list of RNG seeds (default 0)")
+    sweep.add_argument("--sync", default="conservative",
+                       help="comma list of sync modes "
+                            "(conservative,lockstep)")
+    sweep.add_argument("--cells", type=int, default=32,
+                       help="cell budget per run (default 32)")
+    sweep.add_argument("--load", type=float, default=0.25,
+                       help="per-port line occupancy (default 0.25)")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: spec value, "
+                            "or 2); 1 runs serially")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-run wall-clock budget in seconds "
+                            "(default: spec value, or 120)")
+    sweep.add_argument("--json",
+                       default=str(_repo_root() / "BENCH_sweep.json"),
+                       help="sweep JSON output path "
+                            "(default BENCH_sweep.json; '' disables)")
+    sweep.set_defaults(fn=_cmd_sweep)
     args = parser.parse_args(argv)
     if not getattr(args, "fn", None):
         parser.print_help()

@@ -59,6 +59,7 @@ class TapModule(Module):
         self.hooks.append(hook)
 
     def receive(self, packet: Packet, stream: int) -> None:
+        """Deliver *packet* to every hook, then forward it if transparent."""
         self.packets_in += 1
         now = self._kernel().now
         for hook in self.hooks:

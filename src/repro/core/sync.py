@@ -164,6 +164,7 @@ class ConservativeSynchronizer(_SynchronizerBase):
                              metrics: Optional["MetricsRegistry"] = None,
                              trace: Optional["TraceWriter"] = None
                              ) -> None:
+        """Wire metrics/trace in; adds per-queue wait-time histograms."""
         super().attach_observability(metrics, trace)
         if metrics is not None and metrics.enabled:
             self._metrics = metrics

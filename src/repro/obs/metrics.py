@@ -183,7 +183,7 @@ class _NullCounter:
     value = 0
 
     def inc(self, amount: int = 1) -> None:
-        pass
+        """Discard the increment."""
 
 
 class _NullHistogram:
@@ -198,12 +198,14 @@ class _NullHistogram:
     mean = 0.0
 
     def record(self, sample: float) -> None:
-        pass
+        """Discard the sample."""
 
     def quantile(self, q: float) -> Optional[float]:
+        """Return ``None`` — a null histogram has no samples."""
         return None
 
     def as_dict(self) -> Dict[str, object]:
+        """Return the empty-histogram export shape."""
         return {"count": 0, "total": 0.0, "mean": 0.0, "min": None,
                 "max": None, "p50": None, "p99": None, "buckets": []}
 

@@ -1,0 +1,72 @@
+"""Human-readable rendering of a sweep payload.
+
+Formats the runner's machine-readable payload through the shared
+:mod:`repro.analysis.report` helpers so sweep tables look like every
+other experiment table in the repo.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..analysis.report import ExperimentResult, format_table
+
+__all__ = ["render_sweep_report"]
+
+
+def _fmt_latency(hist) -> str:
+    """'mean/p99 µs' summary of a latency histogram snapshot."""
+    if not hist or not hist.get("count"):
+        return "-"
+    mean = hist["mean"] * 1e6
+    p99 = (hist["p99"] or 0.0) * 1e6
+    return f"{mean:.1f}/{p99:.1f}"
+
+
+def render_sweep_report(payload: Dict[str, Any]) -> str:
+    """Render one sweep payload (per-run table + aggregate lines)."""
+    rows: List[ExperimentResult] = []
+    for run in payload["runs"]:
+        status = run.get("status", "error")
+        if status == "ok":
+            verdict = "pass" if run.get("passed") else "FAIL"
+            rows.append(ExperimentResult(run["name"], {
+                "status": verdict,
+                "cells": run["cells_in"],
+                "hdl_clocks": run["hdl_clocks"],
+                "cyc/s": float(run["cycles_per_s"]),
+                "sync_msgs": run["sync_exchanges"],
+                "lat mean/p99 us": _fmt_latency(run.get("latency")),
+                "mode": run.get("mode", "?"),
+            }))
+        else:
+            rows.append(ExperimentResult(run["name"], {
+                "status": status.upper(),
+                "mode": run.get("mode", "?"),
+            }))
+    aggregate = payload["aggregate"]
+    execution = payload.get("execution", {})
+    lines = [format_table(
+        "scenario sweep",
+        ["status", "cells", "hdl_clocks", "cyc/s", "sync_msgs",
+         "lat mean/p99 us", "mode"], rows)]
+    lines.append("")
+    lines.append(
+        f"aggregate: {aggregate['runs_passed']}/"
+        f"{aggregate['runs_total']} runs passed, "
+        f"{aggregate['cells_processed']} cells, "
+        f"{aggregate['hdl_clocks']} DUT clocks, "
+        f"{aggregate['cycles_per_s']:,.0f} cycles/s summed, "
+        f"{aggregate['sync_exchanges']} sync exchanges")
+    if execution:
+        lines.append(
+            f"execution: {execution.get('jobs')} worker(s) "
+            f"[{execution.get('start_method')}], "
+            f"{execution.get('workers_spawned', 0)} spawned, "
+            f"{execution.get('crashes', 0)} crash(es), "
+            f"{execution.get('timeouts', 0)} timeout(s), "
+            f"{execution.get('retries', 0)} retry(ies), "
+            f"{execution.get('serial_fallbacks', 0)} serial "
+            f"fallback(s), wall "
+            f"{execution.get('sweep_wall_s', 0.0):.2f} s")
+    return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""Declarative scenario-matrix specification for ``repro.sweep``.
+
+A sweep is the cross product of four axes — traffic model × switch
+port count × RNG seed × synchronisation mode — plus shared per-run
+workload knobs (cell budget, line load) and execution knobs (worker
+count, per-run timeout).  :class:`SweepSpec` holds the matrix,
+:meth:`SweepSpec.expand` turns it into the concrete list of
+:class:`RunSpec` cells the runner fans out, and :meth:`SweepSpec.from_file`
+reads either a TOML or a JSON spec file::
+
+    [matrix]
+    traffic = ["cbr", "poisson", "onoff"]
+    ports = [2, 4]
+    seeds = [0, 1]
+    sync = ["conservative"]
+
+    [run]
+    cells = 24
+    load = 0.25
+
+    [execution]
+    jobs = 2
+    timeout_s = 120.0
+
+TOML parsing needs :mod:`tomllib` (Python ≥ 3.11) or the ``tomli``
+backport; when neither is importable the loader degrades gracefully —
+JSON specs (the same structure as a JSON object) always work.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+try:
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - Python < 3.11
+    try:
+        import tomli as _toml  # type: ignore[no-redef]
+    except ImportError:
+        _toml = None  # JSON specs remain available
+
+__all__ = ["RunSpec", "SweepSpec", "SweepSpecError", "SYNC_MODES",
+           "TRAFFIC_MODELS"]
+
+#: traffic models the worker scenario knows how to instantiate
+TRAFFIC_MODELS = ("cbr", "poisson", "onoff")
+#: synchronisation strategies of :mod:`repro.core.sync`
+SYNC_MODES = ("conservative", "lockstep")
+
+#: failure-injection hooks honoured by the worker (test instrumentation)
+INJECT_MODES = ("crash", "crash_once", "hang", "error")
+
+
+class SweepSpecError(ValueError):
+    """Raised on an invalid or unreadable sweep specification."""
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of the sweep matrix — everything a worker needs.
+
+    Instances are plain data (no simulator handles) so they cross
+    process boundaries by pickling the :meth:`as_dict` form.
+    """
+
+    name: str
+    traffic: str
+    ports: int
+    seed: int
+    sync: str
+    cells: int
+    load: float
+    #: test-only failure injection: one of :data:`INJECT_MODES` or None
+    inject: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (the pickle/JSON wire format)."""
+        payload: Dict[str, Any] = {
+            "name": self.name, "traffic": self.traffic,
+            "ports": self.ports, "seed": self.seed, "sync": self.sync,
+            "cells": self.cells, "load": self.load,
+        }
+        if self.inject is not None:
+            payload["inject"] = self.inject
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
+        """Rebuild a run spec from :meth:`as_dict` output."""
+        return cls(name=data["name"], traffic=data["traffic"],
+                   ports=int(data["ports"]), seed=int(data["seed"]),
+                   sync=data["sync"], cells=int(data["cells"]),
+                   load=float(data["load"]),
+                   inject=data.get("inject"))
+
+
+@dataclass
+class SweepSpec:
+    """The declarative scenario matrix plus shared run/execution knobs.
+
+    Attributes:
+        traffic: traffic-model axis (subset of :data:`TRAFFIC_MODELS`).
+        ports: switch port-count axis (each ≥ 2).
+        seeds: RNG-seed axis.
+        sync: synchronisation-mode axis (subset of :data:`SYNC_MODES`).
+        cells: total cell budget per run, split across the ports.
+        load: per-port line occupancy of every source.
+        jobs: worker processes to fan runs out over (1 = serial).
+        timeout_s: per-run wall-clock budget before the worker is
+            killed.
+        inject: per-run-name failure injection map (tests only).
+    """
+
+    traffic: List[str] = field(default_factory=lambda: ["cbr"])
+    ports: List[int] = field(default_factory=lambda: [4])
+    seeds: List[int] = field(default_factory=lambda: [0])
+    sync: List[str] = field(default_factory=lambda: ["conservative"])
+    cells: int = 32
+    load: float = 0.25
+    jobs: int = 2
+    timeout_s: float = 120.0
+    inject: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        """Validate every axis and knob; raises :class:`SweepSpecError`."""
+        for model in self.traffic:
+            if model not in TRAFFIC_MODELS:
+                raise SweepSpecError(
+                    f"unknown traffic model {model!r}; "
+                    f"known: {', '.join(TRAFFIC_MODELS)}")
+        for mode in self.sync:
+            if mode not in SYNC_MODES:
+                raise SweepSpecError(
+                    f"unknown sync mode {mode!r}; "
+                    f"known: {', '.join(SYNC_MODES)}")
+        for count in self.ports:
+            if count < 2:
+                raise SweepSpecError(f"need >= 2 switch ports, got {count}")
+        if not (self.traffic and self.ports and self.seeds and self.sync):
+            raise SweepSpecError("every matrix axis needs >= 1 value")
+        if self.cells < 1:
+            raise SweepSpecError(f"need >= 1 cell, got {self.cells}")
+        if not 0.0 < self.load <= 1.0:
+            raise SweepSpecError(f"load {self.load} outside (0, 1]")
+        if self.jobs < 1:
+            raise SweepSpecError(f"need >= 1 job, got {self.jobs}")
+        if self.timeout_s <= 0:
+            raise SweepSpecError(f"non-positive timeout {self.timeout_s}")
+        for name, mode in self.inject.items():
+            if mode not in INJECT_MODES:
+                raise SweepSpecError(
+                    f"unknown inject mode {mode!r} for {name!r}; "
+                    f"known: {', '.join(INJECT_MODES)}")
+
+    # ------------------------------------------------------------------
+    # Matrix expansion
+    # ------------------------------------------------------------------
+    def expand(self) -> List[RunSpec]:
+        """The concrete run list: one :class:`RunSpec` per matrix cell.
+
+        Order is deterministic (itertools.product over the axes in
+        declaration order) — the runner preserves it in its output so
+        identical specs yield identically ordered reports.
+        """
+        runs: List[RunSpec] = []
+        for traffic, ports, seed, sync in itertools.product(
+                self.traffic, self.ports, self.seeds, self.sync):
+            name = f"{traffic}-p{ports}-s{seed}-{sync}"
+            runs.append(RunSpec(
+                name=name, traffic=traffic, ports=ports, seed=seed,
+                sync=sync, cells=self.cells, load=self.load,
+                inject=self.inject.get(name)))
+        return runs
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view mirroring the spec-file structure."""
+        return {
+            "matrix": {"traffic": list(self.traffic),
+                       "ports": list(self.ports),
+                       "seeds": list(self.seeds),
+                       "sync": list(self.sync)},
+            "run": {"cells": self.cells, "load": self.load},
+            "execution": {"jobs": self.jobs,
+                          "timeout_s": self.timeout_s},
+        }
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, data: Dict[str, Any]) -> "SweepSpec":
+        """Build a spec from the parsed TOML/JSON structure."""
+        if not isinstance(data, dict):
+            raise SweepSpecError(
+                f"spec root must be a table/object, got "
+                f"{type(data).__name__}")
+        matrix = data.get("matrix", {})
+        run = data.get("run", {})
+        execution = data.get("execution", {})
+        for section, payload in (("matrix", matrix), ("run", run),
+                                 ("execution", execution)):
+            if not isinstance(payload, dict):
+                raise SweepSpecError(f"[{section}] must be a table")
+        unknown = set(data) - {"matrix", "run", "execution"}
+        if unknown:
+            raise SweepSpecError(
+                f"unknown spec section(s): {', '.join(sorted(unknown))}")
+        known_keys = {"matrix": {"traffic", "ports", "seeds", "sync"},
+                      "run": {"cells", "load", "inject"},
+                      "execution": {"jobs", "timeout_s"}}
+        for section, payload in (("matrix", matrix), ("run", run),
+                                 ("execution", execution)):
+            extra = set(payload) - known_keys[section]
+            if extra:
+                raise SweepSpecError(
+                    f"unknown key(s) in [{section}]: "
+                    f"{', '.join(sorted(extra))}")
+
+        def _listify(value: Any) -> List[Any]:
+            return list(value) if isinstance(value, (list, tuple)) \
+                else [value]
+
+        kwargs: Dict[str, Any] = {}
+        if "traffic" in matrix:
+            kwargs["traffic"] = [str(v) for v in _listify(matrix["traffic"])]
+        if "ports" in matrix:
+            kwargs["ports"] = [int(v) for v in _listify(matrix["ports"])]
+        if "seeds" in matrix:
+            kwargs["seeds"] = [int(v) for v in _listify(matrix["seeds"])]
+        if "sync" in matrix:
+            kwargs["sync"] = [str(v) for v in _listify(matrix["sync"])]
+        if "cells" in run:
+            kwargs["cells"] = int(run["cells"])
+        if "load" in run:
+            kwargs["load"] = float(run["load"])
+        if "inject" in run:
+            kwargs["inject"] = dict(run["inject"])
+        if "jobs" in execution:
+            kwargs["jobs"] = int(execution["jobs"])
+        if "timeout_s" in execution:
+            kwargs["timeout_s"] = float(execution["timeout_s"])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "SweepSpec":
+        """Read a spec file; format chosen by suffix (.toml / .json)."""
+        path = Path(path)
+        if not path.is_file():
+            raise SweepSpecError(f"no sweep spec at {path}")
+        if path.suffix == ".toml":
+            if _toml is None:
+                raise SweepSpecError(
+                    "TOML specs need Python >= 3.11 (tomllib) or the "
+                    "tomli backport — neither is available; use a JSON "
+                    "spec instead")
+            try:
+                data = _toml.loads(path.read_text())
+            except Exception as exc:
+                raise SweepSpecError(f"invalid TOML in {path}: {exc}")
+        elif path.suffix == ".json":
+            try:
+                data = json.loads(path.read_text())
+            except json.JSONDecodeError as exc:
+                raise SweepSpecError(f"invalid JSON in {path}: {exc}")
+        else:
+            raise SweepSpecError(
+                f"unknown spec format {path.suffix!r} "
+                "(expected .toml or .json)")
+        return cls.from_mapping(data)

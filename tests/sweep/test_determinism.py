@@ -1,0 +1,94 @@
+"""Determinism and aggregation tests for the sweep layer.
+
+The contract: the same matrix + seeds produce an identical payload
+modulo the volatile keys (wall-clock figures, worker placement,
+attempt counts) that :func:`repro.sweep.strip_volatile` removes.
+"""
+
+import json
+
+from repro.sweep import (SweepRunner, SweepSpec, aggregate_results,
+                         merge_latency_histograms, strip_volatile)
+
+
+def _spec(**overrides):
+    kwargs = dict(traffic=["cbr", "poisson"], ports=[2], seeds=[0, 1],
+                  sync=["conservative"], cells=8, timeout_s=60.0)
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+def _canon(payload):
+    return json.dumps(strip_volatile(payload), sort_keys=True)
+
+
+def test_same_matrix_same_payload_modulo_timing():
+    first = SweepRunner(_spec(), jobs=2).run()
+    second = SweepRunner(_spec(), jobs=2).run()
+    assert _canon(first) == _canon(second)
+
+
+def test_parallel_equals_serial():
+    parallel = SweepRunner(_spec(), jobs=2).run()
+    serial = SweepRunner(_spec(), jobs=1).run()
+    assert _canon(parallel) == _canon(serial)
+
+
+def test_different_seed_changes_stochastic_runs():
+    base = SweepRunner(_spec(traffic=["poisson"], seeds=[0]),
+                       jobs=1).run()
+    other = SweepRunner(_spec(traffic=["poisson"], seeds=[2]),
+                        jobs=1).run()
+    a = strip_volatile(base)["runs"][0]
+    b = strip_volatile(other)["runs"][0]
+    # names differ by construction; the stochastic workload itself
+    # must differ too (arrival times move, so kernel work moves)
+    assert (a["hdl_events"], a["netsim_events"]) != \
+        (b["hdl_events"], b["netsim_events"])
+
+
+def test_strip_volatile_removes_only_volatile_keys():
+    payload = {"wall_s": 1.0, "cycles_per_s": 2.0, "mode": "pool",
+               "attempts": 2, "execution": {"jobs": 4},
+               "kept": {"wall_s": 0.5, "value": 3}, "list": [
+                   {"attempts": 1, "name": "x"}]}
+    stripped = strip_volatile(payload)
+    assert stripped == {"kept": {"value": 3}, "list": [{"name": "x"}]}
+    # the original is untouched
+    assert payload["wall_s"] == 1.0
+
+
+def test_merge_latency_histograms():
+    a = {"count": 2, "total": 3e-6, "min": 1e-6, "max": 2e-6,
+         "buckets": [{"le": 1e-6, "count": 1}, {"le": 2e-6, "count": 1}]}
+    b = {"count": 1, "total": 5e-6, "min": 5e-6, "max": 5e-6,
+         "buckets": [{"le": 5e-6, "count": 1}]}
+    merged = merge_latency_histograms([a, None, b])
+    assert merged["count"] == 3
+    assert abs(merged["total"] - 8e-6) < 1e-12
+    assert merged["min"] == 1e-6
+    assert merged["max"] == 5e-6
+    assert [bucket["le"] for bucket in merged["buckets"]] == \
+        [1e-6, 2e-6, 5e-6]
+    assert merged["p50"] == 2e-6
+    assert merged["p99"] == 5e-6
+
+
+def test_merge_latency_histograms_empty():
+    merged = merge_latency_histograms([None, {}])
+    assert merged["count"] == 0
+    assert merged["p50"] is None
+
+
+def test_aggregate_counts_failures():
+    ok = {"status": "ok", "passed": True, "cells_in": 4,
+          "hdl_clocks": 100, "hdl_events": 10, "netsim_events": 5,
+          "sync_exchanges": 8, "wall_s": 0.5, "latency": None}
+    bad = {"status": "timeout", "passed": False}
+    aggregate = aggregate_results([ok, bad])
+    assert aggregate["runs_total"] == 2
+    assert aggregate["runs_by_status"] == {"ok": 1, "timeout": 1}
+    assert aggregate["runs_passed"] == 1
+    assert aggregate["runs_failed"] == 1
+    assert aggregate["cells_processed"] == 4
+    assert aggregate["cycles_per_s"] == 200.0

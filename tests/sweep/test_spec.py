@@ -1,0 +1,111 @@
+"""Tests for the sweep specification and matrix expansion."""
+
+import json
+
+import pytest
+
+from repro.sweep import RunSpec, SweepSpec, SweepSpecError
+
+
+def test_expand_is_the_full_cross_product():
+    spec = SweepSpec(traffic=["cbr", "poisson", "onoff"],
+                     ports=[2, 4], seeds=[0, 1],
+                     sync=["conservative"])
+    runs = spec.expand()
+    assert len(runs) == 12
+    assert len({run.name for run in runs}) == 12
+    assert runs[0].name == "cbr-p2-s0-conservative"
+    assert runs[-1].name == "onoff-p4-s1-conservative"
+
+
+def test_expand_order_is_deterministic():
+    spec = SweepSpec(traffic=["onoff", "cbr"], ports=[4, 2],
+                     seeds=[1, 0], sync=["lockstep", "conservative"])
+    assert [r.name for r in spec.expand()] == \
+        [r.name for r in spec.expand()]
+
+
+def test_runspec_round_trips_through_dict():
+    run = SweepSpec(traffic=["poisson"], seeds=[7]).expand()[0]
+    assert RunSpec.from_dict(run.as_dict()) == run
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"traffic": ["warp"]},
+    {"sync": ["optimistic"]},
+    {"ports": [1]},
+    {"seeds": []},
+    {"cells": 0},
+    {"load": 0.0},
+    {"load": 1.5},
+    {"jobs": 0},
+    {"timeout_s": -1.0},
+    {"inject": {"x": "explode"}},
+])
+def test_invalid_specs_are_rejected(kwargs):
+    with pytest.raises(SweepSpecError):
+        SweepSpec(**kwargs)
+
+
+def test_toml_spec_loads(tmp_path):
+    pytest.importorskip("tomllib")
+    path = tmp_path / "sweep.toml"
+    path.write_text(
+        '[matrix]\ntraffic = ["cbr", "poisson"]\nports = [2]\n'
+        'seeds = [0, 1]\nsync = ["conservative"]\n'
+        '[run]\ncells = 16\nload = 0.5\n'
+        '[execution]\njobs = 3\ntimeout_s = 9.0\n')
+    spec = SweepSpec.from_file(path)
+    assert spec.traffic == ["cbr", "poisson"]
+    assert spec.cells == 16
+    assert spec.load == 0.5
+    assert spec.jobs == 3
+    assert spec.timeout_s == 9.0
+    assert len(spec.expand()) == 4
+
+
+def test_json_spec_loads(tmp_path):
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps({
+        "matrix": {"traffic": "onoff", "ports": [2, 4], "seeds": 3,
+                   "sync": "lockstep"},
+        "run": {"cells": 8},
+    }))
+    spec = SweepSpec.from_file(path)
+    # scalars are promoted to one-element axes
+    assert spec.traffic == ["onoff"]
+    assert spec.seeds == [3]
+    assert len(spec.expand()) == 2
+
+
+def test_example_spec_parses():
+    pytest.importorskip("tomllib")
+    from repro.cli import _repo_root
+    spec = SweepSpec.from_file(
+        _repo_root() / "examples" / "sweep_small.toml")
+    assert len(spec.expand()) == 12
+
+
+@pytest.mark.parametrize("content,needle", [
+    ("{not json", "invalid JSON"),
+    ('{"matrix": [], "run": {}}', "must be a table"),
+    ('{"surprise": {}}', "unknown spec section"),
+    # a misplaced key must fail loudly, not silently drop the knob
+    # (inject lives in [run], not [execution])
+    ('{"execution": {"inject": {}}}', r"unknown key\(s\) in \[execution\]"),
+    ('{"matrix": {"trafic": ["cbr"]}}', r"unknown key\(s\) in \[matrix\]"),
+])
+def test_malformed_spec_files_are_rejected(tmp_path, content, needle):
+    path = tmp_path / "sweep.json"
+    path.write_text(content)
+    with pytest.raises(SweepSpecError, match=needle):
+        SweepSpec.from_file(path)
+
+
+def test_missing_and_unknown_suffix_rejected(tmp_path):
+    with pytest.raises(SweepSpecError, match="no sweep spec"):
+        SweepSpec.from_file(tmp_path / "absent.toml")
+    path = tmp_path / "sweep.yaml"
+    path.write_text("matrix: {}")
+    with pytest.raises(SweepSpecError, match="unknown spec format"):
+        SweepSpec.from_file(path)

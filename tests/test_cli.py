@@ -69,3 +69,36 @@ def test_results_prints_tables_when_present(capsys):
         assert "E1" in out or "E2" in out or "E" in out
     else:
         assert code == 1
+
+
+def test_sweep_from_flags(capsys, tmp_path):
+    json_path = tmp_path / "sweep.json"
+    assert main(["sweep", "--traffic", "cbr", "--ports", "2",
+                 "--seeds", "0,1", "--cells", "8", "--jobs", "2",
+                 "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "scenario sweep" in out
+    assert "aggregate: 2/2 runs passed" in out
+    payload = json.loads(json_path.read_text())
+    assert payload["benchmark"] == "sweep"
+    assert len(payload["runs"]) == 2
+    assert payload["aggregate"]["runs_passed"] == 2
+    assert payload["execution"]["jobs"] == 2
+
+
+def test_sweep_from_spec_file(capsys, tmp_path):
+    spec_path = tmp_path / "sweep.json"
+    spec_path.write_text(json.dumps({
+        "matrix": {"traffic": ["cbr"], "ports": [2], "seeds": [0],
+                   "sync": ["conservative"]},
+        "run": {"cells": 8},
+        "execution": {"jobs": 1},
+    }))
+    assert main(["sweep", "--spec", str(spec_path),
+                 "--json", ""]) == 0
+    assert "1/1 runs passed" in capsys.readouterr().out
+
+
+def test_sweep_rejects_bad_matrix(capsys):
+    assert main(["sweep", "--traffic", "warp", "--json", ""]) == 2
+    assert "invalid sweep" in capsys.readouterr().err

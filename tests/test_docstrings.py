@@ -1,0 +1,69 @@
+"""Docstring coverage for the deeply documented packages.
+
+Mirrors the ruff pydocstyle subset configured in pyproject.toml
+(D100/D101/D102/D103/D104) so the contract is enforced locally even
+where ruff is not installed: every module and every public class,
+method and function in ``repro.core``, ``repro.obs`` and
+``repro.sweep`` must carry a non-empty docstring.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+PACKAGES = ("core", "obs", "sweep")
+
+
+def _iter_modules():
+    for pkg in PACKAGES:
+        for path in sorted((SRC / pkg).rglob("*.py")):
+            yield path
+
+
+def _is_public(node: ast.AST, parents: list) -> bool:
+    name = node.name
+    if name.startswith("_"):
+        return False  # private — and dunders are D105, not in the subset
+    for parent in parents:
+        if isinstance(parent, ast.ClassDef) and parent.name.startswith("_"):
+            return False
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False  # nested function — not part of the public API
+    return True
+
+
+def _missing_in(path: Path) -> list:
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    missing = []
+    if not (ast.get_docstring(tree) or "").strip():
+        missing.append(f"{path}:1 module docstring")
+
+    def walk(node, parents):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                if child.name != "__init__" and _is_public(child, parents):
+                    if not (ast.get_docstring(child) or "").strip():
+                        missing.append(f"{path}:{child.lineno} {child.name}")
+                walk(child, parents + [child])
+            else:
+                walk(child, parents)
+
+    walk(tree, [])
+    return missing
+
+
+@pytest.mark.parametrize(
+    "path", list(_iter_modules()), ids=lambda p: str(p.relative_to(SRC))
+)
+def test_module_fully_documented(path):
+    missing = _missing_in(path)
+    assert not missing, "missing docstrings:\n" + "\n".join(missing)
+
+
+def test_audit_covers_something():
+    modules = list(_iter_modules())
+    assert len(modules) >= 15, "docstring audit found suspiciously few modules"

@@ -1,0 +1,79 @@
+"""Verify that every dotted name in docs/api/ still imports.
+
+Scans the markdown pages under docs/api/ for backticked dotted names
+rooted at ``repro.`` (for example ```repro.core.TimeBase```), then
+resolves each one: import the longest importable module prefix and
+getattr the remaining attribute chain.  Any name that fails to resolve
+is reported and the script exits non-zero, so the API reference cannot
+silently drift from the code.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_api_docs.py [docs/api]
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+
+NAME_RE = re.compile(r"`(repro(?:\.\w+)+)`")
+
+
+def iter_documented_names(docs_dir: Path):
+    """Yield ``(page, dotted_name)`` for every backticked name in docs_dir."""
+    for page in sorted(docs_dir.glob("*.md")):
+        for match in NAME_RE.finditer(page.read_text(encoding="utf-8")):
+            yield page.name, match.group(1)
+
+
+def resolve(dotted: str) -> None:
+    """Import/getattr ``dotted``; raise if any step fails."""
+    parts = dotted.split(".")
+    module = None
+    index = len(parts)
+    # Longest importable prefix first, so "repro.core.TimeBase" imports
+    # repro.core and getattrs TimeBase rather than importing a module
+    # named repro.core.TimeBase.
+    while index > 0:
+        try:
+            module = importlib.import_module(".".join(parts[:index]))
+            break
+        except ImportError:
+            index -= 1
+    if module is None:
+        raise ImportError(f"no importable prefix of {dotted!r}")
+    obj = module
+    for attr in parts[index:]:
+        obj = getattr(obj, attr)
+
+
+def main(argv: list[str]) -> int:
+    docs_dir = Path(argv[1]) if len(argv) > 1 else Path("docs/api")
+    if not docs_dir.is_dir():
+        print(f"check_api_docs: no such directory: {docs_dir}", file=sys.stderr)
+        return 2
+    checked = 0
+    failures = []
+    for page, dotted in iter_documented_names(docs_dir):
+        checked += 1
+        try:
+            resolve(dotted)
+        except Exception as exc:  # noqa: BLE001 - report every resolution failure
+            failures.append((page, dotted, exc))
+    if failures:
+        for page, dotted, exc in failures:
+            print(f"FAIL {page}: `{dotted}` does not resolve: {exc}", file=sys.stderr)
+        print(
+            f"check_api_docs: {len(failures)}/{checked} documented names broken",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_api_docs: OK ({checked} documented names resolve)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
