@@ -49,49 +49,64 @@ def _kernel_stats(sim):
 
 
 def bench_kernel(cells=None):
-    """Port-module RTL bench under both clocking schemes."""
+    """Port-module RTL bench: both clocking schemes with the default
+    bulk waveform playback, plus the cycle engine with the generator
+    playback forced (the bulk-vs-generator dimension)."""
     cells = scaled(80) if cells is None else cells
     clocks = 53 * (cells + 6)
 
-    def build(sim, clk):
+    def build(sim, clk, playback):
         pm = AtmPortModuleRtl(sim, "pm", clk)
         pm.install(1, 100, 2, 200)
-        sender = CellSender(sim, "gen", clk, port=pm.rx)
+        sender = CellSender(sim, "gen", clk, port=pm.rx,
+                            playback=playback)
         receiver = CellReceiver(sim, "mon", clk, pm.tx)
         for i in range(cells):
             sender.send(AtmCell.with_payload(1, 100,
                                              [i % 256]).to_octets())
         return receiver
 
+    configs = {
+        "event": ("event", "auto"),
+        "cycle": ("cycle", "auto"),
+        "cycle_generator": ("cycle", "generator"),
+    }
     results = {}
     receivers = {}
-    for scheme in ("event", "cycle"):
+    for key, (scheme, playback) in configs.items():
         sim = Simulator()
         clk = sim.signal("clk", init="0")
         if scheme == "event":
             sim.add_clock(clk, period=10)
         else:
             CycleEngine(sim, clk, period=10)
-        receivers[scheme] = build(sim, clk)
+        receivers[key] = build(sim, clk, playback)
         start = time.perf_counter()
         sim.run(until=clocks * 10)
         wall = time.perf_counter() - start
-        results[scheme] = {
+        results[key] = {
             "wall_s": wall,
             "clocks": clocks,
             "cycles_per_s": clocks / wall,
             **_kernel_stats(sim),
         }
 
-    if receivers["cycle"].cells != receivers["event"].cells:
-        raise AssertionError(
-            "clocking schemes diverged: output cell streams differ")
+    cells_out = receivers["event"].cells
+    for key, receiver in receivers.items():
+        if receiver.cells != cells_out:
+            raise AssertionError(
+                f"configuration {key!r} diverged: output cell streams "
+                "differ")
     payload = {
         "cells": cells,
         "event_driven": results["event"],
         "cycle_engine": results["cycle"],
+        "generator_playback": results["cycle_generator"],
         "speedup": (results["cycle"]["cycles_per_s"]
                     / results["event"]["cycles_per_s"]),
+        "bulk_vs_generator": (
+            results["cycle"]["cycles_per_s"]
+            / results["cycle_generator"]["cycles_per_s"]),
     }
     return payload
 
@@ -147,7 +162,11 @@ def main():
           f"({kernel['event_driven']['wall_s']:.3f} s)")
     print(f"  cycle engine : {kernel['cycle_engine']['cycles_per_s']:>10.0f} cyc/s "
           f"({kernel['cycle_engine']['wall_s']:.3f} s)")
-    print(f"  speed-up     : {kernel['speedup']:.2f}x  -> {path}")
+    print(f"  generator pb : {kernel['generator_playback']['cycles_per_s']:>10.0f} cyc/s "
+          f"({kernel['generator_playback']['wall_s']:.3f} s)")
+    print(f"  speed-up     : {kernel['speedup']:.2f}x "
+          f"(bulk vs generator {kernel['bulk_vs_generator']:.2f}x)"
+          f"  -> {path}")
 
     e1 = bench_e1()
     path = save_bench_json("e1", e1)

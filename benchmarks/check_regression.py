@@ -40,6 +40,8 @@ REPO_ROOT = Path(__file__).parent.parent
 CHECKS = [
     ("kernel", "kernel event-driven", ("event_driven", "cycles_per_s")),
     ("kernel", "kernel cycle-engine", ("cycle_engine", "cycles_per_s")),
+    ("kernel", "kernel generator pb", ("generator_playback",
+                                       "cycles_per_s")),
     ("e1", "e1 co-simulation", ("cosim", "cycles_per_s")),
     ("e1", "e1 pure RTL", ("pure_rtl", "cycles_per_s")),
 ]

@@ -43,6 +43,11 @@ class CellFormatError(ValueError):
     """Raised for out-of-range header fields or malformed octet streams."""
 
 
+#: memo of payload tuples that already passed octet validation
+_VALID_PAYLOADS: set = set()
+_VALID_PAYLOAD_LIMIT = 4096
+
+
 @dataclass
 class AtmCell:
     """One ATM cell at the abstract (network-simulator) level.
@@ -66,18 +71,38 @@ class AtmCell:
         default_factory=lambda: (0,) * PAYLOAD_OCTETS)
 
     def __post_init__(self) -> None:
-        self._check_range("gfc", self.gfc, 0xF)
-        self._check_range("vpi", self.vpi, 0xFF)
-        self._check_range("vci", self.vci, 0xFFFF)
-        self._check_range("pt", self.pt, 0x7)
-        self._check_range("clp", self.clp, 0x1)
-        self.payload = tuple(self.payload)
-        if len(self.payload) != PAYLOAD_OCTETS:
+        # Single compound check on the hot path; the per-field helper
+        # reruns only on failure to raise the precise error.
+        if not (isinstance(self.gfc, int) and 0 <= self.gfc <= 0xF
+                and isinstance(self.vpi, int) and 0 <= self.vpi <= 0xFF
+                and isinstance(self.vci, int)
+                and 0 <= self.vci <= 0xFFFF
+                and isinstance(self.pt, int) and 0 <= self.pt <= 0x7
+                and isinstance(self.clp, int) and 0 <= self.clp <= 0x1):
+            self._check_range("gfc", self.gfc, 0xF)
+            self._check_range("vpi", self.vpi, 0xFF)
+            self._check_range("vci", self.vci, 0xFFFF)
+            self._check_range("pt", self.pt, 0x7)
+            self._check_range("clp", self.clp, 0x1)
+        payload = tuple(self.payload)
+        self.payload = payload
+        if len(payload) != PAYLOAD_OCTETS:
             raise CellFormatError(
                 f"payload must be {PAYLOAD_OCTETS} octets, "
-                f"got {len(self.payload)}")
-        for octet in self.payload:
+                f"got {len(payload)}")
+        # Payload images recur heavily (CBR fills, idle cells); memoise
+        # validated tuples so re-parsing the same payload is one set
+        # lookup instead of 48 range checks.
+        try:
+            if payload in _VALID_PAYLOADS:
+                return
+            cacheable = True
+        except TypeError:        # unhashable octet — fails below anyway
+            cacheable = False
+        for octet in payload:
             self._check_range("payload octet", octet, 0xFF)
+        if cacheable and len(_VALID_PAYLOADS) < _VALID_PAYLOAD_LIMIT:
+            _VALID_PAYLOADS.add(payload)
 
     @staticmethod
     def _check_range(label: str, value: int, maximum: int) -> None:

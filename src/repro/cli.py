@@ -159,6 +159,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         sync = entity["sync"]
         print(f"  windows granted     {sync['windows_granted']}")
         print(f"  null messages       {sync['null_messages']}")
+        print(f"  null msgs coalesced "
+              f"{sync['null_messages_coalesced']}")
         print(f"  stale advances      {sync['stale_advances']}")
         print(f"  messages posted     {sync['messages_posted']}")
         print(f"  messages released   {sync['messages_released']}")

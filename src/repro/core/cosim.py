@@ -112,7 +112,8 @@ class CosimulationEntity:
             if TICK_MSG in deltas:
                 handlers[TICK_MSG] = self._deliver
             self.sync = ConservativeSynchronizer(hdl, timebase, deltas,
-                                                 handlers=handlers)
+                                                 handlers=handlers,
+                                                 coalesce_nulls=True)
         self.cells_in = 0
         self.ticks_in = 0
         #: earliest HDL tick at which the next tariff pulse may start

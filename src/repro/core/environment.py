@@ -228,6 +228,10 @@ class CoVerificationEnvironment:
                     "ticks_in": entity.ticks_in,
                     "output_cells": len(entity.output_cells),
                     "sender_backlog": entity.sender.backlog,
+                    "sender_playback": entity.sender.playback,
+                    "sender_template_hits": entity.sender.template_hits,
+                    "sender_template_misses":
+                        entity.sender.template_misses,
                     "sync": entity.sync.stats.as_dict(),
                 }
                 for entity in self.entities

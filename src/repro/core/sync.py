@@ -29,7 +29,8 @@ the clocking scheme.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
+from typing import (Any, Callable, Dict, Iterable, Optional, Tuple,
+                    TYPE_CHECKING)
 
 from ..hdl.simulator import Simulator
 from .messages import (CausalityError, MessageQueueSet, TimestampedMessage)
@@ -64,6 +65,10 @@ class SyncStatistics:
         #: behind the known originator time (conservative) or at/behind
         #: the HDL's local time (lockstep)
         self.stale_advances = 0
+        #: null messages absorbed by horizon batching: their stamp was
+        #: folded into a deferred bound instead of running a full
+        #: protocol advance (see ``coalesce_nulls``)
+        self.null_messages_coalesced = 0
         #: end-of-run drains executed
         self.drains = 0
 
@@ -77,6 +82,7 @@ class SyncStatistics:
             "max_lag_seconds": self.max_lag_seconds,
             "messages_released": self.messages_released,
             "stale_advances": self.stale_advances,
+            "null_messages_coalesced": self.null_messages_coalesced,
             "drains": self.drains,
         }
 
@@ -133,10 +139,22 @@ class ConservativeSynchronizer(_SynchronizerBase):
         handlers: message type -> delivery callable; invoked when the
             protocol releases a message for processing (typically this
             injects a cell into the DUT's stimulus machinery).
+        coalesce_nulls: batch null messages into cell-sized horizon
+            grants.  A burst of ``advance_time`` stamps is folded into
+            one deferred lower bound (the maximum stamp) that is
+            applied — one queue sweep, one protocol advance — when the
+            stamp crosses the next cell-time boundary or a data message
+            arrives.  HDL-visible timing is unchanged: deliveries still
+            happen at ``tick(t_k)`` because every release follows a
+            ``_grant_window(t_k)``, and a deferred null carries no
+            payload to deliver.  Off by default (the E2 ablation
+            measures the raw per-null protocol cost).
 
     Driving:
         ``post(msg_type, time, payload)`` — a data message from the
         network simulator.
+        ``post_many(messages)`` — a batch of data messages; queued
+        together, then a single protocol advance.
         ``advance_time(time)`` — a null (time-only) message announcing
         the originator's clock on *all* queues; the standard
         Chandy-Misra deadlock-avoidance device, and the paper's
@@ -148,13 +166,20 @@ class ConservativeSynchronizer(_SynchronizerBase):
 
     def __init__(self, hdl: Simulator, timebase: TimeBase,
                  deltas: Dict[str, int],
-                 handlers: Optional[Dict[str, Handler]] = None) -> None:
+                 handlers: Optional[Dict[str, Handler]] = None,
+                 coalesce_nulls: bool = False) -> None:
         super().__init__(hdl, timebase)
         self.queues = MessageQueueSet(deltas)
         self.handlers: Dict[str, Handler] = dict(handlers or {})
         #: t_cur of §3.1 — the netsim-side time horizon granted to the
         #: HDL simulator (seconds)
         self.t_cur = 0.0
+        self.coalesce_nulls = coalesce_nulls
+        #: deferred null bound: max stamp not yet applied to the queues
+        self._null_pending: Optional[float] = None
+        #: stamp threshold that forces the next flush (last applied
+        #: bound + one cell time)
+        self._null_flush_at = 0.0
         #: msg_type -> queue-wait histogram (observability, see
         #: :meth:`attach_observability`)
         self._wait_hists: Dict[str, Any] = {}
@@ -179,6 +204,32 @@ class ConservativeSynchronizer(_SynchronizerBase):
     # -- originator-side API ----------------------------------------------
     def post(self, msg_type: str, time: float, payload: Any = None) -> None:
         """Receive a data message from the network simulator."""
+        self._flush_nulls()
+        self._queue_message(msg_type, time, payload)
+        self._advance()
+
+    def post_many(self, messages: Iterable[Tuple[str, float, Any]]
+                  ) -> None:
+        """Receive a batch of data messages — ``(msg_type, time,
+        payload)`` triples — from the network simulator.
+
+        All messages are queued (each validated, counted and traced
+        exactly like :meth:`post`) before a *single* protocol advance,
+        so a burst sharing one timestamp window costs one queue sweep
+        instead of one per message.  Deliveries still happen at the
+        same HDL ticks: every release follows a window grant to the
+        message's own stamp.
+        """
+        self._flush_nulls()
+        posted = False
+        for msg_type, time, payload in messages:
+            self._queue_message(msg_type, time, payload)
+            posted = True
+        if posted:
+            self._advance()
+
+    def _queue_message(self, msg_type: str, time: float,
+                       payload: Any) -> None:
         if time < self.t_cur:
             raise CausalityError(
                 f"message {msg_type!r} at t={time} in the past of the "
@@ -190,7 +241,6 @@ class ConservativeSynchronizer(_SynchronizerBase):
         if self._trace is not None:
             self._trace.emit("post", type=msg_type, t=time,
                              hdl_s=self.timebase.to_seconds(self.hdl.now))
-        self._advance()
 
     def advance_time(self, time: float) -> None:
         """Receive a null message: all queues learn the originator has
@@ -199,17 +249,48 @@ class ConservativeSynchronizer(_SynchronizerBase):
         A stamp behind the known originator time is a *stale* null
         message: harmless (a lower bound the receiver already holds)
         but counted in ``stats.stale_advances``.
+
+        With ``coalesce_nulls`` the stamp is folded into a deferred
+        bound instead of sweeping the queues immediately; the bound is
+        applied when a stamp crosses the next cell-time boundary, a
+        data message arrives, or the run drains.
         """
         stale = time < self.originator_time
         if stale:
             self.stats.stale_advances += 1
-        for queue in self.queues.queues.values():
-            queue.advance_time(time)
         self.stats.null_messages += 1
         self.originator_time = max(self.originator_time, time)
+        if self.coalesce_nulls:
+            pending = self._null_pending
+            self._null_pending = (time if pending is None
+                                  else max(pending, time))
+            deferred = time < self._null_flush_at
+            if self._trace is not None:
+                self._trace.emit(
+                    "null", t=time, stale=stale, coalesced=deferred,
+                    hdl_s=self.timebase.to_seconds(self.hdl.now))
+            if deferred:
+                self.stats.null_messages_coalesced += 1
+                return
+            self._flush_nulls()
+            return
+        for queue in self.queues.queues.values():
+            queue.advance_time(time)
         if self._trace is not None:
             self._trace.emit("null", t=time, stale=stale,
                              hdl_s=self.timebase.to_seconds(self.hdl.now))
+        self._advance()
+
+    def _flush_nulls(self) -> None:
+        """Apply the deferred null bound (coalescing mode): one queue
+        sweep at the maximum pending stamp, then a protocol advance."""
+        stamp = self._null_pending
+        if stamp is None:
+            return
+        self._null_pending = None
+        self._null_flush_at = stamp + self.timebase.cell_time_seconds
+        for queue in self.queues.queues.values():
+            queue.advance_time(stamp)
         self._advance()
 
     def drain(self, time: Optional[float] = None) -> None:
@@ -223,6 +304,7 @@ class ConservativeSynchronizer(_SynchronizerBase):
             self._trace.emit("drain", t=time)
         if time is not None:
             self.advance_time(time)
+        self._flush_nulls()
         while self.queues.pending():
             head = self.queues.earliest_head()
             assert head is not None

@@ -14,7 +14,8 @@ from .logic import (LogicError, STD_LOGIC_VALUES, bits, is_defined,
 from .processes import (CallbackProcess, FallingEdge, GeneratorProcess,
                         Process, ProcessError, RisingEdge)
 from .signal import DriveError, Signal
-from .simulator import (CombinationalLoopError, SimulationError, Simulator)
+from .simulator import (CombinationalLoopError, SimulationError, Simulator,
+                        WaveformStream)
 from .testbench import (Scoreboard, ScoreboardError, SignalMonitor,
                         clocked_driver, drive_sequence)
 from .vcd import VcdWriter
@@ -31,6 +32,7 @@ __all__ = [
     "ProcessError", "RisingEdge",
     "DriveError", "Signal",
     "CombinationalLoopError", "SimulationError", "Simulator",
+    "WaveformStream",
     "Scoreboard", "ScoreboardError", "SignalMonitor", "clocked_driver",
     "drive_sequence",
     "VcdWriter",

@@ -82,12 +82,22 @@ class CycleEngine:
         #: absolute tick of the next edge and the level it drives
         self._next_edge_time: Optional[int] = None
         self._next_edge_value = "1"
-        #: cached snapshot of clk's sensitivity list (the edge table)
+        #: cached snapshots of clk's sensitivity lists (edge tables);
+        #: ``_edge_table_all`` is the rising-edge dispatch list (any
+        #: sensitivity + rise-only sensitivity), ``_edge_table`` the
+        #: falling-edge one
         self._edge_table: Tuple[Process, ...] = ()
         self._edge_table_len = -1
+        self._edge_table_rise_len = -1
+        self._edge_table_all: Tuple[Process, ...] = ()
+        self._clk_id = id(clk)
         self.cycles_run = 0
         #: clock edges applied through fast dispatch (observability)
         self.edges_applied = 0
+        # Publish the clock geometry so bulk-stimulus compilers (e.g.
+        # CellSender's waveform fast path) can place transitions on
+        # edges of this clock; _prime() refreshes the anchor.
+        sim._register_clock(clk, period, sim.now + self.low_ticks)
         if attach:
             sim._attach_engine(self)
 
@@ -100,42 +110,79 @@ class CycleEngine:
         sim.initialize()
         self._prime()
         sim._execute_deltas()
+        heap = sim._heap
+        wave = sim._wave_heap
         for _ in range(cycles):
-            self._advance_to(self._next_edge_time)   # rising edge
-            self._apply_edge()
-            self._advance_to(self._next_edge_time)   # falling edge
-            self._apply_edge()
+            for _edge in (0, 1):                 # rising, falling
+                target = self._next_edge_time
+                if (heap and heap[0][0] <= target) or (
+                        wave and wave[0][0] < target):
+                    self._advance_to(target, wave_at_target=False)
+                else:
+                    sim.now = target
+                self._apply_edge()
+                if wave and wave[0][0] == target:
+                    self._drain_wave_now()
             self.cycles_run += 1
 
     def _run_until(self, until: Optional[int]) -> int:
         """Engine-driven equivalent of ``Simulator.run(until=...)``:
         apply every clock edge up to *until*, draining timed heap
-        events in between, and land exactly on *until*."""
+        events and bulk waveforms in between, and land exactly on
+        *until*."""
         sim = self.sim
         sim.initialize()
         self._prime()
         sim._execute_deltas()
         if until is None:
-            # No horizon: interleave edges with heap events until the
-            # heap drains (the clock itself never schedules, so this
-            # terminates exactly when an event-driven run of the
+            # No horizon: interleave edges with heap/waveform events
+            # until both drain (the clock itself never schedules, so
+            # this terminates exactly when an event-driven run of the
             # non-clock events would).  Same-time ordering matches the
-            # event-driven kernel: heap events apply before the edge.
+            # event-driven kernel: heap events apply before the edge,
+            # waveform batches after it.
+            heap = sim._heap
+            wave = sim._wave_heap
             while True:
                 next_time = sim.next_event_time()
                 if next_time is None:
                     return sim.now
                 while self._next_edge_time < next_time:
-                    self._advance_to(self._next_edge_time)
+                    target = self._next_edge_time
+                    if (heap and heap[0][0] <= target) or (
+                            wave and wave[0][0] < target):
+                        self._advance_to(target, wave_at_target=False)
+                    else:
+                        sim.now = target
                     self._apply_edge()
-                self._advance_to(next_time)
+                    if wave and wave[0][0] == target:
+                        self._drain_wave_now()
+                self._advance_to(next_time, wave_at_target=False)
+                if wave and wave[0][0] == next_time:
+                    if self._next_edge_time == next_time:
+                        self._apply_edge()
+                    self._drain_wave_now()
         if until < sim.now:
             return sim.now
+        heap = sim._heap
+        wave = sim._wave_heap
         while self._next_edge_time <= until:
-            self._advance_to(self._next_edge_time)
+            target = self._next_edge_time
+            if (heap and heap[0][0] <= target) or (
+                    wave and wave[0][0] < target):
+                self._advance_to(target, wave_at_target=False)
+            else:
+                sim.now = target
             self._apply_edge()
+            if wave and wave[0][0] == target:
+                self._drain_wave_now()
         self._advance_to(until)
         return sim.now
+
+    def schedule_waveform(self, *args, **kwargs):
+        """Bulk event injection — delegates to
+        :meth:`repro.hdl.Simulator.schedule_waveform`."""
+        return self.sim.schedule_waveform(*args, **kwargs)
 
     # ------------------------------------------------------------------
     # Internals
@@ -151,6 +198,10 @@ class CycleEngine:
         if self._next_edge_time is None:
             self._next_edge_time = self.sim.now + self.low_ticks
             self._next_edge_value = "1"
+        if self._next_edge_value == "1":
+            # Authoritative first-rise anchor for bulk stimulus.
+            self.sim._register_clock(self.clk, self.period,
+                                     self._next_edge_time)
 
     def _apply_edge(self) -> None:
         """Drive the scheduled edge at the current time by direct
@@ -176,36 +227,46 @@ class CycleEngine:
             return
 
         # -- fast dispatch: the edge is the only delta-0 work ---------
-        sim._delta_stamp += 1
+        stamp = sim._delta_stamp + 1
+        sim._delta_stamp = stamp
         sim.delta_cycles += 1
         sim.events_executed += 1
         if not clk._apply(self._driver, value):
-            sim._delta_stamp += 1    # settle stamp, as the loop would
+            sim._delta_stamp = stamp + 1  # settle, as the loop would
             return
-        clk._event_delta = sim._delta_stamp
+        clk._event_delta = stamp
         clk.last_event_time = sim.now
         sim.signal_events += 1
 
         sensitive = clk._sensitive
-        if len(sensitive) != self._edge_table_len:
+        rise = clk._sensitive_rise
+        if (len(sensitive) != self._edge_table_len
+                or len(rise) != self._edge_table_rise_len):
             self._edge_table = tuple(sensitive)
             self._edge_table_len = len(sensitive)
+            self._edge_table_rise_len = len(rise)
+            self._edge_table_all = self._edge_table + tuple(rise)
+        table = self._edge_table_all if value == "1" else self._edge_table
         runnable: List[Process] = [
-            p for p in self._edge_table if not p.finished]
-        bucket = sim._waiters.get(id(clk))
+            p for p in table if not p.finished] if table else []
+        bucket = sim._waiters.get(self._clk_id)
         if bucket:
             seen = set(runnable)
-            for process in list(bucket):
+            matched: List[Process] = []
+            for process in bucket:
                 if process not in seen and process._satisfied_by(clk):
                     seen.add(process)
-                    process._disarm(sim)
-                    runnable.append(process)
+                    matched.append(process)
+            for process in matched:
+                process._disarm(sim)
+            runnable.extend(matched)
 
-        for process in runnable:
-            sim._current_process = process
+        if runnable:
             try:
-                process._run(sim)
-                sim.process_runs += 1
+                for process in runnable:
+                    sim._current_process = process
+                    process._run(sim)
+                sim.process_runs += len(runnable)
             finally:
                 sim._current_process = None
 
@@ -227,13 +288,46 @@ class CycleEngine:
             "edges_applied": self.edges_applied,
         }
 
-    def _advance_to(self, target: int) -> None:
-        """Drain heap events up to *target*, then land on it."""
+    def _advance_to(self, target: int,
+                    wave_at_target: bool = True) -> None:
+        """Drain heap and waveform events up to *target*, then land on
+        it.  With ``wave_at_target=False``, waveform batches due
+        exactly at *target* are left for :meth:`_drain_wave_now` —
+        the caller applies the edge at *target* first, preserving the
+        event-kernel ordering (edge before waveform batch)."""
         sim = self.sim
         heap = sim._heap
-        while heap and heap[0][0] <= target:
-            next_time = heap[0][0]
+        wave = sim._wave_heap
+        while True:
+            due_heap = bool(heap) and heap[0][0] <= target
+            if wave:
+                wave_head = wave[0][0]
+                due_wave = (wave_head <= target if wave_at_target
+                            else wave_head < target)
+            else:
+                due_wave = False
+            if not due_heap and not due_wave:
+                break
+            if due_heap and (not due_wave or heap[0][0] <= wave[0][0]):
+                next_time = heap[0][0]
+            else:
+                next_time = wave[0][0]
             sim.now = next_time
-            sim._pop_due(next_time)
-            sim._execute_deltas()
+            if heap and heap[0][0] == next_time:
+                sim._pop_due(next_time)
+                sim._execute_deltas()
+            if wave and wave[0][0] == next_time and (
+                    wave_at_target or next_time < target):
+                sim._collect_wave_due(next_time)
+                sim._execute_deltas()
         sim.now = target
+
+    def _drain_wave_now(self) -> None:
+        """Apply waveform batches due at the current time (used right
+        after an edge so that edge-coincident transitions land in
+        their own post-edge delta, exactly like the event kernel)."""
+        sim = self.sim
+        wave = sim._wave_heap
+        while wave and wave[0][0] == sim.now:
+            sim._collect_wave_due(sim.now)
+            sim._execute_deltas()

@@ -51,9 +51,9 @@ class Signal:
     """
 
     __slots__ = ("sim", "name", "width", "_value", "_previous",
-                 "_drivers", "_sensitive", "_event_delta",
-                 "last_event_time", "change_count", "_norm_cache",
-                 "_driver_gen")
+                 "_drivers", "_sensitive", "_sensitive_rise",
+                 "_event_delta", "last_event_time", "change_count",
+                 "_norm_cache", "_driver_gen")
 
     #: normalisation memo cap per signal (see :meth:`_normalize`)
     _NORM_CACHE_LIMIT = 4096
@@ -74,6 +74,10 @@ class Signal:
         self._drivers: Dict[object, Value] = {}
         #: processes statically sensitive to this signal
         self._sensitive: List["Process"] = []
+        #: processes sensitive to rising edges only (woken when an
+        #: event leaves the signal at '1' — the ``edge="rise"`` form
+        #: of :meth:`repro.hdl.Simulator.add_process`)
+        self._sensitive_rise: List["Process"] = []
         #: driver identity -> inertial-preemption generation; bumped by
         #: the kernel's O(1) cancellation (scheduled updates carrying a
         #: stale generation are tombstones, dropped when popped)
@@ -156,6 +160,14 @@ class Signal:
         produce an event and is overwritten by the next driver update.
         """
         self._value = self._normalize(value)
+
+    def normalize(self, value: Union[Value, int]) -> Value:
+        """Validate and convert *value* to this signal's canonical
+        form (the representation :meth:`drive` schedules).  Public for
+        stimulus compilers that precompute transition lists for
+        :meth:`repro.hdl.Simulator.schedule_waveform` with
+        ``normalized=True``; memoised per signal for vectors."""
+        return self._normalize(value)
 
     # ------------------------------------------------------------------
     # Kernel interface

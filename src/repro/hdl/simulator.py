@@ -32,7 +32,14 @@ process"; this kernel is where that bottleneck lives in the repro):
 * a :class:`~repro.hdl.cycle.CycleEngine` may be *attached* to the
   simulator; :meth:`Simulator.run` then delegates to the engine, which
   applies clock edges by direct dispatch instead of heap-scheduled
-  generator resumes (see ``cycle.py``).
+  generator resumes (see ``cycle.py``);
+* precompiled stimulus is injected in bulk: one
+  :meth:`Simulator.schedule_waveform` call plays back a whole
+  transition list (a :class:`WaveformStream`) with no generator resume
+  per clock — each due transition batch is applied as its own delta
+  cycle *after* the coincident clock edge has settled, so a bulk
+  waveform is observationally identical to a generator process that
+  drives the same values after each edge.
 """
 
 from __future__ import annotations
@@ -45,7 +52,8 @@ from typing import Callable, Dict, Generator, List, Optional, Sequence, \
 from .processes import CallbackProcess, GeneratorProcess, Process
 from .signal import Signal
 
-__all__ = ["Simulator", "SimulationError", "CombinationalLoopError"]
+__all__ = ["Simulator", "SimulationError", "CombinationalLoopError",
+           "WaveformStream"]
 
 
 class SimulationError(Exception):
@@ -73,6 +81,51 @@ class _ScheduledUpdate:
         self.driver = driver
         self.value = value
         self.gen = gen
+
+
+class WaveformStream:
+    """One bulk-scheduled transition list (see
+    :meth:`Simulator.schedule_waveform`).
+
+    ``transitions`` is a list of ``(offset, signal, value)`` tuples
+    with tick offsets relative to ``base`` (absolute time = ``base +
+    offset``); values are already normalised.  ``callbacks`` is a list
+    of ``(offset, callable)`` completion hooks fired when playback
+    passes their offset.  ``order`` is the creation sequence number:
+    at coincident times, earlier-scheduled streams apply first (the
+    tie-break that keeps chained cell waveforms in FIFO order).
+    """
+
+    __slots__ = ("base", "transitions", "driver", "callbacks", "order",
+                 "index", "cb_index")
+
+    def __init__(self, base: int, transitions: List[tuple],
+                 driver: object, callbacks: Sequence[tuple],
+                 order: int) -> None:
+        self.base = base
+        self.transitions = transitions
+        self.driver = driver
+        self.callbacks = callbacks
+        self.order = order
+        self.index = 0
+        self.cb_index = 0
+
+    @property
+    def pending(self) -> int:
+        """Transitions not yet applied."""
+        return len(self.transitions) - self.index
+
+    def next_time(self) -> Optional[int]:
+        """Absolute tick of the next transition or callback, or
+        ``None`` when playback has finished."""
+        time = None
+        if self.index < len(self.transitions):
+            time = self.base + self.transitions[self.index][0]
+        if self.cb_index < len(self.callbacks):
+            cb_time = self.base + self.callbacks[self.cb_index][0]
+            if time is None or cb_time < time:
+                time = cb_time
+        return time
 
 
 class Simulator:
@@ -109,12 +162,23 @@ class Simulator:
         #: attached cycle-based clock engine (at most one); when set,
         #: :meth:`run` delegates the clocking to it
         self._engine = None
+        #: bulk waveform playback (see :meth:`schedule_waveform`):
+        #: a heap of (next_time, order, WaveformStream)
+        self._wave_heap: List[Tuple[int, int, WaveformStream]] = []
+        self._wave_pending = 0
+        #: clock-signal id -> (period_ticks, first_rise_tick); written
+        #: by :meth:`add_clock` and by an attaching CycleEngine so that
+        #: stimulus compilers (e.g. CellSender's bulk path) can place
+        #: transitions on clock edges without a running clock process
+        self._clock_specs: Dict[int, Tuple[int, int]] = {}
 
         # statistics
         self.events_executed = 0     # applied signal updates
         self.signal_events = 0       # updates that changed a value
         self.delta_cycles = 0
         self.process_runs = 0
+        self.waveforms_scheduled = 0  # schedule_waveform calls
+        self.waveform_events = 0      # transitions applied in bulk
 
     def stats_snapshot(self) -> Dict[str, int]:
         """Machine-readable kernel counters (the raw material of the
@@ -125,6 +189,8 @@ class Simulator:
             "signal_events": self.signal_events,
             "delta_cycles": self.delta_cycles,
             "process_runs": self.process_runs,
+            "waveforms_scheduled": self.waveforms_scheduled,
+            "waveform_events": self.waveform_events,
             "pending_events": self.pending_event_count,
             "signals": len(self.signals),
             "processes": len(self.processes),
@@ -139,9 +205,15 @@ class Simulator:
         return Signal(self, name, width=width, init=init)
 
     def add_process(self, name: str, fn: Callable[["Simulator"], None],
-                    sensitivity: Sequence[Signal] = ()) -> CallbackProcess:
-        """Register an RTL-style callback process."""
-        process = CallbackProcess(name, fn, sensitivity)
+                    sensitivity: Sequence[Signal] = (),
+                    edge: str = "any") -> CallbackProcess:
+        """Register an RTL-style callback process.
+
+        ``edge="rise"`` wakes the process only on events that leave a
+        sensitivity signal at '1' (a clocked process guarded by
+        ``rising_edge``), skipping the wasted falling-edge dispatch.
+        """
+        process = CallbackProcess(name, fn, sensitivity, edge=edge)
         self.processes.append(process)
         if self._initialized:
             self._pending_resume_callback(process)
@@ -178,7 +250,138 @@ class Simulator:
                 yield second_span
                 signal.drive(first)
 
+        first_rise = self.now + (period if start_high
+                                 else period - high)
+        self._register_clock(signal, period, first_rise)
         return self.add_generator(f"clock:{signal.name}", clock_gen())
+
+    def _register_clock(self, signal: Signal, period: int,
+                        first_rise: int) -> None:
+        self._clock_specs[id(signal)] = (period, first_rise)
+
+    def clock_spec(self, signal: Signal) -> Optional[Tuple[int, int]]:
+        """The ``(period_ticks, first_rise_tick)`` of a registered
+        clock on *signal* (via :meth:`add_clock` or an attached
+        :class:`~repro.hdl.cycle.CycleEngine`), or ``None``."""
+        return self._clock_specs.get(id(signal))
+
+    def next_rising_edge(self, signal: Signal,
+                         after: Optional[int] = None) -> int:
+        """The first rising-edge tick of a registered clock strictly
+        after *after* (default: the current time)."""
+        spec = self.clock_spec(signal)
+        if spec is None:
+            raise SimulationError(
+                f"no clock registered on signal {signal.name!r}")
+        period, first_rise = spec
+        time = self.now if after is None else after
+        if time < first_rise:
+            return first_rise
+        return first_rise + ((time - first_rise) // period + 1) * period
+
+    def schedule_waveform(self, transitions: Sequence[tuple],
+                          start: Optional[int] = None,
+                          driver: Optional[object] = None,
+                          callbacks: Sequence[tuple] = (),
+                          normalized: bool = False) -> \
+            Optional[WaveformStream]:
+        """Bulk event injection: insert a precompiled transition list.
+
+        Args:
+            transitions: ``(tick_offset, signal, value)`` tuples with
+                non-decreasing integer offsets; at each absolute time
+                ``start + offset`` the due batch is applied as one
+                delta cycle.  At a time that also carries heap events
+                (e.g. a clock edge) the waveform batch applies *after*
+                those events and their deltas settle — exactly where a
+                generator process woken by the edge would land its
+                ``drive()`` calls.
+            start: base tick (default: the current time; must not lie
+                in the past).
+            driver: driver identity for every transition (default: the
+                current process, or the anonymous test-bench driver).
+            callbacks: ``(tick_offset, callable)`` completion hooks in
+                non-decreasing offset order, fired when playback
+                reaches their offset (e.g. per-cell accounting).
+            normalized: pass ``True`` when values are already
+                normalised for their signal (e.g. from a cached
+                template) to skip re-validation.
+
+        Returns the scheduled :class:`WaveformStream` (``None`` for an
+        empty call).  Streams scheduled earlier apply first at
+        coincident times.  Transitions with the same driver and no
+        value change still resolve identically to repeated ``drive()``
+        calls, but cost no per-clock Python process resumption.
+        """
+        base = self.now if start is None else start
+        if base < self.now:
+            raise SimulationError(
+                f"waveform start {base} lies in the past of {self.now}")
+        compiled: List[tuple] = []
+        previous = 0
+        for offset, signal, value in transitions:
+            if not isinstance(offset, int) or offset < 0:
+                raise SimulationError(
+                    f"waveform offset must be a non-negative int, "
+                    f"got {offset!r}")
+            if offset < previous:
+                raise SimulationError(
+                    f"waveform offsets must be non-decreasing "
+                    f"({offset} after {previous})")
+            previous = offset
+            compiled.append(
+                (offset, signal,
+                 value if normalized else signal._normalize(value)))
+        hooks = list(callbacks)
+        previous = 0
+        for offset, _fn in hooks:
+            if not isinstance(offset, int) or offset < previous:
+                raise SimulationError(
+                    "waveform callback offsets must be non-decreasing "
+                    "non-negative ints")
+            previous = offset
+        if not compiled and not hooks:
+            return None
+        if driver is None:
+            driver = self._current_driver()
+        stream = WaveformStream(base, compiled, driver, hooks,
+                                next(self._seq))
+        self.waveforms_scheduled += 1
+        self._wave_pending += len(compiled)
+        heapq.heappush(self._wave_heap,
+                       (stream.next_time(), stream.order, stream))
+        return stream
+
+    def _collect_wave_due(self, time: int) -> None:
+        """Move every waveform transition due at *time* to the pending
+        updates (in stream order) and fire due completion callbacks."""
+        wave = self._wave_heap
+        pending = self._pending_updates
+        while wave and wave[0][0] <= time:
+            stream = heapq.heappop(wave)[2]
+            transitions = stream.transitions
+            base = stream.base
+            index = stream.index
+            count = len(transitions)
+            while index < count and base + transitions[index][0] <= time:
+                entry = transitions[index]
+                pending.append((entry[1], stream.driver, entry[2]))
+                index += 1
+            applied = index - stream.index
+            stream.index = index
+            self._wave_pending -= applied
+            self.waveform_events += applied
+            callbacks = stream.callbacks
+            cb_index = stream.cb_index
+            cb_count = len(callbacks)
+            while (cb_index < cb_count
+                   and base + callbacks[cb_index][0] <= time):
+                callbacks[cb_index][1]()
+                cb_index += 1
+            stream.cb_index = cb_index
+            next_time = stream.next_time()
+            if next_time is not None:
+                heapq.heappush(wave, (next_time, stream.order, stream))
 
     # ------------------------------------------------------------------
     # Execution
@@ -208,16 +411,24 @@ class Simulator:
             return self._engine._run_until(until)
         self._execute_deltas()
         heap = self._heap
-        while heap:
-            next_time = heap[0][0]
+        wave = self._wave_heap
+        while heap or wave:
+            if heap and (not wave or heap[0][0] <= wave[0][0]):
+                next_time = heap[0][0]
+            else:
+                next_time = wave[0][0]
             if until is not None and next_time > until:
                 break
             if next_time < self.now:
                 raise SimulationError(
                     f"time reversal: event at {next_time} < {self.now}")
             self.now = next_time
-            self._pop_due(next_time)
-            self._execute_deltas()
+            if heap and heap[0][0] == next_time:
+                self._pop_due(next_time)
+                self._execute_deltas()
+            if wave and wave[0][0] == next_time:
+                self._collect_wave_due(next_time)
+                self._execute_deltas()
         if until is not None and until > self.now:
             self.now = until
         return self.now
@@ -234,20 +445,25 @@ class Simulator:
         still on the heap as tombstones.
         """
         return (len(self._heap) + len(self._pending_updates)
-                + len(self._pending_resumes))
+                + len(self._pending_resumes) + self._wave_pending)
 
     def next_event_time(self) -> Optional[int]:
-        """Time of the earliest scheduled future event, or ``None``."""
+        """Time of the earliest scheduled future event (heap or bulk
+        waveform), or ``None``."""
         if self._pending_updates or self._pending_resumes:
             return self.now
+        wave = self._wave_heap
+        wave_time = wave[0][0] if wave else None
         heap = self._heap
         while heap:
             item = heap[0][2]
             if type(item) is _ScheduledUpdate and self._is_stale(item):
                 heapq.heappop(heap)     # discard the tombstone
                 continue
+            if wave_time is not None and wave_time < heap[0][0]:
+                return wave_time
             return heap[0][0]
-        return None
+        return wave_time
 
     # ------------------------------------------------------------------
     # Kernel internals (used by Signal, processes and CycleEngine)
@@ -372,6 +588,11 @@ class Simulator:
                     if process not in seen and not process.finished:
                         seen.add(process)
                         runnable.append(process)
+                if signal._sensitive_rise and signal._value == "1":
+                    for process in signal._sensitive_rise:
+                        if process not in seen and not process.finished:
+                            seen.add(process)
+                            runnable.append(process)
                 bucket = waiters.get(id(signal))
                 if bucket:
                     for process in list(bucket):

@@ -20,8 +20,9 @@ divergences:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..hdl.logic import vector_to_int
 from ..hdl.signal import Signal
@@ -78,7 +79,12 @@ class AccountingUnitRtl(Component):
         self._interval = 0
         self._octet_count = 0
         self._header: List[int] = []
-        self._out_fifo: List[int] = []
+        self._out_fifo: Deque[int] = deque()
+        #: True once rec_valid has been driven '0' with an empty FIFO —
+        #: the idle drive is issued once, not on every idle clock (the
+        #: resolved waveform is identical; repeating the no-change
+        #: drive costs a kernel delta round per clock)
+        self._rec_idle = False
         self._tick_parity = 0
         self.cells_seen = 0
         self.unknown_cells = 0
@@ -191,8 +197,12 @@ class AccountingUnitRtl(Component):
             entry.cells_clp0 += 1
 
     def _stream_records(self) -> None:
-        if not self._out_fifo:
-            self.rec_valid.drive("0")
+        fifo = self._out_fifo
+        if not fifo:
+            if not self._rec_idle:
+                self.rec_valid.drive("0")
+                self._rec_idle = True
             return
-        self.rec_word.drive(self._out_fifo.pop(0))
+        self._rec_idle = False
+        self.rec_word.drive(fifo.popleft())
         self.rec_valid.drive("1")

@@ -11,12 +11,24 @@ RTL DUTs and by CASTANET's co-simulation entity:
 * ``atmdata[7:0]`` — one cell octet per clock,
 * ``cellsync``    — '1' together with octet 0 of each cell,
 * ``valid``       — '1' while an octet is present.
+
+Playback modes (the 1:400-granularity hot path): driving one cell
+costs the generator path 53 process resumptions and ~159 ``drive()``
+calls.  The *bulk* path instead compiles each cell image once into a
+cached transition template and plays it back through a single
+:meth:`repro.hdl.Simulator.schedule_waveform` call — one dict lookup
+plus one bulk insert per cell, trace-identical to the generator path
+(the equivalence suite in ``tests/rtl/test_bulk_equiv.py`` compares
+the VCDs).  ``playback="auto"`` (default) selects bulk when the clock
+geometry is registered (``sim.add_clock`` or an attached
+:class:`~repro.hdl.cycle.CycleEngine`) and falls back to the generator
+otherwise.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional, Sequence
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 from ..hdl.logic import vector_to_int
 from ..hdl.processes import RisingEdge
@@ -50,65 +62,250 @@ class CellSender(Component):
     rising clock edge, inserting idle (valid='0') slots when the queue
     is empty.  ``gap_octets`` adds that many idle clocks between
     consecutive cells (inter-cell spacing).
+
+    ``playback`` selects the drive machinery:
+
+    * ``"bulk"`` — each cell is compiled into a cached waveform
+      template (memoised by octet tuple and edge spacing, including
+      the ``cellsync``/``valid`` control schedule and the idle
+      trailer) and injected with one ``schedule_waveform`` call; no
+      process resumption per clock.  Requires a registered clock
+      geometry on *clk*.
+    * ``"generator"`` — the behavioural generator process (the seed
+      path, kept as the equivalence reference).  When idle it parks on
+      an internal queue-refill event instead of polling every edge.
+    * ``"auto"`` (default) — resolve at initialisation: bulk when
+      ``sim.clock_spec(clk)`` is known, generator otherwise.
     """
 
     def __init__(self, sim: Simulator, name: str, clk: Signal,
                  port: Optional[CellStreamPort] = None,
-                 gap_octets: int = 0) -> None:
+                 gap_octets: int = 0,
+                 playback: str = "auto") -> None:
         super().__init__(sim, name)
         self.port = port if port is not None else CellStreamPort(sim, name)
         self.gap_octets = gap_octets
+        self.clk = clk
         self._queue: Deque[Sequence[int]] = deque()
         self.cells_sent = 0
         #: optional observer invoked after a cell's last octet has been
         #: driven (used for per-cell ingress-latency accounting)
         self.on_cell_sent: Optional[Callable[[], None]] = None
+        if playback not in ("auto", "bulk", "generator"):
+            raise ValueError(
+                f"playback must be 'auto', 'bulk' or 'generator', "
+                f"got {playback!r}")
+        #: resolved playback mode ("bulk"/"generator"; None while an
+        #: "auto" sender waits for its first process run to decide)
+        self.playback: Optional[str] = None
+        # -- bulk-path state ------------------------------------------
+        self._bulk_driver = object()
+        #: (octets, gap0) -> precompiled transition template
+        self._template_cache: dict = {}
+        self.template_hits = 0
+        self.template_misses = 0
+        #: first edge tick free for the next cell's octet 0
+        self._next_free_edge: Optional[int] = None
+        #: cells scheduled as waveforms whose trailer has not played
+        self._inflight = 0
+        # -- generator-path state -------------------------------------
+        #: queue-refill parking signal (created lazily: only the
+        #: generator path needs it, and only once it first idles)
+        self._refill: Optional[Signal] = None
+        self._refill_level = False
 
-        def run():
-            # One reusable wait object and local bindings: this loop
-            # runs once per clock for the whole simulation.
-            edge = RisingEdge(clk)
-            queue = self._queue
-            atmdata = self.port.atmdata
-            cellsync = self.port.cellsync
-            valid = self.port.valid
-            while True:
-                if not queue:
-                    self._drive_idle()
-                    yield edge
-                    continue
-                octets = queue.popleft()
-                # Drive one octet after each rising edge; the consumer
-                # samples it on the following edge.
-                for index, octet in enumerate(octets):
-                    atmdata.drive(octet)
-                    cellsync.drive("1" if index == 0 else "0")
-                    valid.drive("1")
-                    yield edge
-                self.cells_sent += 1
-                if self.on_cell_sent is not None:
-                    self.on_cell_sent()
-                self._drive_idle()
-                for _ in range(self.gap_octets):
-                    yield edge
+        if playback == "bulk":
+            if sim.clock_spec(clk) is None:
+                raise ValueError(
+                    f"CellSender {name!r}: playback='bulk' needs a "
+                    "registered clock on its clk signal (sim.add_clock "
+                    "or an attached CycleEngine)")
+            self.playback = "bulk"
+            self._drive_idle_bulk()
+        else:
+            self._force_generator = (playback == "generator")
+            sim.add_generator(f"{name}.sender", self._run())
 
-        sim.add_generator(f"{name}.sender", run())
-
-    def _drive_idle(self) -> None:
-        self.port.valid.drive("0")
-        self.port.cellsync.drive("0")
-
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
     def send(self, octets: Sequence[int]) -> None:
         """Queue one cell (a 53-octet sequence) for transmission."""
         if len(octets) != CELL_OCTETS:
             raise ValueError(
                 f"a cell is {CELL_OCTETS} octets, got {len(octets)}")
+        if self.playback == "bulk":
+            self._schedule_cell(tuple(octets))
+            return
         self._queue.append(list(octets))
+        if self._refill is not None:
+            # Wake the parked generator (it re-syncs to the next edge).
+            self._refill_level = not self._refill_level
+            self.sim._schedule_update(
+                self._refill, self._bulk_driver,
+                "1" if self._refill_level else "0", 0)
 
     @property
     def backlog(self) -> int:
-        """Cells queued but not yet (fully) transmitted."""
-        return len(self._queue)
+        """Cells queued but not yet fully transmitted (bulk-scheduled
+        cells count until their idle trailer has played)."""
+        return len(self._queue) + self._inflight
+
+    # ------------------------------------------------------------------
+    # Generator path (and "auto" resolution)
+    # ------------------------------------------------------------------
+    def _run(self):
+        sim = self.sim
+        clk = self.clk
+        if not self._force_generator:
+            spec = sim.clock_spec(clk)
+            if spec is not None:
+                # Auto-resolution at the first process run (during
+                # sim.initialize()): the clock geometry is known, so
+                # promote to bulk playback and flush the queue.  The
+                # first queued cell reproduces the generator's
+                # initialisation timing (octet 0 applied at the
+                # current time, before the first edge).
+                self.playback = "bulk"
+                if not self._queue:
+                    # Establish the idle levels exactly like the
+                    # generator's first run would.
+                    self._drive_idle_bulk()
+                first = True
+                while self._queue:
+                    self._schedule_cell(tuple(self._queue.popleft()),
+                                        at_now=first)
+                    first = False
+                return
+        self.playback = "generator"
+        edge = RisingEdge(clk)
+        queue = self._queue
+        atmdata = self.port.atmdata
+        cellsync = self.port.cellsync
+        valid = self.port.valid
+        while True:
+            if not queue:
+                self._drive_idle()
+                # Park until send() refills the queue, then re-sync to
+                # the clock: the next octet is driven after the first
+                # edge following the refill, exactly like the seed's
+                # per-edge polling loop — without one process
+                # resumption per idle clock.
+                if self._refill is None:
+                    self._refill = self.sim.signal(
+                        f"{self.name}.refill", init="0")
+                yield self._refill
+                yield edge
+                continue
+            octets = queue.popleft()
+            # Drive one octet after each rising edge; the consumer
+            # samples it on the following edge.
+            for index, octet in enumerate(octets):
+                atmdata.drive(octet)
+                cellsync.drive("1" if index == 0 else "0")
+                valid.drive("1")
+                yield edge
+            self.cells_sent += 1
+            if self.on_cell_sent is not None:
+                self.on_cell_sent()
+            self._drive_idle()
+            for _ in range(self.gap_octets):
+                yield edge
+
+    def _drive_idle(self) -> None:
+        self.port.valid.drive("0")
+        self.port.cellsync.drive("0")
+
+    def _drive_idle_bulk(self) -> None:
+        """Idle levels via the bulk driver identity (the bulk path must
+        never mix drivers on the port — two drivers would resolve to
+        'X')."""
+        sim = self.sim
+        sim._schedule_update(self.port.valid, self._bulk_driver, "0", 0)
+        sim._schedule_update(self.port.cellsync, self._bulk_driver,
+                             "0", 0)
+
+    # ------------------------------------------------------------------
+    # Bulk path
+    # ------------------------------------------------------------------
+    def _schedule_cell(self, octets: Tuple[int, ...],
+                       at_now: bool = False) -> None:
+        sim = self.sim
+        period, first_rise = sim.clock_spec(self.clk)
+        now = sim.now
+        free = self._next_free_edge
+        if free is not None and free > now:
+            # Chained behind the previous cell (back-to-back or gap).
+            base, gap0 = free, period
+        elif at_now or (not sim._initialized and now < first_rise):
+            # Initialisation-time send: the generator drives octet 0
+            # during its first run, before the first edge.
+            base = now
+            gap0 = sim.next_rising_edge(self.clk, after=now) - now
+        else:
+            # Idle pick-up: octet 0 lands after the next rising edge
+            # strictly beyond the current time (where the parked
+            # generator would resume).
+            base = sim.next_rising_edge(self.clk, after=now)
+            gap0 = period
+        key = (octets, gap0)
+        template = self._template_cache.get(key)
+        if template is None:
+            self.template_misses += 1
+            template = self._compile_template(octets, gap0, period)
+            self._template_cache[key] = template
+        else:
+            self.template_hits += 1
+        transitions, trailer_offset = template
+        self._inflight += 1
+        sim.schedule_waveform(
+            transitions, start=base, driver=self._bulk_driver,
+            callbacks=((trailer_offset, self._cell_done),),
+            normalized=True)
+        self._next_free_edge = (base + trailer_offset
+                                + self.gap_octets * period)
+
+    def _compile_template(self, octets: Tuple[int, ...], gap0: int,
+                          period: int) -> Tuple[List[tuple], int]:
+        """Compile one cell image into a transition list.
+
+        Offsets: octet 0 at 0, octet *k* at ``gap0 + (k-1)*period``,
+        idle trailer one edge after the last octet.  Transitions that
+        cannot change the signal (an octet equal to its predecessor,
+        ``cellsync``/``valid`` levels already established) are
+        omitted — same resolved waveform, fewer kernel events.  Octet
+        0 and the trailer are always emitted: the bus state before and
+        after the cell is not part of the template key.
+        """
+        atmdata = self.port.atmdata
+        cellsync = self.port.cellsync
+        valid = self.port.valid
+        norm = atmdata.normalize
+        transitions: List[tuple] = [
+            (0, atmdata, norm(octets[0])),
+            (0, cellsync, "1"),
+            (0, valid, "1"),
+        ]
+        previous = octets[0]
+        for index in range(1, len(octets)):
+            offset = gap0 + (index - 1) * period
+            octet = octets[index]
+            if octet != previous:
+                transitions.append((offset, atmdata, norm(octet)))
+                previous = octet
+            if index == 1:
+                transitions.append((offset, cellsync, "0"))
+        trailer_offset = gap0 + (len(octets) - 1) * period
+        transitions.append((trailer_offset, valid, "0"))
+        return transitions, trailer_offset
+
+    def _cell_done(self) -> None:
+        """Waveform completion hook: the cell's last octet has been
+        driven (the generator path's end-of-cell bookkeeping)."""
+        self._inflight -= 1
+        self.cells_sent += 1
+        if self.on_cell_sent is not None:
+            self.on_cell_sent()
 
 
 class CellReceiver(Component):
@@ -117,6 +314,10 @@ class CellReceiver(Component):
     Each completed cell is appended to :attr:`cells` and passed to the
     optional ``on_cell`` callback.  Octets arriving without a preceding
     cellsync are counted as :attr:`framing_errors` and discarded.
+
+    While no cell is in progress and ``valid`` is low the receiver
+    parks on ``valid``'s rising edge instead of sampling every clock —
+    idle gaps cost no process runs (the edge-gated idle loop).
     """
 
     def __init__(self, sim: Simulator, name: str, clk: Signal,
@@ -129,16 +330,27 @@ class CellReceiver(Component):
         self.cells: List[List[int]] = []
         self._partial: Optional[List[int]] = None
         self.framing_errors = 0
-        # hot-loop bindings (one sample per clock edge)
+        # hot-loop bindings (one sample per active clock edge)
         self._valid = port.valid
         self._cellsync = port.cellsync
         self._atmdata = port.atmdata
-        self.clocked(clk, self._tick)
+        sim.add_generator(f"{name}.receiver", self._run(clk))
 
     @property
     def collecting(self) -> bool:
         """True while a cell is partially received."""
         return self._partial is not None
+
+    def _run(self, clk: Signal):
+        valid = self._valid
+        clk_edge = RisingEdge(clk)
+        valid_edge = RisingEdge(valid)
+        while True:
+            if self._partial is None and valid.value != "1":
+                yield valid_edge
+                continue
+            yield clk_edge
+            self._tick()
 
     def _tick(self) -> None:
         if self._valid.value != "1":

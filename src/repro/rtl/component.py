@@ -37,6 +37,9 @@ class Component:
 
         The body reads ``.value`` of its inputs and drives outputs —
         the shape of a ``process(clk)`` with ``rising_edge(clk)``.
+        Registered with rising-edge sensitivity, so the falling edge
+        does not dispatch the process at all; the guard stays as a
+        belt-and-braces check for the initialisation run.
         """
 
         def proc(_sim: Simulator) -> None:
@@ -44,7 +47,7 @@ class Component:
                 body()
 
         self.sim.add_process(f"{self.name}.{name}", proc,
-                             sensitivity=[clk])
+                             sensitivity=[clk], edge="rise")
 
     def combinational(self, inputs: Sequence[Signal],
                       body: Callable[[], None],

@@ -16,13 +16,13 @@ from repro.core import (CausalityError, ConservativeSynchronizer,
 from repro.hdl import Simulator
 
 
-def make_sync(deltas=None, handlers=None):
+def make_sync(deltas=None, handlers=None, **kwargs):
     tb = TimeBase(tick_seconds=1e-9, clock_period_ticks=10)
     hdl = Simulator()
     clk = hdl.signal("clk", init="0")
     hdl.add_clock(clk, period=tb.clock_period_ticks)
     sync = ConservativeSynchronizer(hdl, tb, deltas or {"cell": 55},
-                                    handlers=handlers)
+                                    handlers=handlers, **kwargs)
     return tb, hdl, sync
 
 
@@ -187,3 +187,116 @@ class TestLockstep:
         sync.post("cell", 1e-6, None)
         with pytest.raises(CausalityError):
             sync.post("cell", 0.5e-6, None)
+
+
+class TestPostMany:
+    def test_batch_matches_sequential_posts(self):
+        batch_delivered, seq_delivered = [], []
+        _, _, batch = make_sync(
+            handlers={"cell": lambda m: batch_delivered.append(m.payload)})
+        _, _, seq = make_sync(
+            handlers={"cell": lambda m: seq_delivered.append(m.payload)})
+        messages = [("cell", (k + 1) * 1e-6, k) for k in range(5)]
+        batch.post_many(messages)
+        for msg_type, t, payload in messages:
+            seq.post(msg_type, t, payload)
+        assert batch_delivered == seq_delivered == [0, 1, 2, 3, 4]
+        assert batch.stats.messages_posted == 5
+        assert batch.hdl.now == seq.hdl.now
+        assert batch.t_cur == seq.t_cur
+
+    def test_empty_batch_is_a_noop(self):
+        _, hdl, sync = make_sync()
+        sync.post_many([])
+        assert sync.stats.messages_posted == 0
+        assert sync.stats.windows_granted == 0
+
+    def test_batch_rejects_past_message(self):
+        _, _, sync = make_sync()
+        sync.post("cell", 2e-6, "A")
+        with pytest.raises(CausalityError):
+            sync.post_many([("cell", 1e-6, "B")])
+
+    def test_simultaneous_batch_single_window(self):
+        _, _, sync = make_sync()
+        sync.post_many([("cell", 1e-6, "A"), ("cell", 1e-6, "B")])
+        assert sync.stats.windows_granted == 1
+        assert sync.stats.messages_released == 2
+
+
+class TestNullCoalescing:
+    def test_off_by_default(self):
+        _, _, sync = make_sync()
+        assert sync.coalesce_nulls is False
+        for k in range(4):
+            sync.advance_time((k + 1) * 1e-8)
+        assert sync.stats.null_messages == 4
+        assert sync.stats.null_messages_coalesced == 0
+
+    def test_burst_within_cell_time_coalesces(self):
+        # cell time = 53 clocks x 10 ticks x 1ns = 5.3e-7 s; a burst
+        # of per-clock stamps inside one cell window folds into the
+        # first grant
+        _, _, sync = make_sync(coalesce_nulls=True)
+        for k in range(10):
+            sync.advance_time((k + 1) * 1e-8)
+        assert sync.stats.null_messages == 10
+        assert sync.stats.null_messages_coalesced == 9
+        assert sync.originator_time == pytest.approx(1e-7)
+
+    def test_stamp_beyond_cell_boundary_flushes(self):
+        tb, _, sync = make_sync(coalesce_nulls=True)
+        sync.advance_time(1e-8)                   # applies, opens window
+        sync.advance_time(2e-8)                   # deferred
+        boundary = 1e-8 + tb.cell_time_seconds
+        sync.advance_time(boundary + 1e-9)        # crosses -> flush
+        assert sync.stats.null_messages_coalesced == 1
+        sync.advance_time(boundary + 2e-9)        # deferred again
+        assert sync.stats.null_messages_coalesced == 2
+
+    def test_data_message_flushes_pending_bound(self):
+        delivered = []
+        _, _, sync = make_sync(
+            deltas={"cell": 55, "tick": 2},
+            handlers={"cell": lambda m: delivered.append(m.payload),
+                      "tick": lambda m: None},
+            coalesce_nulls=True)
+        sync.post("cell", 1e-6, "A")
+        assert delivered == []        # tick queue has no coverage yet
+        sync.advance_time(9e-7)       # below 1e-6: A still held
+        sync.advance_time(1.05e-6)    # deferred bound covers t=1e-6...
+        sync.post("cell", 2e-6, "B")  # ...and the data message flushes it
+        assert delivered == ["A"]
+
+    def test_drain_flushes_pending_bound(self):
+        delivered = []
+        _, _, sync = make_sync(
+            deltas={"cell": 55, "tick": 2},
+            handlers={"cell": lambda m: delivered.append(m.payload),
+                      "tick": lambda m: None},
+            coalesce_nulls=True)
+        sync.post("cell", 1e-6, "A")
+        sync.drain(2e-6)
+        assert delivered == ["A"]
+        assert sync.queues.pending() == 0
+
+    def test_coalesced_deliveries_match_uncoalesced(self):
+        """Horizon batching must not change what is delivered or when
+        (in HDL ticks) — only how many queue sweeps it costs."""
+        runs = {}
+        for coalesce in (False, True):
+            delivered = []
+            _, hdl, sync = make_sync(
+                deltas={"cell": 55, "tick": 2},
+                handlers={"cell": lambda m, d=delivered: d.append(
+                    (m.payload, sync.hdl.now)),
+                          "tick": lambda m: None},
+                coalesce_nulls=coalesce)
+            for k in range(40):
+                sync.advance_time((k + 1) * 2.5e-8)
+                if k % 10 == 9:
+                    sync.post("cell", (k + 1) * 2.5e-8 + 1e-9, k)
+            sync.drain(2e-6)
+            runs[coalesce] = delivered
+        assert runs[True] == runs[False]
+        assert len(runs[True]) == 4

@@ -1,0 +1,175 @@
+"""Kernel unit tests for bulk waveform playback.
+
+:meth:`Simulator.schedule_waveform` is the primitive under the
+CellSender bulk path: a precompiled ``(tick_offset, signal, value)``
+list applied without per-transition process resumption.  These tests
+pin its contract — validation, timing, driver resolution, completion
+callbacks, stream ordering and the bookkeeping counters.
+"""
+
+import pytest
+
+from repro.hdl import SimulationError, Simulator
+
+
+def make_sim():
+    sim = Simulator()
+    data = sim.signal("data", width=8, init=0)
+    flag = sim.signal("flag", init="0")
+    return sim, data, flag
+
+
+class TestScheduleWaveform:
+    def test_transitions_apply_at_absolute_times(self):
+        sim, data, flag = make_sim()
+        sim.schedule_waveform([(0, data, 1), (10, data, 2),
+                               (10, flag, "1"), (25, data, 3)])
+        sim.run(until=5)
+        assert data.as_int() == 1
+        assert flag.value == "0"
+        sim.run(until=12)
+        assert data.as_int() == 2
+        assert flag.value == "1"
+        sim.run(until=30)
+        assert data.as_int() == 3
+
+    def test_start_offsets_shift_the_base(self):
+        sim, data, _ = make_sim()
+        sim.run(until=7)
+        sim.schedule_waveform([(0, data, 5), (3, data, 6)], start=20)
+        sim.run(until=19)
+        assert data.as_int() == 0
+        sim.run(until=21)
+        assert data.as_int() == 5
+        sim.run(until=24)
+        assert data.as_int() == 6
+
+    def test_counters_and_stats_snapshot(self):
+        sim, data, flag = make_sim()
+        sim.schedule_waveform([(0, data, 1), (5, data, 2)])
+        sim.schedule_waveform([(2, flag, "1")])
+        assert sim.waveforms_scheduled == 2
+        sim.run(until=10)
+        assert sim.waveform_events == 3
+        stats = sim.stats_snapshot()
+        assert stats["waveforms_scheduled"] == 2
+        assert stats["waveform_events"] == 3
+
+    def test_empty_call_returns_none(self):
+        sim, _, _ = make_sim()
+        assert sim.schedule_waveform([]) is None
+        assert sim.waveforms_scheduled == 0
+
+    def test_pending_events_include_waveforms(self):
+        sim, data, _ = make_sim()
+        sim.initialize()
+        assert sim.next_event_time() is None
+        sim.schedule_waveform([(4, data, 9)])
+        assert sim.next_event_time() == 4
+        assert sim.pending_event_count == 1
+        sim.run(until=10)
+        assert sim.pending_event_count == 0
+
+    def test_callbacks_fire_at_their_offsets(self):
+        sim, data, _ = make_sim()
+        fired = []
+        sim.schedule_waveform(
+            [(0, data, 1), (10, data, 2)],
+            callbacks=((0, lambda: fired.append(sim.now)),
+                       (10, lambda: fired.append(sim.now))))
+        sim.run(until=5)
+        assert fired == [0]
+        sim.run(until=15)
+        assert fired == [0, 10]
+
+    def test_callback_only_stream_is_valid(self):
+        sim, _, _ = make_sim()
+        fired = []
+        sim.schedule_waveform([], start=6,
+                              callbacks=((2, lambda: fired.append(1)),))
+        sim.run(until=10)
+        assert fired == [1]
+
+    def test_streams_apply_in_schedule_order(self):
+        # Coincident transitions from the same driver: the
+        # later-scheduled stream lands last and wins the resolution.
+        sim, data, _ = make_sim()
+        driver = object()
+        sim.schedule_waveform([(5, data, 1)], driver=driver)
+        sim.schedule_waveform([(5, data, 2)], driver=driver)
+        sim.run(until=10)
+        assert data.as_int() == 2
+
+    def test_applies_after_heap_events_settle(self):
+        # A waveform due at a clock-edge time lands where a generator
+        # woken by that edge would drive: after the edge's deltas.
+        sim, data, _ = make_sim()
+        clk = sim.signal("clk", init="0")
+        sim.add_clock(clk, period=10)
+        sampled = []
+
+        def watch(s):
+            sampled.append((s.now, data.as_int()))
+        sim.add_process("watch", watch, sensitivity=(clk,), edge="rise")
+        sim.schedule_waveform([(5, data, 7)])
+        sim.run(until=12)
+        # initialisation run at t=0, then the rising edge at t=5 —
+        # which still saw the pre-waveform value
+        assert sampled == [(0, 0), (5, 0)]
+        assert data.as_int() == 7
+
+    def test_rejects_start_in_the_past(self):
+        sim, data, _ = make_sim()
+        sim.run(until=10)
+        with pytest.raises(SimulationError):
+            sim.schedule_waveform([(0, data, 1)], start=5)
+
+    def test_rejects_negative_and_non_int_offsets(self):
+        sim, data, _ = make_sim()
+        with pytest.raises(SimulationError):
+            sim.schedule_waveform([(-1, data, 1)])
+        with pytest.raises(SimulationError):
+            sim.schedule_waveform([(1.5, data, 1)])
+
+    def test_rejects_decreasing_offsets(self):
+        sim, data, _ = make_sim()
+        with pytest.raises(SimulationError):
+            sim.schedule_waveform([(5, data, 1), (3, data, 2)])
+
+    def test_rejects_decreasing_callback_offsets(self):
+        sim, data, _ = make_sim()
+        with pytest.raises(SimulationError):
+            sim.schedule_waveform(
+                [(0, data, 1)],
+                callbacks=((5, lambda: None), (3, lambda: None)))
+
+    def test_values_normalised_unless_flagged(self):
+        sim, data, _ = make_sim()
+        sim.schedule_waveform([(0, data, 255)])
+        sim.run(until=2)
+        assert data.as_int() == 255
+        assert data.value == data.normalize(255)
+
+
+class TestRisingEdgeSensitivity:
+    def test_rise_process_skips_falling_edges(self):
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        sim.add_clock(clk, period=10)
+        rises, edges = [], []
+        sim.add_process("rise", lambda s: rises.append(s.now),
+                        sensitivity=(clk,), edge="rise")
+        sim.add_process("any", lambda s: edges.append(s.now),
+                        sensitivity=(clk,))
+        sim.run(until=40)
+        # initialisation run at t=0, then rising edges only
+        assert rises == [0, 5, 15, 25, 35]
+        assert edges == [0, 5, 10, 15, 20, 25, 30, 35, 40]
+
+    def test_invalid_edge_rejected(self):
+        from repro.hdl import ProcessError
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        with pytest.raises(ProcessError):
+            sim.add_process("bad", lambda s: None,
+                            sensitivity=(clk,), edge="fall")

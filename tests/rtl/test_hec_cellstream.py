@@ -151,6 +151,59 @@ class TestCellStream:
         sender = CellSender(sim, "tx", clk)
         with pytest.raises(ValueError):
             sender.send([0] * 52)
+        with pytest.raises(ValueError):
+            sender.send([0] * 54)
+
+    def test_sender_rejects_wrong_length_bulk(self):
+        sim, clk = make_clocked_sim()
+        sender = CellSender(sim, "tx", clk, playback="bulk")
+        with pytest.raises(ValueError):
+            sender.send([0] * 52)
+        with pytest.raises(ValueError):
+            sender.send([0] * 54)
+        assert sender.cells_sent == 0
+
+    @pytest.mark.parametrize("playback", ["generator", "bulk"])
+    def test_idle_gap_costs_no_process_runs(self, playback):
+        """Edge gating: an idle link must not burn process dispatches.
+
+        The receiver parks on the next rising edge of ``valid`` and the
+        sender parks on the queue-refill event, so a long idle stretch
+        after the last cell adds zero process runs (the CycleEngine has
+        no clock process of its own, making the floor exact)."""
+        from repro.hdl import CycleEngine
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        CycleEngine(sim, clk, period=10)
+        sender = CellSender(sim, "tx", clk, playback=playback)
+        receiver = CellReceiver(sim, "rx", clk, sender.port)
+        sender.send(AtmCell.with_payload(1, 1, []).to_octets())
+        sim.run(until=10 * 60)       # cell fully delivered
+        assert len(receiver.cells) == 1
+        busy_runs = sim.process_runs
+        sim.run(until=10 * 1060)     # 1000 further idle clocks
+        assert sim.process_runs == busy_runs
+
+    def test_idle_gap_event_clock_only_clock_runs(self):
+        """Same regression under the event-driven clock: the idle
+        stretch adds only the clock generator's own resumptions — the
+        sender/receiver contribute none."""
+        # baseline: a bare clock over the same window
+        ref_sim, _ = make_clocked_sim()
+        ref_sim.run(until=10 * 60)
+        ref_busy = ref_sim.process_runs
+        ref_sim.run(until=10 * 1060)
+        clock_only = ref_sim.process_runs - ref_busy
+
+        sim, clk = make_clocked_sim()
+        sender = CellSender(sim, "tx", clk, playback="generator")
+        receiver = CellReceiver(sim, "rx", clk, sender.port)
+        sender.send(AtmCell.with_payload(1, 1, []).to_octets())
+        sim.run(until=10 * 60)
+        assert len(receiver.cells) == 1
+        busy_runs = sim.process_runs
+        sim.run(until=10 * 1060)
+        assert sim.process_runs - busy_runs == clock_only
 
     def test_cells_sent_counter_and_idle_between(self):
         sim, clk = make_clocked_sim()
