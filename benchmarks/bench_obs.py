@@ -1,0 +1,126 @@
+"""Observability overhead benchmark — the tracing cost gate.
+
+Runs the observed E1 workload (``repro.obs.scenario.run_observed_e1``)
+three ways and writes ``BENCH_obs.json`` at the repo root:
+
+* **disabled** — metrics registry off, no provenance, no trace: the
+  overhead baseline (the same null-instrument fast paths the perf
+  benchmarks measure);
+* **observed** — metrics + cell provenance at the default production
+  sampling (1 in ``DEFAULT_SAMPLE`` journeys) + profiling spans on the
+  four kernel hot paths: the configuration a long co-verification run
+  would actually ship with;
+* **traced** — everything on: every journey traced (``sample=1``) and
+  the full JSONL decision trace written to disk (informational — this
+  is the debug configuration, not the production one).
+
+The gate: the *observed* configuration must keep at least
+``1 - REPRO_OBS_BUDGET`` (default 0.95, i.e. <= 5 % overhead) of the
+disabled throughput.  Each configuration reports the best of
+``REPEATS`` runs so scheduler noise does not masquerade as overhead.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py
+
+``REPRO_BENCH_SCALE`` scales the cell workload exactly as it does for
+the other benchmarks (CI smoke-runs at 0.25).
+"""
+
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+if __package__ in (None, ""):  # script mode
+    sys.path.insert(0, str(Path(__file__).parent))
+    from common import save_bench_json, scale, scaled
+else:
+    from .common import save_bench_json, scale, scaled
+
+from repro.obs.scenario import run_observed_e1
+
+#: default production sampling: trace 1 in N cell journeys
+DEFAULT_SAMPLE = 16
+
+#: best-of-N repeats per configuration
+REPEATS = 3
+
+
+def _budget() -> float:
+    """Allowed fractional throughput cost of the observed config."""
+    return float(os.environ.get("REPRO_OBS_BUDGET", "0.05"))
+
+
+def _measure(cells, repeats=REPEATS, **kwargs):
+    """Best-of-*repeats* run of the observed E1 scenario; returns the
+    workload stats of the fastest run plus the observability knobs."""
+    best = None
+    for _ in range(repeats):
+        report = run_observed_e1(cells=cells, **kwargs)
+        workload = report["workload"]
+        if best is None or (workload["cycles_per_s"]
+                            > best["cycles_per_s"]):
+            best = dict(workload)
+            provenance = report.get("provenance")
+            if provenance is not None:
+                best["provenance"] = provenance
+            if "trace_records" in report:
+                best["trace_records"] = report["trace_records"]
+    return best
+
+
+def bench_obs(cells=None):
+    """Overhead of the observability layer on the E1 workload."""
+    cells = scaled(160) if cells is None else cells
+
+    disabled = _measure(cells, observe=False, sample=0)
+    observed = _measure(cells, observe=True, sample=DEFAULT_SAMPLE,
+                        profile=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        traced = _measure(cells, repeats=1, observe=True, sample=1,
+                          profile=True,
+                          trace=Path(tmp) / "bench.trace.jsonl")
+
+    base_rate = disabled["cycles_per_s"]
+    payload = {
+        "cells": cells,
+        "sample": DEFAULT_SAMPLE,
+        "budget": _budget(),
+        "disabled": disabled,
+        "observed": observed,
+        "traced": traced,
+        "observed_overhead": 1.0 - observed["cycles_per_s"] / base_rate,
+        "traced_overhead": 1.0 - traced["cycles_per_s"] / base_rate,
+    }
+    return payload
+
+
+def main():
+    budget = _budget()
+    print(f"observability overhead benchmark "
+          f"(budget {budget:.0%}, REPRO_BENCH_SCALE={scale():g})")
+    payload = bench_obs()
+    path = save_bench_json("obs", payload)
+    for key in ("disabled", "observed", "traced"):
+        stats = payload[key]
+        note = ""
+        if key != "disabled":
+            overhead = payload[f"{key}_overhead"]
+            note = f"  ({overhead:+.1%} vs disabled)"
+        print(f"  {key:<9}: {stats['cycles_per_s']:>10.0f} cyc/s "
+              f"({stats['wall_s']:.3f} s){note}")
+    print(f"  -> {path}")
+
+    if payload["observed_overhead"] > budget:
+        print(f"FAIL: observed overhead "
+              f"{payload['observed_overhead']:.1%} exceeds the "
+              f"{budget:.0%} budget at 1-in-{DEFAULT_SAMPLE} sampling")
+        return 1
+    print(f"observed overhead {payload['observed_overhead']:.1%} "
+          f"within the {budget:.0%} budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,17 @@
 """Benchmark regression guard — fails CI on a large perf drop.
 
-Reads the *committed* ``BENCH_kernel.json`` / ``BENCH_e1.json``
-baselines at the repo root (before they get overwritten), re-runs both
-benchmarks fresh, writes the new artifacts, and compares the
-throughput figures (simulated DUT clock cycles per wall second):
+Reads the *committed* ``BENCH_kernel.json`` / ``BENCH_e1.json`` /
+``BENCH_obs.json`` baselines at the repo root (before they get
+overwritten), re-runs the benchmarks fresh, writes the new artifacts,
+and compares the throughput figures (simulated DUT clock cycles per
+wall second):
 
 * kernel: event-driven and cycle-engine clocking of the port-module
   bench;
-* e1: co-simulation and pure-RTL throughput of the headline workload.
+* e1: co-simulation and pure-RTL throughput of the headline workload;
+* obs: the same workload with metrics + sampled cell provenance +
+  profiling on (``benchmarks/bench_obs.py`` additionally gates the
+  observability overhead against ``REPRO_OBS_BUDGET``).
 
 A metric more than ``REPRO_BENCH_TOLERANCE`` (default 0.30, i.e. 30 %)
 below its baseline fails the run with exit code 1.  The generous
@@ -29,9 +33,11 @@ from pathlib import Path
 if __package__ in (None, ""):  # script mode
     sys.path.insert(0, str(Path(__file__).parent))
     from bench_kernel import bench_e1, bench_kernel
+    from bench_obs import bench_obs
     from common import save_bench_json, scale
 else:
     from .bench_kernel import bench_e1, bench_kernel
+    from .bench_obs import bench_obs
     from .common import save_bench_json, scale
 
 REPO_ROOT = Path(__file__).parent.parent
@@ -44,6 +50,7 @@ CHECKS = [
                                        "cycles_per_s")),
     ("e1", "e1 co-simulation", ("cosim", "cycles_per_s")),
     ("e1", "e1 pure RTL", ("pure_rtl", "cycles_per_s")),
+    ("obs", "e1 observed (sampled)", ("observed", "cycles_per_s")),
 ]
 
 
@@ -60,14 +67,15 @@ def main() -> int:
 
     # baselines first: the fresh run overwrites the artifacts in place
     baselines = {}
-    for name in ("kernel", "e1"):
+    for name in ("kernel", "e1", "obs"):
         path = REPO_ROOT / f"BENCH_{name}.json"
         if path.is_file():
             baselines[name] = json.loads(path.read_text())
 
     print(f"benchmark regression guard "
           f"(tolerance {tolerance:.0%}, REPRO_BENCH_SCALE={scale():g})")
-    fresh = {"kernel": bench_kernel(), "e1": bench_e1()}
+    fresh = {"kernel": bench_kernel(), "e1": bench_e1(),
+             "obs": bench_obs()}
     for name, payload in fresh.items():
         save_bench_json(name, payload)
 

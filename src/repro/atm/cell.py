@@ -22,7 +22,7 @@ octet  contents
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..netsim.packet import Packet
 from .hec import check_hec, hec_octet
@@ -60,6 +60,11 @@ class AtmCell:
         gfc: generic flow control, 0..15.
         payload: exactly 48 octets (zero-padded when shorter at
             construction via :meth:`with_payload`).
+        trace_id: provenance id assigned by the observability layer
+            (see :mod:`repro.obs.provenance`); ``None`` when untracked.
+            Excluded from equality/repr — a traced cell still compares
+            equal to its untraced reference-model twin — and never part
+            of the 53-octet wire image.
     """
 
     vpi: int = 0
@@ -69,6 +74,8 @@ class AtmCell:
     gfc: int = 0
     payload: Tuple[int, ...] = field(
         default_factory=lambda: (0,) * PAYLOAD_OCTETS)
+    trace_id: Optional[int] = field(default=None, compare=False,
+                                    repr=False)
 
     def __post_init__(self) -> None:
         # Single compound check on the hot path; the per-field helper
@@ -184,21 +191,24 @@ class AtmCell:
     # ------------------------------------------------------------------
     def to_packet(self, creation_time: float = 0.0) -> Packet:
         """Wrap the cell in an abstract netsim packet (Figure 4 struct)."""
+        fields = {"VPI": self.vpi, "VCI": self.vci,
+                  "PT": self.pt, "CLP": self.clp,
+                  "GFC": self.gfc, "payload": list(self.payload)}
+        if self.trace_id is not None:
+            fields["trace_id"] = self.trace_id
         return Packet(size_bits=CELL_BITS, creation_time=creation_time,
-                      fields={"VPI": self.vpi, "VCI": self.vci,
-                              "PT": self.pt, "CLP": self.clp,
-                              "GFC": self.gfc,
-                              "payload": list(self.payload)})
+                      fields=fields)
 
     @classmethod
     def from_packet(cls, packet: Packet) -> "AtmCell":
         """Recover a cell from an abstract packet built by
-        :meth:`to_packet` (missing fields default to zero)."""
+        :meth:`to_packet` (missing fields default to zero; a provenance
+        ``trace_id`` stamped on the packet is carried over)."""
         return cls.with_payload(
             vpi=packet.get("VPI", 0), vci=packet.get("VCI", 0),
             payload=packet.get("payload", ()),
             pt=packet.get("PT", 0), clp=packet.get("CLP", 0),
-            gfc=packet.get("GFC", 0))
+            gfc=packet.get("GFC", 0), trace_id=packet.get("trace_id"))
 
     def connection(self) -> Tuple[int, int]:
         """The (VPI, VCI) pair identifying the cell's connection."""

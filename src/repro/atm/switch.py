@@ -84,9 +84,12 @@ class PortModule(Module):
         if self.switch.accounting is not None:
             self.switch.accounting.cell_arrival(cell.vpi, cell.vci,
                                                 clp=cell.clp)
+        # Header translation preserves the cell's identity — payload,
+        # control bits and (when traced) its provenance id.
         translated = AtmCell(vpi=entry.out_vpi, vci=entry.out_vci,
                              pt=cell.pt, clp=cell.clp, gfc=cell.gfc,
-                             payload=cell.payload)
+                             payload=cell.payload,
+                             trace_id=cell.trace_id)
         out = translated.to_packet(creation_time=packet.creation_time)
         self.cells_routed += 1
         self.switch.cells_switched += 1

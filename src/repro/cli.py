@@ -8,8 +8,13 @@ Small operational conveniences for exploring the reproduction:
 * ``results`` — print the experiment tables of the last benchmark run;
 * ``stats`` — run the observed E1 scenario and report the
   co-simulation metrics (sync windows, null messages, lag histogram,
-  kernel counters, per-cell latency), exporting JSON alongside the
-  ``BENCH_*.json`` artifacts;
+  kernel counters, per-cell and per-hop latency), exporting JSON
+  alongside the ``BENCH_*.json`` artifacts;
+* ``trace run`` — run the observed E1 scenario with full causal
+  tracing and write the JSONL decision trace (optionally a
+  Chrome/Perfetto trace too);
+* ``trace export`` — convert an existing JSONL trace into a
+  ``chrome://tracing``/Perfetto-loadable JSON;
 * ``sweep`` — fan a declarative scenario matrix (traffic model ×
   port count × seed × sync mode) out over worker processes and
   aggregate the results into ``BENCH_sweep.json`` plus a human table
@@ -138,6 +143,39 @@ def _print_histogram(label: str, hist: Dict[str, object]) -> None:
         print(f"      <= {bound:<8} {bucket['count']}")
 
 
+#: provenance hop-pair metric -> human row label for the stats table
+_HOP_LABELS = (
+    ("prov.hop_s.source_to_post", "source -> sync post"),
+    ("prov.hop_s.post_to_release", "sync queue wait"),
+    ("prov.hop_s.release_to_ingress", "sync -> DUT ingress"),
+    ("prov.hop_s.ingress_to_dut_out", "DUT processing"),
+    ("prov.hop_s.dut_out_to_sink", "DUT -> sink"),
+    ("prov.hop_s.release_to_sink", "switch -> sink"),
+)
+
+
+def _print_hop_table(histograms: Dict[str, Dict[str, object]]) -> None:
+    """The per-hop latency summary derived from provenance spans."""
+    rows = [(label, histograms[name])
+            for name, label in _HOP_LABELS if name in histograms]
+    covered = {name for name, _ in _HOP_LABELS}
+    rows.extend((name[len("prov.hop_s."):], hist)
+                for name, hist in sorted(histograms.items())
+                if name.startswith("prov.hop_s.")
+                and name not in covered)
+    if not rows:
+        return
+    print("\ncell journey (per-hop latency):")
+    print(f"  {'hop':<22} {'n':>5} {'mean':>9} {'p50':>9} "
+          f"{'p99':>9} {'max':>9}")
+    for label, hist in rows:
+        print(f"  {label:<22} {hist['count']:>5} "
+              f"{_format_seconds(hist['mean']):>9} "
+              f"{_format_seconds(hist['p50']):>9} "
+              f"{_format_seconds(hist['p99']):>9} "
+              f"{_format_seconds(hist['max']):>9}")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     # Lazy import: the scenario pulls in the whole stack, and
     # repro.obs deliberately does not import it (repro.core imports
@@ -145,7 +183,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs.scenario import run_observed_e1
 
     report = run_observed_e1(cells=args.cells, load=args.load,
-                             lockstep=args.lockstep, trace=args.trace)
+                             lockstep=args.lockstep, trace=args.trace,
+                             sample=args.sample, profile=args.profile)
     workload = report["workload"]
     print(f"observed E1 scenario — {workload['cells']} cells, "
           f"load {workload['load']}, "
@@ -193,6 +232,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if unmatched:
         print(f"  WARNING: {unmatched} latency sample(s) unmatched")
 
+    _print_hop_table(histograms)
+    provenance = report.get("provenance")
+    if provenance is not None:
+        print(f"  cells traced: {provenance['cells_sampled']}"
+              f"/{provenance['cells_seen']} "
+              f"(1 in {provenance['sample']}), "
+              f"{provenance['spans_recorded']} spans")
+    if args.profile:
+        print("\nhot-path profile:")
+        for name in ("prof.netsim_run_s", "prof.hdl_run_s",
+                     "prof.sync_advance_s", "prof.cell_compile_s"):
+            if name in histograms:
+                hist = histograms[name]
+                print(f"  {name:<22} n={hist['count']:<6} "
+                      f"total={_format_seconds(hist['total'])}")
+
     if args.json:
         path = Path(args.json)
         path.write_text(json.dumps(report, indent=2, sort_keys=True)
@@ -200,6 +255,69 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"\nwrote {path}")
     if args.trace:
         print(f"wrote trace {args.trace}")
+    return 0
+
+
+def _cmd_trace_run(args: argparse.Namespace) -> int:
+    # Lazy import — same circularity reason as stats.
+    from repro.obs.scenario import run_observed_e1
+
+    out = Path(args.out)
+    if out.parent != Path("."):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    report = run_observed_e1(cells=args.cells, load=args.load,
+                             lockstep=args.lockstep, trace=out,
+                             sample=args.sample, profile=args.profile)
+    provenance = report.get("provenance", {})
+    print(f"wrote {report['trace_records']} trace record(s) to {out}")
+    print(f"  cells traced: {provenance.get('cells_sampled', 0)}"
+          f"/{provenance.get('cells_seen', 0)} "
+          f"(1 in {provenance.get('sample', args.sample)}), "
+          f"{provenance.get('spans_recorded', 0)} spans")
+    if args.chrome:
+        from repro.obs.chrome import (export_chrome_trace,
+                                      load_trace_jsonl,
+                                      validate_chrome_trace)
+        payload = export_chrome_trace(load_trace_jsonl(out),
+                                      path=args.chrome,
+                                      snapshot=report)
+        summary = validate_chrome_trace(payload)
+        print(f"wrote Chrome trace {args.chrome} "
+              f"({summary['events']} events, {summary['flows']} cell "
+              f"flows) — open in chrome://tracing or ui.perfetto.dev")
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from repro.obs.chrome import (ChromeTraceError, export_chrome_trace,
+                                  load_trace_jsonl,
+                                  validate_chrome_trace)
+
+    source = Path(args.input)
+    if not source.is_file():
+        print(f"no such trace file: {source}", file=sys.stderr)
+        return 2
+    out = Path(args.out) if args.out else source.with_suffix("") \
+        .with_suffix(".trace.json")
+    snapshot = None
+    if args.stats:
+        stats_path = Path(args.stats)
+        if not stats_path.is_file():
+            print(f"no such stats file: {stats_path}", file=sys.stderr)
+            return 2
+        snapshot = json.loads(stats_path.read_text())
+    try:
+        records = load_trace_jsonl(source)
+        payload = export_chrome_trace(records, path=out,
+                                      snapshot=snapshot)
+        summary = validate_chrome_trace(payload)
+    except ChromeTraceError as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote Chrome trace {out} ({summary['events']} events, "
+          f"{summary['flows']} cell flows, "
+          f"{len(summary['tracks'])} tracks) — open in "
+          f"chrome://tracing or ui.perfetto.dev")
     return 0
 
 
@@ -224,6 +342,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 seeds=[int(v) for v in _csv(args.seeds)],
                 sync=_csv(args.sync),
                 cells=args.cells, load=args.load)
+        if args.trace_dir:
+            spec.trace_dir = args.trace_dir
         runner = SweepRunner(spec, jobs=args.jobs,
                              timeout_s=args.timeout)
     except (SweepSpecError, ValueError) as exc:
@@ -283,7 +403,58 @@ def main(argv: Optional[List[str]] = None) -> int:
     stats.add_argument("--trace", default=None,
                        help="also write a JSON-lines decision trace "
                             "to this path")
+    stats.add_argument("--sample", type=int, default=1,
+                       help="trace 1 in N cell journeys (default 1 "
+                            "= every cell)")
+    stats.add_argument("--profile", action="store_true",
+                       help="attach wall-clock profiling spans to "
+                            "the kernel hot paths")
     stats.set_defaults(fn=_cmd_stats)
+    trace = commands.add_parser(
+        "trace",
+        help="causal cell tracing: record JSONL traces and export "
+             "them for chrome://tracing / Perfetto")
+    trace_commands = trace.add_subparsers(dest="trace_command")
+    trace_run = trace_commands.add_parser(
+        "run",
+        help="run the observed E1 scenario with causal tracing and "
+             "write the JSONL decision trace")
+    trace_run.add_argument("--cells", type=int, default=64,
+                           help="total cell budget (default 64)")
+    trace_run.add_argument("--load", type=float, default=0.25,
+                           help="per-port line occupancy "
+                                "(default 0.25)")
+    trace_run.add_argument("--lockstep", action="store_true",
+                           help="use the naive per-clock "
+                                "synchroniser (the E2 ablation)")
+    trace_run.add_argument("--sample", type=int, default=1,
+                           help="trace 1 in N cell journeys "
+                                "(default 1 = every cell)")
+    trace_run.add_argument("--profile", action="store_true",
+                           help="attach wall-clock profiling spans "
+                                "to the kernel hot paths")
+    trace_run.add_argument("--out", default="traces/e1.trace.jsonl",
+                           help="JSONL trace output path "
+                                "(default traces/e1.trace.jsonl)")
+    trace_run.add_argument("--chrome", default=None,
+                           help="also export a Chrome/Perfetto trace "
+                                "JSON to this path")
+    trace_run.set_defaults(fn=_cmd_trace_run)
+    trace_export = trace_commands.add_parser(
+        "export",
+        help="convert a JSONL trace into a Chrome/Perfetto trace "
+             "JSON (validated after writing)")
+    trace_export.add_argument("input",
+                              help="JSONL trace file (from "
+                                   "'trace run' or 'stats --trace')")
+    trace_export.add_argument("--out", default=None,
+                              help="Chrome trace output path "
+                                   "(default: input with a "
+                                   ".trace.json suffix)")
+    trace_export.add_argument("--stats", default=None,
+                              help="BENCH_stats.json snapshot to "
+                                   "embed as trace metadata")
+    trace_export.set_defaults(fn=_cmd_trace_export)
     sweep = commands.add_parser(
         "sweep",
         help="run a scenario matrix over worker processes and "
@@ -313,6 +484,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     sweep.add_argument("--timeout", type=float, default=None,
                        help="per-run wall-clock budget in seconds "
                             "(default: spec value, or 120)")
+    sweep.add_argument("--trace-dir", default=None,
+                       help="write one JSONL decision trace per run "
+                            "to this directory")
     sweep.add_argument("--json",
                        default=str(_repo_root() / "BENCH_sweep.json"),
                        help="sweep JSON output path "

@@ -31,6 +31,7 @@ from .timebase import TimeBase
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.metrics import MetricsRegistry
+    from ..obs.provenance import ProvenanceTracker
     from ..obs.trace import TraceWriter
 
 __all__ = ["CosimulationEntity", "ResidualBacklogWarning", "CELL_MSG",
@@ -65,6 +66,11 @@ class CosimulationEntity:
             and TICK_MSG.
         lockstep: use the naive per-clock synchroniser instead of the
             conservative timing-window protocol (the E2 ablation).
+        provenance: optional cell-journey tracker
+            (:class:`repro.obs.provenance.ProvenanceTracker`); the
+            entity then records the ``post``/``release``/``ingress``/
+            ``dut_out`` hops of every sampled cell crossing the
+            abstraction interface.
 
     Outputs captured from ``tx_port`` are collected in
     :attr:`output_cells` as ``(hdl_seconds, AtmCell)`` tuples and
@@ -85,7 +91,9 @@ class CosimulationEntity:
                  deltas: Optional[Dict[str, int]] = None,
                  lockstep: bool = False,
                  metrics: Optional["MetricsRegistry"] = None,
-                 trace: Optional["TraceWriter"] = None) -> None:
+                 trace: Optional["TraceWriter"] = None,
+                 provenance: Optional["ProvenanceTracker"] = None
+                 ) -> None:
         self.hdl = hdl
         self.clk = clk
         self.timebase = timebase
@@ -122,18 +130,26 @@ class CosimulationEntity:
 
         # -- observability (None-guarded; zero cost when absent) ------
         self._trace = trace
+        self._prov = provenance
         self._ingress_hist = None
         self._e2e_hist = None
         self._latency_unmatched = None
-        self._inflight_ingress: Deque[float] = deque()
-        self._inflight_e2e: Deque[float] = deque()
+        # The in-flight deques carry (netsim_time, trace_id) pairs so
+        # FIFO latency matching and provenance share one bookkeeping
+        # path; active when either consumer is wired in.
+        self._track_cells = (provenance is not None
+                             or (metrics is not None and metrics.enabled))
+        self._inflight_ingress: Deque[Tuple[float,
+                                            Optional[int]]] = deque()
+        self._inflight_e2e: Deque[Tuple[float, Optional[int]]] = deque()
         self.sync.attach_observability(metrics, trace)
+        if self._track_cells:
+            self.sender.on_cell_sent = self._on_cell_ingress
         if metrics is not None and metrics.enabled:
             self._ingress_hist = metrics.histogram(
                 "cosim.cell_ingress_latency_s")
             self._latency_unmatched = metrics.counter(
                 "cosim.latency_unmatched")
-            self.sender.on_cell_sent = self._on_cell_ingress
             if self.receiver is not None:
                 self._e2e_hist = metrics.histogram(
                     "cosim.cell_e2e_latency_s")
@@ -146,10 +162,15 @@ class CosimulationEntity:
         stamped with netsim *time*."""
         if isinstance(cell, Packet):
             cell = AtmCell.from_packet(cell)
-        if self._ingress_hist is not None:
-            self._inflight_ingress.append(time)
-            if self._e2e_hist is not None:
-                self._inflight_e2e.append(time)
+        if self._track_cells:
+            tid = cell.trace_id
+            self._inflight_ingress.append((time, tid))
+            if self.receiver is not None:
+                self._inflight_e2e.append((time, tid))
+            if self._prov is not None:
+                self._prov.record_hop(
+                    tid, "post", t=time,
+                    hdl_s=self.timebase.to_seconds(self.hdl.now))
         self.sync.post(CELL_MSG, time, cell)
 
     def send_tariff_tick(self, time: float) -> None:
@@ -220,6 +241,11 @@ class CosimulationEntity:
     def _deliver(self, message: TimestampedMessage) -> None:
         if message.msg_type == CELL_MSG:
             self.cells_in += 1
+            if self._prov is not None:
+                self._prov.record_hop(
+                    getattr(message.payload, "trace_id", None),
+                    "release", t=message.time,
+                    hdl_s=self.timebase.to_seconds(self.hdl.now))
             self.sender.send(self.mapper.cell_to_octets(message.payload))
         elif message.msg_type == TICK_MSG:
             self.ticks_in += 1
@@ -242,30 +268,39 @@ class CosimulationEntity:
 
     def _on_cell_ingress(self) -> None:
         """Observability hook: a stimulus cell finished clocking into
-        the DUT — record netsim-injection → ingress-complete latency."""
+        the DUT — record netsim-injection → ingress-complete latency
+        and the cell's ``ingress`` provenance hop."""
         if not self._inflight_ingress:
-            self._latency_unmatched.inc()
+            if self._latency_unmatched is not None:
+                self._latency_unmatched.inc()
             return
-        injected = self._inflight_ingress.popleft()
-        self._ingress_hist.record(max(
-            0.0, self.timebase.to_seconds(self.hdl.now) - injected))
+        injected, tid = self._inflight_ingress.popleft()
+        hdl_s = self.timebase.to_seconds(self.hdl.now)
+        if self._ingress_hist is not None:
+            self._ingress_hist.record(max(0.0, hdl_s - injected))
+        if self._prov is not None:
+            self._prov.record_hop(tid, "ingress", hdl_s=hdl_s)
 
     def _on_cell_out(self, octets: List[int]) -> None:
         cell = self.mapper.octets_to_cell(octets)
         when = self.timebase.to_seconds(self.hdl.now)
         self.output_cells.append((when, cell))
-        if self._e2e_hist is not None:
+        if self._track_cells and self.receiver is not None:
             # FIFO matching: exact for in-order DUTs; a dropped cell
             # skews subsequent samples (counted via latency_unmatched
             # when the deque underruns).
             if self._inflight_e2e:
-                injected = self._inflight_e2e.popleft()
+                injected, tid = self._inflight_e2e.popleft()
                 latency = max(0.0, when - injected)
-                self._e2e_hist.record(latency)
-                if self._trace is not None:
-                    self._trace.emit("cell_out", hdl_s=when,
-                                     latency_s=latency)
-            else:
+                if self._e2e_hist is not None:
+                    self._e2e_hist.record(latency)
+                    if self._trace is not None:
+                        self._trace.emit("cell_out", hdl_s=when,
+                                         latency_s=latency)
+                if self._prov is not None:
+                    cell.trace_id = tid
+                    self._prov.record_hop(tid, "dut_out", hdl_s=when)
+            elif self._latency_unmatched is not None:
                 self._latency_unmatched.inc()
         if self.on_output is not None:
             self.on_output(when, cell)

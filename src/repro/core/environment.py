@@ -28,6 +28,7 @@ from ..netsim.node import Module
 from ..netsim.packet import Packet
 from ..netsim.topology import Network
 from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
+from ..obs.provenance import ProvenanceTracker
 from ..obs.trace import TraceWriter
 from ..rtl.cell_stream import CellStreamPort
 from .board_interface import BoardInterfaceModel
@@ -91,7 +92,8 @@ class CoVerificationEnvironment:
                  clocking: str = "cycle",
                  observe: bool = True,
                  trace: Optional[Union[str, Path,
-                                       TraceWriter]] = None) -> None:
+                                       TraceWriter]] = None,
+                 provenance_sample: Optional[int] = 1) -> None:
         self.name = name
         # Observability: the registry collects lag/queue-wait/latency
         # histograms from the synchronisers and entities; *trace* (a
@@ -104,6 +106,15 @@ class CoVerificationEnvironment:
         if trace is not None and not isinstance(trace, TraceWriter):
             trace = TraceWriter(trace)
         self.trace: Optional[TraceWriter] = trace
+        # Cell provenance: 1-in-N causal tracing of cell journeys
+        # across the abstraction interface.  Active whenever there is
+        # a consumer (the registry or a trace sink); ``None``/0
+        # disables it outright.
+        self.provenance: Optional[ProvenanceTracker] = None
+        if provenance_sample and (observe or trace is not None):
+            self.provenance = ProvenanceTracker(
+                metrics=self.metrics_registry, trace=trace,
+                sample=provenance_sample)
         self.timebase = timebase if timebase is not None \
             else TimeBase.for_line_rate()
         self.network = Network(f"{name}.net")
@@ -147,7 +158,8 @@ class CoVerificationEnvironment:
                                     tick_signal=tick_signal,
                                     deltas=deltas, lockstep=self.lockstep,
                                     metrics=self.metrics_registry,
-                                    trace=self.trace)
+                                    trace=self.trace,
+                                    provenance=self.provenance)
         self.entities.append(entity)
         return entity
 
@@ -197,6 +209,31 @@ class CoVerificationEnvironment:
         if self.trace is not None:
             self.trace.close()
 
+    def close(self) -> None:
+        """Close the trace sink unconditionally (idempotent).
+
+        Unlike :meth:`finish` this never advances a simulator, so it is
+        safe to call after a failed run — the trace records emitted so
+        far are flushed instead of lost.
+        """
+        if self.trace is not None:
+            self.trace.close()
+
+    def __enter__(self) -> "CoVerificationEnvironment":
+        """Enter a managed environment (``with CoVerification…() as env``)."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Finish on clean exit; always close the trace sink.
+
+        When the body raised, the simulators may be in an inconsistent
+        state, so only the trace is flushed/closed — the partial record
+        stream is exactly the evidence needed to debug the failure.
+        """
+        if exc_type is None:
+            self.finish()
+        self.close()
+
     def reports(self) -> List[VerificationReport]:
         """Compare every registered comparator and collect reports."""
         return [comp.compare() for comp in self.comparators]
@@ -245,6 +282,8 @@ class CoVerificationEnvironment:
             snapshot["clock_engine"] = self.clock_engine.stats_snapshot()
         if self.metrics_registry.enabled:
             snapshot["instruments"] = self.metrics_registry.snapshot()
+        if self.provenance is not None:
+            snapshot["provenance"] = self.provenance.stats_snapshot()
         if self.trace is not None:
             snapshot["trace_records"] = self.trace.emitted
         return snapshot

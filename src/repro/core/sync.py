@@ -184,6 +184,10 @@ class ConservativeSynchronizer(_SynchronizerBase):
         #: :meth:`attach_observability`)
         self._wait_hists: Dict[str, Any] = {}
         self._metrics: Optional["MetricsRegistry"] = None
+        #: optional profiling hook — a zero-arg callable returning a
+        #: context manager, wrapped around every protocol queue sweep
+        #: (see :func:`repro.obs.profile.attach_profiling`)
+        self.profile: Optional[Callable[[], Any]] = None
 
     def attach_observability(self,
                              metrics: Optional["MetricsRegistry"] = None,
@@ -239,8 +243,12 @@ class ConservativeSynchronizer(_SynchronizerBase):
         self.stats.messages_posted += 1
         self.originator_time = max(self.originator_time, time)
         if self._trace is not None:
-            self._trace.emit("post", type=msg_type, t=time,
-                             hdl_s=self.timebase.to_seconds(self.hdl.now))
+            fields = {"type": msg_type, "t": time,
+                      "hdl_s": self.timebase.to_seconds(self.hdl.now)}
+            tid = getattr(payload, "trace_id", None)
+            if tid is not None:
+                fields["cell"] = tid
+            self._trace.emit("post", **fields)
 
     def advance_time(self, time: float) -> None:
         """Receive a null message: all queues learn the originator has
@@ -321,6 +329,14 @@ class ConservativeSynchronizer(_SynchronizerBase):
 
     # -- protocol core ---------------------------------------------------------
     def _advance(self) -> None:
+        profile = self.profile
+        if profile is not None:
+            with profile():
+                self._advance_queues()
+            return
+        self._advance_queues()
+
+    def _advance_queues(self) -> None:
         while True:
             head = self.queues.earliest_head()
             if head is None:
@@ -357,8 +373,12 @@ class ConservativeSynchronizer(_SynchronizerBase):
         if wait_hist is not None:
             wait_hist.record(wait)
         if self._trace is not None:
-            self._trace.emit("release", type=msg_type, t=message.time,
-                             hdl_s=hdl_seconds, wait_s=wait)
+            fields = {"type": msg_type, "t": message.time,
+                      "hdl_s": hdl_seconds, "wait_s": wait}
+            tid = getattr(message.payload, "trace_id", None)
+            if tid is not None:
+                fields["cell"] = tid
+            self._trace.emit("release", **fields)
         handler = self.handlers.get(msg_type)
         if handler is not None:
             handler(message)
@@ -399,8 +419,12 @@ class LockstepSynchronizer(_SynchronizerBase):
         self.originator_time = max(self.originator_time, time)
         self.stats.messages_posted += 1
         if self._trace is not None:
-            self._trace.emit("post", type=msg_type, t=time,
-                             hdl_s=self.timebase.to_seconds(self.hdl.now))
+            fields = {"type": msg_type, "t": time,
+                      "hdl_s": self.timebase.to_seconds(self.hdl.now)}
+            tid = getattr(payload, "trace_id", None)
+            if tid is not None:
+                fields["cell"] = tid
+            self._trace.emit("post", **fields)
         target = self.timebase.to_ticks(time)
         period = self.timebase.clock_period_ticks
         while self.hdl.now + period <= target:

@@ -171,6 +171,10 @@ class Simulator:
         #: stimulus compilers (e.g. CellSender's bulk path) can place
         #: transitions on clock edges without a running clock process
         self._clock_specs: Dict[int, Tuple[int, int]] = {}
+        #: optional profiling hook — a zero-arg callable returning a
+        #: context manager, wrapped around every :meth:`run` call (see
+        #: :func:`repro.obs.profile.attach_profiling`)
+        self.profile: Optional[Callable[[], object]] = None
 
         # statistics
         self.events_executed = 0     # applied signal updates
@@ -406,6 +410,13 @@ class Simulator:
         edges (same observable semantics, no heap traffic per edge).
         Returns the current time.
         """
+        profile = self.profile
+        if profile is not None:
+            with profile():
+                return self._run_events(until)
+        return self._run_events(until)
+
+    def _run_events(self, until: Optional[int]) -> int:
         self.initialize()
         if self._engine is not None:
             return self._engine._run_until(until)

@@ -51,6 +51,10 @@ class Kernel:
         self.time_advances = 0
         #: Hooks invoked with the kernel each time ``now`` advances.
         self.time_listeners: List[Callable[[float], None]] = []
+        #: optional profiling hook — a zero-arg callable returning a
+        #: context manager, wrapped around every :meth:`run` call (see
+        #: :func:`repro.obs.profile.attach_profiling`)
+        self.profile: Optional[Callable[[], object]] = None
 
     # ------------------------------------------------------------------
     # Time and introspection
@@ -148,6 +152,14 @@ class Kernel:
         Returns:
             The simulated time at which execution stopped.
         """
+        profile = self.profile
+        if profile is not None:
+            with profile():
+                return self._run_events(until, max_events)
+        return self._run_events(until, max_events)
+
+    def _run_events(self, until: Optional[float],
+                    max_events: Optional[int]) -> float:
         self._stop_requested = False
         executed = 0
         while not self._stop_requested:

@@ -168,19 +168,34 @@ class QueueModule(Module):
 
 
 class SinkModule(Module):
-    """Terminal module: records and destroys arriving packets."""
+    """Terminal module: records and destroys arriving packets.
 
-    def __init__(self, name: str, keep: bool = False) -> None:
+    Args:
+        name: module name.
+        keep: retain arriving packets in :attr:`received`.
+        on_packet: optional observer called as ``on_packet(time,
+            packet)`` on every arrival — e.g. a provenance tracker's
+            sink hook (:meth:`repro.obs.provenance.ProvenanceTracker.
+            sink_hook`) closing a cell's causal journey.
+    """
+
+    def __init__(self, name: str, keep: bool = False,
+                 on_packet: Optional[Callable[[float, Packet],
+                                              None]] = None) -> None:
         super().__init__(name)
         self.keep = keep
+        self.on_packet = on_packet
         self.received: List[Packet] = []
         self.last_arrival: Optional[float] = None
 
     def receive(self, packet: Packet, stream: int) -> None:
+        """Count (and optionally record/observe) one arriving packet."""
         self.packets_in += 1
         self.last_arrival = self._kernel().now
         if self.keep:
             self.received.append(packet)
+        if self.on_packet is not None:
+            self.on_packet(self.last_arrival, packet)
 
 
 class Node:

@@ -2,23 +2,34 @@
 
 Counters, histograms and span timers (:mod:`repro.obs.metrics`), a
 structured JSON-lines trace of co-simulation decisions
-(:mod:`repro.obs.trace`), and the observed E1 reference scenario
-behind ``python -m repro stats`` (:mod:`repro.obs.scenario` — imported
-lazily to keep this package free of a dependency cycle with
-:mod:`repro.core`).
+(:mod:`repro.obs.trace`), causal cell provenance across the
+abstraction interface (:mod:`repro.obs.provenance`), Chrome/Perfetto
+trace export (:mod:`repro.obs.chrome`), kernel hot-path profiling
+hooks (:mod:`repro.obs.profile`) and the observed E1 reference
+scenario behind ``python -m repro stats`` (:mod:`repro.obs.scenario`
+— imported lazily to keep this package free of a dependency cycle
+with :mod:`repro.core`).
 
 Wiring: :class:`repro.core.CoVerificationEnvironment` owns a
 :class:`MetricsRegistry` (pass ``observe=False`` for the null
-registry) and hands instruments to the synchronisers and co-simulation
+registry) and a :class:`ProvenanceTracker` (``provenance_sample``
+knob) and hands instruments to the synchronisers and co-simulation
 entities; ``env.metrics()`` composes the registry snapshot with the
 kernel statistics of both simulators.  Metric names and the trace
 schema are documented in DESIGN.md §"Observability".
 """
 
+from .chrome import (ChromeTraceError, export_chrome_trace, flow_tracks,
+                     load_trace_jsonl, validate_chrome_trace)
 from .metrics import (Counter, DEFAULT_SECONDS_BOUNDS, Histogram,
                       MetricsRegistry, NULL_REGISTRY, SpanTimer)
+from .profile import PROFILE_METRICS, attach_profiling, detach_profiling
+from .provenance import HOPS, ProvenanceTracker, TRACE_ID_FIELD
 from .trace import TraceWriter
 
-__all__ = ["Counter", "DEFAULT_SECONDS_BOUNDS", "Histogram",
-           "MetricsRegistry", "NULL_REGISTRY", "SpanTimer",
-           "TraceWriter"]
+__all__ = ["ChromeTraceError", "Counter", "DEFAULT_SECONDS_BOUNDS",
+           "HOPS", "Histogram", "MetricsRegistry", "NULL_REGISTRY",
+           "PROFILE_METRICS", "ProvenanceTracker", "SpanTimer",
+           "TRACE_ID_FIELD", "TraceWriter", "attach_profiling",
+           "detach_profiling", "export_chrome_trace", "flow_tracks",
+           "load_trace_jsonl", "validate_chrome_trace"]

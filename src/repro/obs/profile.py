@@ -1,0 +1,69 @@
+"""Profiling span hooks on the co-simulation kernel hot paths.
+
+The hot-path overhaul PRs identified four loops that dominate wall
+clock: the netsim :meth:`~repro.netsim.kernel.Kernel.run` event loop,
+the HDL :meth:`~repro.hdl.simulator.Simulator.run` dispatch (cycle
+engine or heap), the conservative protocol's queue sweep
+(``ConservativeSynchronizer._advance``) and the bulk cell compiler
+(``CellSender._schedule_cell``).  Each of those sites carries a
+``profile`` attribute: ``None`` by default (one attribute check, zero
+cost), or a zero-arg callable returning a context manager wrapped
+around the hot section.
+
+:func:`attach_profiling` points all four at the environment's metrics
+registry — every invocation then lands one wall-clock sample in a
+``prof.*`` histogram (see :data:`PROFILE_METRICS`), giving a per-layer
+time-attribution breakdown without a sampling profiler in the loop.
+:func:`detach_profiling` restores the zero-cost default.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.environment import CoVerificationEnvironment
+
+__all__ = ["attach_profiling", "detach_profiling", "PROFILE_METRICS"]
+
+#: histogram names written by an attached profiler, one per hot path
+PROFILE_METRICS = (
+    "prof.netsim_run_s",
+    "prof.hdl_run_s",
+    "prof.sync_advance_s",
+    "prof.cell_compile_s",
+)
+
+
+def attach_profiling(env: "CoVerificationEnvironment") -> List[str]:
+    """Wire profiling spans onto *env*'s four kernel hot paths.
+
+    Requires an enabled metrics registry (samples need somewhere to
+    land); raises :class:`ValueError` otherwise.  Returns the list of
+    histogram names now being recorded.
+    """
+    registry = env.metrics_registry
+    if not registry.enabled:
+        raise ValueError(
+            "attach_profiling needs an enabled metrics registry "
+            "(CoVerificationEnvironment(observe=True))")
+    env.network.kernel.profile = \
+        lambda: registry.timer("prof.netsim_run_s")
+    env.hdl.profile = lambda: registry.timer("prof.hdl_run_s")
+    for entity in env.entities:
+        if hasattr(entity.sync, "profile"):
+            entity.sync.profile = \
+                lambda: registry.timer("prof.sync_advance_s")
+        entity.sender.profile = \
+            lambda: registry.timer("prof.cell_compile_s")
+    return list(PROFILE_METRICS)
+
+
+def detach_profiling(env: "CoVerificationEnvironment") -> None:
+    """Restore the zero-cost ``profile = None`` default everywhere."""
+    env.network.kernel.profile = None
+    env.hdl.profile = None
+    for entity in env.entities:
+        if hasattr(entity.sync, "profile"):
+            entity.sync.profile = None
+        entity.sender.profile = None

@@ -24,14 +24,17 @@ from ..core import CoVerificationEnvironment, TimeBase
 from ..netsim import SinkModule
 from ..rtl import AccountingUnitRtl
 from ..traffic import ConstantBitRate, TrafficSource
+from .profile import attach_profiling
 
 __all__ = ["run_observed_e1"]
 
 
 def run_observed_e1(cells: int = 64, load: float = 0.25,
                     lockstep: bool = False,
-                    trace: Optional[Union[str, Path]] = None
-                    ) -> Dict[str, object]:
+                    trace: Optional[Union[str, Path]] = None,
+                    sample: int = 1,
+                    profile: bool = False,
+                    observe: bool = True) -> Dict[str, object]:
     """Run the observed E1 scenario; returns the metrics report.
 
     Args:
@@ -40,13 +43,24 @@ def run_observed_e1(cells: int = 64, load: float = 0.25,
         lockstep: use the naive per-clock synchroniser (the E2
             ablation) instead of the conservative protocol.
         trace: optional JSON-lines trace sink path.
+        sample: cell-provenance sampling — trace 1 in *sample* cell
+            journeys (1 = every cell, 0 disables provenance).
+        profile: attach wall-clock profiling spans to the four kernel
+            hot paths (``prof.*`` histograms in the report).
+        observe: pass ``False`` to run the identical workload with the
+            metrics registry disabled — the overhead baseline measured
+            by ``benchmarks/bench_obs.py``.
     """
     timebase = TimeBase.for_line_rate()
     cell_time = timebase.cell_time_seconds
     env = CoVerificationEnvironment(timebase=timebase,
-                                    lockstep=lockstep, trace=trace)
+                                    lockstep=lockstep, trace=trace,
+                                    observe=observe,
+                                    provenance_sample=sample)
     dut = AccountingUnitRtl(env.hdl, "acct", env.clk)
     entity = env.add_dut(rx_port=dut.rx, tick_signal=dut.tariff_tick)
+    if profile:
+        attach_profiling(env)
 
     switch = AtmSwitch(env.network, "switch", num_ports=4,
                        cell_time=cell_time)
@@ -62,9 +76,12 @@ def run_observed_e1(cells: int = 64, load: float = 0.25,
             f"src{port}", ConstantBitRate(period=period, seed=port),
             packet_factory=lambda i, v=vci: AtmCell.with_payload(
                 1, v, [i % 256]).to_packet(),
-            count=per_port)
+            count=per_port, tracker=env.provenance)
         tap = env.make_cell_tap(f"tap{port}", entity)
-        sink = SinkModule("sink")
+        sink = SinkModule("sink",
+                          on_packet=(env.provenance.sink_hook(
+                              f"sink{port}")
+                              if env.provenance is not None else None))
         for module in (source, tap, sink):
             host.add_module(module)
         host.connect(source, 0, tap, 0)

@@ -44,6 +44,12 @@ class TraceWriter:
         sink: a path (``str`` / :class:`~pathlib.Path`), an open
             text-mode file-like object, or ``None`` to collect records
             in memory (:attr:`records`).
+
+    Crash safety: path sinks are opened *line-buffered*, so every
+    record reaches the file as soon as it is emitted — a run that
+    raises mid-simulation loses nothing already traced.  Use the
+    writer as a context manager (or call :meth:`close`) to guarantee
+    the OS-level close even on exception.
     """
 
     def __init__(self,
@@ -51,19 +57,35 @@ class TraceWriter:
         self.emitted = 0
         self.records: List[Dict[str, object]] = []
         self._own_file = False
+        self._closed = False
         self._file: Optional[IO[str]] = None
         self.path: Optional[Path] = None
         if sink is None:
             return
         if isinstance(sink, (str, Path)):
             self.path = Path(sink)
-            self._file = self.path.open("w")
+            # Line buffering: each emit() lands on disk immediately, so
+            # the trace survives a run that dies mid-simulation.
+            self._file = self.path.open("w", buffering=1)
             self._own_file = True
         else:
             self._file = sink
 
+    @property
+    def closed(self) -> bool:
+        """True after :meth:`close`; emitting then raises."""
+        return self._closed
+
     def emit(self, ev: str, **fields) -> None:
-        """Append one trace record of kind *ev*."""
+        """Append one trace record of kind *ev*.
+
+        Raises:
+            ValueError: the writer was already closed — a silent drop
+                here would corrupt the record count consumers rely on.
+        """
+        if self._closed:
+            raise ValueError(
+                f"TraceWriter is closed; cannot emit {ev!r}")
         record: Dict[str, object] = {"ev": ev}
         record.update(fields)
         self.emitted += 1
@@ -74,6 +96,9 @@ class TraceWriter:
 
     def close(self) -> None:
         """Flush and close an owned file sink (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
         if self._file is not None:
             self._file.flush()
             if self._own_file:
@@ -81,7 +106,9 @@ class TraceWriter:
                 self._file = None
 
     def __enter__(self) -> "TraceWriter":
+        """Enter ``with TraceWriter(...) as trace`` — returns self."""
         return self
 
     def __exit__(self, *exc_info) -> None:
+        """Close the sink on scope exit, exception or not."""
         self.close()

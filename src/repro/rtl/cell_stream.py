@@ -91,6 +91,10 @@ class CellSender(Component):
         #: optional observer invoked after a cell's last octet has been
         #: driven (used for per-cell ingress-latency accounting)
         self.on_cell_sent: Optional[Callable[[], None]] = None
+        #: optional profiling hook — a zero-arg callable returning a
+        #: context manager, wrapped around every bulk cell compilation
+        #: (see :func:`repro.obs.profile.attach_profiling`)
+        self.profile: Optional[Callable[[], object]] = None
         if playback not in ("auto", "bulk", "generator"):
             raise ValueError(
                 f"playback must be 'auto', 'bulk' or 'generator', "
@@ -230,6 +234,15 @@ class CellSender(Component):
     # ------------------------------------------------------------------
     def _schedule_cell(self, octets: Tuple[int, ...],
                        at_now: bool = False) -> None:
+        profile = self.profile
+        if profile is not None:
+            with profile():
+                self._schedule_cell_impl(octets, at_now)
+            return
+        self._schedule_cell_impl(octets, at_now)
+
+    def _schedule_cell_impl(self, octets: Tuple[int, ...],
+                            at_now: bool) -> None:
         sim = self.sim
         period, first_rise = sim.clock_spec(self.clk)
         now = sim.now

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 import time as _time
+from pathlib import Path
 from typing import Any, Dict, List, Tuple
 
 from ..atm import AccountingUnit, AtmCell, AtmSwitch, Tariff
@@ -84,8 +85,14 @@ def _build_and_run(run: Dict[str, Any]) -> Dict[str, Any]:
     seed = int(run["seed"])
     lockstep = run["sync"] == "lockstep"
 
+    trace_file = run.get("trace_file")
+    if trace_file is not None:
+        # One file per run: workers never share a sink, so the JSONL
+        # stream cannot interleave across processes.
+        Path(trace_file).parent.mkdir(parents=True, exist_ok=True)
     env = CoVerificationEnvironment(name=f"sweep.{run['name']}",
-                                    timebase=timebase, lockstep=lockstep)
+                                    timebase=timebase, lockstep=lockstep,
+                                    trace=trace_file)
     dut = AccountingUnitRtl(env.hdl, "acct", env.clk)
     entity = env.add_dut(rx_port=dut.rx, tick_signal=dut.tariff_tick)
     reference = AccountingUnit(drop_unknown=True)
@@ -106,11 +113,14 @@ def _build_and_run(run: Dict[str, Any]) -> Dict[str, Any]:
             f"src{port}", arrivals,
             packet_factory=lambda i, v=vci: AtmCell.with_payload(
                 1, v, [i % 256]).to_packet(),
-            count=per_port)
+            count=per_port, tracker=env.provenance)
         tap = env.make_cell_tap(f"tap{port}", entity)
         tap.add_hook(lambda t, pkt: reference.cell_arrival(
             pkt["VPI"], pkt["VCI"], clp=pkt.get("CLP", 0)))
-        sink = SinkModule("sink")
+        sink = SinkModule("sink",
+                          on_packet=(env.provenance.sink_hook(
+                              f"sink{port}")
+                              if env.provenance is not None else None))
         for module in (source, tap, sink):
             host.add_module(module)
         host.connect(source, 0, tap, 0)
@@ -133,12 +143,18 @@ def _build_and_run(run: Dict[str, Any]) -> Dict[str, Any]:
     env.hdl.add_generator("sweep.records", _monitor())
 
     start = _time.perf_counter()
-    env.run()
-    entity.send_tariff_tick(env.network.kernel.now + cell_time)
-    env.finish()
-    # Drain the record FIFO: the tariff tick queues records that keep
-    # clocking out after the protocol drain.
-    env.hdl.run(until=env.hdl.now + 64 * timebase.clock_period_ticks)
+    try:
+        env.run()
+        entity.send_tariff_tick(env.network.kernel.now + cell_time)
+        env.finish()
+        # Drain the record FIFO: the tariff tick queues records that
+        # keep clocking out after the protocol drain.
+        env.hdl.run(until=env.hdl.now
+                    + 64 * timebase.clock_period_ticks)
+    finally:
+        # A failed run still flushes its partial trace — that stream
+        # is exactly the evidence needed to debug the failure.
+        env.close()
     wall = _time.perf_counter() - start
 
     whole = len(words) // RECORD_WORDS
@@ -159,7 +175,7 @@ def _build_and_run(run: Dict[str, Any]) -> Dict[str, Any]:
     instruments = env.metrics_registry.snapshot()
     latency = instruments["histograms"].get(
         "cosim.cell_ingress_latency_s")
-    return {
+    result: Dict[str, Any] = {
         "name": run["name"],
         "params": {"traffic": run["traffic"], "ports": ports,
                    "seed": seed, "sync": run["sync"],
@@ -185,6 +201,12 @@ def _build_and_run(run: Dict[str, Any]) -> Dict[str, Any]:
         "wall_s": wall,
         "cycles_per_s": hdl_clocks / wall if wall > 0 else 0.0,
     }
+    if trace_file is not None:
+        result["trace_file"] = trace_file
+        result["trace_records"] = env.trace.emitted
+    if env.provenance is not None:
+        result["provenance"] = env.provenance.stats_snapshot()
+    return result
 
 
 def execute_run(run: Dict[str, Any], attempt: int = 1,

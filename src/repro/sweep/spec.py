@@ -76,6 +76,8 @@ class RunSpec:
     load: float
     #: test-only failure injection: one of :data:`INJECT_MODES` or None
     inject: Optional[str] = None
+    #: per-run JSONL decision-trace path (None = no trace)
+    trace_file: Optional[str] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict view (the pickle/JSON wire format)."""
@@ -86,6 +88,8 @@ class RunSpec:
         }
         if self.inject is not None:
             payload["inject"] = self.inject
+        if self.trace_file is not None:
+            payload["trace_file"] = self.trace_file
         return payload
 
     @classmethod
@@ -95,7 +99,8 @@ class RunSpec:
                    ports=int(data["ports"]), seed=int(data["seed"]),
                    sync=data["sync"], cells=int(data["cells"]),
                    load=float(data["load"]),
-                   inject=data.get("inject"))
+                   inject=data.get("inject"),
+                   trace_file=data.get("trace_file"))
 
 
 @dataclass
@@ -112,6 +117,9 @@ class SweepSpec:
         jobs: worker processes to fan runs out over (1 = serial).
         timeout_s: per-run wall-clock budget before the worker is
             killed.
+        trace_dir: when set, every run writes its JSONL decision
+            trace to ``<trace_dir>/<run-name>.trace.jsonl`` (one file
+            per run — workers never share a sink).
         inject: per-run-name failure injection map (tests only).
     """
 
@@ -123,6 +131,7 @@ class SweepSpec:
     load: float = 0.25
     jobs: int = 2
     timeout_s: float = 120.0
+    trace_dir: Optional[str] = None
     inject: Dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -170,22 +179,29 @@ class SweepSpec:
         for traffic, ports, seed, sync in itertools.product(
                 self.traffic, self.ports, self.seeds, self.sync):
             name = f"{traffic}-p{ports}-s{seed}-{sync}"
+            trace_file = None
+            if self.trace_dir is not None:
+                trace_file = str(Path(self.trace_dir)
+                                 / f"{name}.trace.jsonl")
             runs.append(RunSpec(
                 name=name, traffic=traffic, ports=ports, seed=seed,
                 sync=sync, cells=self.cells, load=self.load,
-                inject=self.inject.get(name)))
+                inject=self.inject.get(name), trace_file=trace_file))
         return runs
 
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict view mirroring the spec-file structure."""
+        execution: Dict[str, Any] = {"jobs": self.jobs,
+                                     "timeout_s": self.timeout_s}
+        if self.trace_dir is not None:
+            execution["trace_dir"] = self.trace_dir
         return {
             "matrix": {"traffic": list(self.traffic),
                        "ports": list(self.ports),
                        "seeds": list(self.seeds),
                        "sync": list(self.sync)},
             "run": {"cells": self.cells, "load": self.load},
-            "execution": {"jobs": self.jobs,
-                          "timeout_s": self.timeout_s},
+            "execution": execution,
         }
 
     # ------------------------------------------------------------------
@@ -211,7 +227,7 @@ class SweepSpec:
                 f"unknown spec section(s): {', '.join(sorted(unknown))}")
         known_keys = {"matrix": {"traffic", "ports", "seeds", "sync"},
                       "run": {"cells", "load", "inject"},
-                      "execution": {"jobs", "timeout_s"}}
+                      "execution": {"jobs", "timeout_s", "trace_dir"}}
         for section, payload in (("matrix", matrix), ("run", run),
                                  ("execution", execution)):
             extra = set(payload) - known_keys[section]
@@ -243,6 +259,8 @@ class SweepSpec:
             kwargs["jobs"] = int(execution["jobs"])
         if "timeout_s" in execution:
             kwargs["timeout_s"] = float(execution["timeout_s"])
+        if "trace_dir" in execution:
+            kwargs["trace_dir"] = str(execution["trace_dir"])
         return cls(**kwargs)
 
     @classmethod

@@ -12,10 +12,13 @@ build test-vector files for the hardware test board.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional, TYPE_CHECKING
 
 from ..netsim.node import Module
 from ..netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.provenance import ProvenanceTracker
 
 __all__ = ["ArrivalProcess", "TrafficSource", "sample_arrivals"]
 
@@ -55,17 +58,23 @@ class TrafficSource(Module):
             packet to emit (default: an empty 424-bit ATM-cell-sized
             packet).
         count: stop after this many packets (``None`` = unbounded).
+        tracker: optional provenance tracker
+            (:class:`repro.obs.provenance.ProvenanceTracker`); every
+            emitted packet then receives a monotone trace id and a
+            ``source`` hop span — the origin of its causal journey.
 
     The source wires its packets out of output stream 0.
     """
 
     def __init__(self, name: str, arrivals: ArrivalProcess,
                  packet_factory: Optional[Callable[[int], Packet]] = None,
-                 count: Optional[int] = None) -> None:
+                 count: Optional[int] = None,
+                 tracker: Optional["ProvenanceTracker"] = None) -> None:
         super().__init__(name)
         self.arrivals = arrivals
         self.packet_factory = packet_factory or self._default_factory
         self.count = count
+        self.tracker = tracker
         self.emitted = 0
 
     @staticmethod
@@ -84,6 +93,9 @@ class TrafficSource(Module):
     def _emit(self) -> None:
         packet = self.packet_factory(self.emitted)
         packet.creation_time = self._kernel().now
+        if self.tracker is not None:
+            self.tracker.stamp(packet, packet.creation_time,
+                               source=self.name)
         self.emitted += 1
         self.send(packet, stream=0)
         self._schedule_next()

@@ -3,6 +3,8 @@
 import io
 import json
 
+import pytest
+
 from repro.obs import TraceWriter
 
 
@@ -45,3 +47,44 @@ def test_close_idempotent(tmp_path):
     trace.close()
     trace.close()
     assert trace.emitted == 1
+
+
+def test_context_manager_flushes_on_exception(tmp_path):
+    """Regression: records emitted before a crash must reach disk —
+    the partial trace is the evidence needed to debug the failure."""
+    path = tmp_path / "crash.jsonl"
+    with pytest.raises(RuntimeError):
+        with TraceWriter(path) as trace:
+            trace.emit("post", t=1e-6, type="cell")
+            trace.emit("window", t_cur=2e-6, hdl_s=0.0)
+            raise RuntimeError("simulated mid-run failure")
+    assert trace.closed
+    lines = [json.loads(line)
+             for line in path.read_text().splitlines()]
+    assert [line["ev"] for line in lines] == ["post", "window"]
+
+
+def test_line_buffered_records_visible_before_close(tmp_path):
+    path = tmp_path / "live.jsonl"
+    trace = TraceWriter(path)
+    trace.emit("post", t=0.0)
+    # line buffering: a crashed process would still leave whole lines
+    assert json.loads(path.read_text())["ev"] == "post"
+    trace.close()
+
+
+def test_emit_after_close_raises(tmp_path):
+    trace = TraceWriter(tmp_path / "t.jsonl")
+    trace.close()
+    assert trace.closed
+    with pytest.raises(ValueError, match="closed"):
+        trace.emit("post", t=0.0)
+
+
+def test_in_memory_writer_close_and_reject():
+    trace = TraceWriter()
+    trace.emit("post", t=0.0)
+    trace.close()
+    with pytest.raises(ValueError):
+        trace.emit("null", t=1e-6)
+    assert trace.records[0]["ev"] == "post"

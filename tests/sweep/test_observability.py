@@ -1,0 +1,83 @@
+"""Observability under the multiprocessing sweep.
+
+Two properties the trace/provenance layer must keep under fan-out:
+
+* the shared :data:`~repro.obs.NULL_REGISTRY` singleton stays a
+  disabled no-op in the parent — worker-side instrumentation must
+  never leak state back across the process boundary;
+* a traced sweep writes **one uncorrupted JSONL file per run** (never
+  a shared sink two workers could interleave), each parseable and
+  Chrome-exportable, with the record count reported in the result.
+"""
+
+import json
+
+from repro.obs import NULL_REGISTRY, export_chrome_trace, \
+    load_trace_jsonl, validate_chrome_trace
+from repro.sweep import SweepRunner, SweepSpec
+
+
+def _spec(tmp_path=None, seeds=(0, 1), jobs=2):
+    return SweepSpec(traffic=["cbr"], ports=[2], seeds=list(seeds),
+                     sync=["conservative"], cells=8, jobs=jobs,
+                     timeout_s=60.0,
+                     trace_dir=None if tmp_path is None
+                     else str(tmp_path / "traces"))
+
+
+def test_null_registry_stays_null_across_sweep():
+    assert not NULL_REGISTRY.enabled
+    payload = SweepRunner(_spec()).run()
+    assert payload["aggregate"]["runs_passed"] == 2
+    # the parent's shared no-op singleton is untouched by worker runs
+    assert not NULL_REGISTRY.enabled
+    snapshot = NULL_REGISTRY.snapshot()
+    assert snapshot["counters"] == {}
+    assert snapshot["histograms"] == {}
+
+
+def test_traced_sweep_writes_one_file_per_run(tmp_path):
+    spec = _spec(tmp_path)
+    payload = SweepRunner(spec).run()
+    assert payload["aggregate"]["runs_passed"] == 2
+    trace_dir = tmp_path / "traces"
+    files = sorted(trace_dir.glob("*.trace.jsonl"))
+    assert [f.name for f in files] == [
+        "cbr-p2-s0-conservative.trace.jsonl",
+        "cbr-p2-s1-conservative.trace.jsonl"]
+    for run in payload["runs"]:
+        path = trace_dir / f"{run['name']}.trace.jsonl"
+        assert run["trace_file"] == str(path)
+        # every line is whole, valid JSON (no cross-process tearing)
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert len(records) == run["trace_records"] > 0
+        assert {"post", "release", "span"} <= \
+            {record["ev"] for record in records}
+        # and each file independently exports to a valid Chrome trace
+        payload_chrome = export_chrome_trace(load_trace_jsonl(path))
+        assert validate_chrome_trace(payload_chrome)["events"] > 0
+        assert run["provenance"]["cells_seen"] == 8
+
+
+def test_serial_fallback_also_writes_traces(tmp_path):
+    spec = _spec(tmp_path, seeds=(0,), jobs=1)
+    payload = SweepRunner(spec).run()
+    run = payload["runs"][0]
+    assert run["mode"] == "serial"
+    assert load_trace_jsonl(run["trace_file"])
+
+
+def test_spec_round_trips_trace_dir(tmp_path):
+    spec = _spec(tmp_path)
+    clone = SweepSpec.from_mapping(spec.as_dict())
+    assert clone.trace_dir == spec.trace_dir
+    runs = clone.expand()
+    assert all(r.trace_file.endswith(f"{r.name}.trace.jsonl")
+               for r in runs)
+    assert runs[0].trace_file == \
+        SweepSpec.from_mapping(spec.as_dict()).expand()[0].trace_file
+    # and the RunSpec wire format carries it
+    from repro.sweep import RunSpec
+    rebuilt = RunSpec.from_dict(runs[0].as_dict())
+    assert rebuilt == runs[0]

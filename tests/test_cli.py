@@ -52,6 +52,83 @@ def test_stats_reports_cosim_metrics(capsys, tmp_path):
         report["trace_records"]
 
 
+def test_stats_prints_hop_table_and_profile(capsys):
+    assert main(["stats", "--cells", "16", "--json", "",
+                 "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "cell journey (per-hop latency):" in out
+    assert "source -> sync post" in out
+    assert "sync -> DUT ingress" in out
+    assert "cells traced: 16/16 (1 in 1)" in out
+    assert "hot-path profile:" in out
+    assert "prof.sync_advance_s" in out
+
+
+def test_stats_sampling_reduces_traced_cells(capsys):
+    assert main(["stats", "--cells", "16", "--json", "",
+                 "--sample", "4"]) == 0
+    assert "cells traced: 4/16 (1 in 4)" in capsys.readouterr().out
+
+
+def test_trace_run_and_export(capsys, tmp_path):
+    from repro.obs import flow_tracks, validate_chrome_trace
+    from repro.obs.chrome import HDL_TID, NETSIM_TID
+
+    jsonl = tmp_path / "e1.trace.jsonl"
+    chrome = tmp_path / "e1.trace.json"
+    assert main(["trace", "run", "--cells", "16",
+                 "--out", str(jsonl), "--chrome", str(chrome)]) == 0
+    out = capsys.readouterr().out
+    assert "trace record(s)" in out
+    assert "cells traced: 16/16" in out
+    assert "16 cell flows" in out
+
+    # acceptance: the exported trace is schema-valid and every sampled
+    # cell's flow connects the netsim and HDL time-domain tracks
+    payload = json.loads(chrome.read_text())
+    summary = validate_chrome_trace(payload)
+    assert summary["flows"] == 16
+    for tracks in flow_tracks(payload).values():
+        assert {NETSIM_TID, HDL_TID} <= tracks
+
+    # standalone export of the same JSONL agrees
+    out2 = tmp_path / "again.trace.json"
+    assert main(["trace", "export", str(jsonl),
+                 "--out", str(out2)]) == 0
+    assert "16 cell flows" in capsys.readouterr().out
+    assert validate_chrome_trace(json.loads(out2.read_text())) == \
+        summary
+
+
+def test_trace_export_default_output_path(capsys, tmp_path):
+    jsonl = tmp_path / "run.trace.jsonl"
+    assert main(["trace", "run", "--cells", "8", "--sample", "2",
+                 "--out", str(jsonl)]) == 0
+    assert "cells traced: 4/8 (1 in 2)" in capsys.readouterr().out
+    assert main(["trace", "export", str(jsonl)]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "run.trace.json").is_file()
+
+
+def test_trace_export_rejects_missing_and_invalid(capsys, tmp_path):
+    assert main(["trace", "export",
+                 str(tmp_path / "absent.jsonl")]) == 2
+    assert "no such trace file" in capsys.readouterr().err
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("{not json}\n")
+    assert main(["trace", "export", str(bad)]) == 1
+    assert "invalid trace" in capsys.readouterr().err
+
+
+def test_sweep_trace_dir_flag(capsys, tmp_path):
+    trace_dir = tmp_path / "traces"
+    assert main(["sweep", "--traffic", "cbr", "--ports", "2",
+                 "--seeds", "0", "--cells", "8", "--jobs", "1",
+                 "--json", "", "--trace-dir", str(trace_dir)]) == 0
+    capsys.readouterr()
+    assert (trace_dir / "cbr-p2-s0-conservative.trace.jsonl").is_file()
+
+
 def test_stats_lockstep_disables_json(capsys):
     assert main(["stats", "--cells", "8", "--lockstep",
                  "--json", ""]) == 0

@@ -1,0 +1,147 @@
+"""Compare two ``BENCH_*.json`` artifacts metric by metric.
+
+The benchmark harness writes machine-readable artifacts
+(``BENCH_kernel.json``, ``BENCH_e1.json``, ``BENCH_obs.json``,
+``BENCH_stats.json``, …) at the repo root; this tool diffs two of
+them — typically the committed baseline against a fresh run — and
+prints every numeric leaf with its absolute and relative delta::
+
+    PYTHONPATH=src python tools/bench_diff.py BENCH_e1.json /tmp/BENCH_e1.json
+
+Dotted paths address nested keys (``cosim.cycles_per_s``).  Keys
+present on only one side are listed separately.  ``--threshold R``
+exits non-zero when any ``cycles_per_s`` metric drops by more than the
+given ratio (e.g. ``--threshold 0.3`` mirrors the CI regression
+guard); without it the tool is purely informational and always exits
+zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["flatten_numeric", "diff_payloads", "render_diff", "main"]
+
+#: keys that are identity/metadata, not measurements — never diffed
+SKIP_KEYS = frozenset({"benchmark", "scale"})
+
+
+def flatten_numeric(payload: object, prefix: str = ""
+                    ) -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every numeric leaf.
+
+    Booleans are excluded (they are ints to ``isinstance``); lists are
+    indexed numerically (``buckets.3.count``)."""
+    if isinstance(payload, bool):
+        return
+    if isinstance(payload, (int, float)):
+        yield prefix, float(payload)
+        return
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            if prefix == "" and key in SKIP_KEYS:
+                continue
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from flatten_numeric(payload[key], path)
+    elif isinstance(payload, list):
+        for index, item in enumerate(payload):
+            path = f"{prefix}.{index}" if prefix else str(index)
+            yield from flatten_numeric(item, path)
+
+
+def diff_payloads(old: object, new: object) -> Dict[str, object]:
+    """Structured diff of the numeric leaves of two artifacts."""
+    old_leaves = dict(flatten_numeric(old))
+    new_leaves = dict(flatten_numeric(new))
+    rows = []
+    for path in sorted(set(old_leaves) & set(new_leaves)):
+        before, after = old_leaves[path], new_leaves[path]
+        ratio: Optional[float] = after / before if before else None
+        rows.append({"path": path, "old": before, "new": after,
+                     "delta": after - before, "ratio": ratio})
+    return {
+        "rows": rows,
+        "only_old": sorted(set(old_leaves) - set(new_leaves)),
+        "only_new": sorted(set(new_leaves) - set(old_leaves)),
+    }
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_diff(diff: Dict[str, object], show_unchanged: bool = False
+                ) -> str:
+    """Human-readable table of a :func:`diff_payloads` result."""
+    lines = []
+    width = max((len(row["path"]) for row in diff["rows"]),
+                default=10)
+    for row in diff["rows"]:
+        if row["delta"] == 0 and not show_unchanged:
+            continue
+        ratio = row["ratio"]
+        rel = f"{ratio - 1.0:+8.1%}" if ratio is not None else "     new"
+        lines.append(f"  {row['path']:<{width}}  "
+                     f"{_fmt(row['old']):>14} -> {_fmt(row['new']):>14}"
+                     f"  {rel}")
+    if not lines:
+        lines.append("  (no numeric differences)")
+    for label, key in (("only in OLD", "only_old"),
+                       ("only in NEW", "only_new")):
+        for path in diff[key]:
+            lines.append(f"  {label}: {path}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json artifacts metric by metric")
+    parser.add_argument("old", help="baseline artifact")
+    parser.add_argument("new", help="fresh artifact")
+    parser.add_argument("--all", action="store_true",
+                        help="also list unchanged metrics")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="fail (exit 1) when any cycles_per_s "
+                             "metric drops by more than this ratio")
+    args = parser.parse_args(argv)
+
+    payloads = []
+    for role, path in (("old", args.old), ("new", args.new)):
+        path = Path(path)
+        if not path.is_file():
+            print(f"no such {role} artifact: {path}", file=sys.stderr)
+            return 2
+        try:
+            payloads.append(json.loads(path.read_text()))
+        except json.JSONDecodeError as exc:
+            print(f"{path}: invalid JSON: {exc}", file=sys.stderr)
+            return 2
+
+    diff = diff_payloads(*payloads)
+    print(f"bench diff: {args.old} -> {args.new}")
+    print(render_diff(diff, show_unchanged=args.all))
+
+    if args.threshold is not None:
+        regressed = [
+            row for row in diff["rows"]
+            if row["path"].endswith("cycles_per_s")
+            and row["ratio"] is not None
+            and row["ratio"] < 1.0 - args.threshold]
+        if regressed:
+            names = ", ".join(row["path"] for row in regressed)
+            print(f"FAIL: {len(regressed)} throughput metric(s) "
+                  f"dropped more than {args.threshold:.0%}: {names}")
+            return 1
+        print(f"all throughput metrics within {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
