@@ -40,18 +40,24 @@ from repro.rtl import AtmPortModuleRtl, CellReceiver, CellSender
 
 
 def _kernel_stats(sim):
+    snapshot = sim.stats_snapshot()
     return {
         "events_executed": sim.events_executed,
         "signal_events": sim.signal_events,
         "delta_cycles": sim.delta_cycles,
         "process_runs": sim.process_runs,
+        "compiled_components": snapshot["compiled_components"],
+        "compiled_evals": snapshot["compiled_evals"],
+        "compiled_commit_writes": snapshot["compiled_commit_writes"],
     }
 
 
 def bench_kernel(cells=None):
     """Port-module RTL bench: both clocking schemes with the default
-    bulk waveform playback, plus the cycle engine with the generator
-    playback forced (the bulk-vs-generator dimension)."""
+    bulk waveform playback, the cycle engine with the generator
+    playback forced (the bulk-vs-generator dimension), and the cycle
+    engine with the event component backend forced (the
+    compiled-vs-event dimension)."""
     cells = scaled(80) if cells is None else cells
     clocks = 53 * (cells + 6)
 
@@ -67,14 +73,17 @@ def bench_kernel(cells=None):
         return receiver
 
     configs = {
-        "event": ("event", "auto"),
-        "cycle": ("cycle", "auto"),
-        "cycle_generator": ("cycle", "generator"),
+        "event": ("event", "auto", None),
+        "cycle": ("cycle", "auto", None),
+        "cycle_generator": ("cycle", "generator", None),
+        "cycle_event_backend": ("cycle", "auto", "event"),
     }
     results = {}
     receivers = {}
-    for key, (scheme, playback) in configs.items():
+    for key, (scheme, playback, backend) in configs.items():
         sim = Simulator()
+        if backend is not None:
+            sim.rtl_backend = backend
         clk = sim.signal("clk", init="0")
         if scheme == "event":
             sim.add_clock(clk, period=10)
@@ -102,11 +111,15 @@ def bench_kernel(cells=None):
         "event_driven": results["event"],
         "cycle_engine": results["cycle"],
         "generator_playback": results["cycle_generator"],
+        "event_backend": results["cycle_event_backend"],
         "speedup": (results["cycle"]["cycles_per_s"]
                     / results["event"]["cycles_per_s"]),
         "bulk_vs_generator": (
             results["cycle"]["cycles_per_s"]
             / results["cycle_generator"]["cycles_per_s"]),
+        "compiled_vs_event": (
+            results["cycle"]["cycles_per_s"]
+            / results["cycle_event_backend"]["cycles_per_s"]),
     }
     return payload
 
@@ -128,11 +141,25 @@ def bench_e1(cells=None):
     rtl_stats = run()
     rtl_wall = time.perf_counter() - start
 
+    # the same pure-RTL bench with the event component backend forced
+    # (the compiled-vs-event dimension of the E1 headline workload)
+    sim_e, run_e = build_pure_rtl_system(cells // 4,
+                                         rtl_backend="event")
+    start = time.perf_counter()
+    rtl_event_stats = run_e()
+    rtl_event_wall = time.perf_counter() - start
+    if rtl_event_stats["dut_cells"] != rtl_stats["dut_cells"]:
+        raise AssertionError(
+            "pure-RTL event/compiled backends diverged: "
+            f"{rtl_event_stats['dut_cells']} vs "
+            f"{rtl_stats['dut_cells']} DUT cells")
+
     if cosim_stats["cells"] != cells:
         raise AssertionError(
             f"co-sim processed {cosim_stats['cells']} of {cells} cells")
     cosim_rate = cosim_stats["hdl_clocks"] / cosim_wall
     rtl_rate = rtl_stats["hdl_clocks"] / rtl_wall
+    rtl_event_rate = rtl_event_stats["hdl_clocks"] / rtl_event_wall
     payload = {
         "cells": cells,
         "clock_period_ticks": TIMEBASE.clock_period_ticks,
@@ -149,7 +176,14 @@ def bench_e1(cells=None):
             "cycles_per_s": rtl_rate,
             "hdl_events": rtl_stats["hdl_events"],
         },
+        "pure_rtl_event": {
+            "wall_s": rtl_event_wall,
+            "hdl_clocks": rtl_event_stats["hdl_clocks"],
+            "cycles_per_s": rtl_event_rate,
+            "hdl_events": rtl_event_stats["hdl_events"],
+        },
         "cosim_vs_rtl": cosim_rate / rtl_rate,
+        "compiled_vs_event": rtl_rate / rtl_event_rate,
     }
     return payload
 
@@ -164,8 +198,11 @@ def main():
           f"({kernel['cycle_engine']['wall_s']:.3f} s)")
     print(f"  generator pb : {kernel['generator_playback']['cycles_per_s']:>10.0f} cyc/s "
           f"({kernel['generator_playback']['wall_s']:.3f} s)")
+    print(f"  event backend: {kernel['event_backend']['cycles_per_s']:>10.0f} cyc/s "
+          f"({kernel['event_backend']['wall_s']:.3f} s)")
     print(f"  speed-up     : {kernel['speedup']:.2f}x "
-          f"(bulk vs generator {kernel['bulk_vs_generator']:.2f}x)"
+          f"(bulk vs generator {kernel['bulk_vs_generator']:.2f}x, "
+          f"compiled vs event {kernel['compiled_vs_event']:.2f}x)"
           f"  -> {path}")
 
     e1 = bench_e1()
@@ -174,7 +211,11 @@ def main():
           f"({e1['cosim']['wall_s']:.3f} s)")
     print(f"  pure RTL     : {e1['pure_rtl']['cycles_per_s']:>10.0f} cyc/s "
           f"({e1['pure_rtl']['wall_s']:.3f} s)")
-    print(f"  cosim/RTL    : {e1['cosim_vs_rtl']:.2f}x  -> {path}")
+    print(f"  pure RTL (ev): {e1['pure_rtl_event']['cycles_per_s']:>10.0f} cyc/s "
+          f"({e1['pure_rtl_event']['wall_s']:.3f} s)")
+    print(f"  cosim/RTL    : {e1['cosim_vs_rtl']:.2f}x "
+          f"(compiled vs event {e1['compiled_vs_event']:.2f}x)"
+          f"  -> {path}")
     return 0
 
 

@@ -48,8 +48,11 @@ CHECKS = [
     ("kernel", "kernel cycle-engine", ("cycle_engine", "cycles_per_s")),
     ("kernel", "kernel generator pb", ("generator_playback",
                                        "cycles_per_s")),
+    ("kernel", "kernel event backend", ("event_backend",
+                                        "cycles_per_s")),
     ("e1", "e1 co-simulation", ("cosim", "cycles_per_s")),
     ("e1", "e1 pure RTL", ("pure_rtl", "cycles_per_s")),
+    ("e1", "e1 pure RTL (event)", ("pure_rtl_event", "cycles_per_s")),
     ("obs", "e1 observed (sampled)", ("observed", "cycles_per_s")),
 ]
 
@@ -78,6 +81,21 @@ def main() -> int:
              "obs": bench_obs()}
     for name, payload in fresh.items():
         save_bench_json(name, payload)
+
+    # compiled-backend guards (independent of committed baselines):
+    # the default "auto" configs must actually levelize components,
+    # and compiled must not run slower than the event backend.
+    compiled = _dig(fresh["kernel"],
+                    ("cycle_engine", "compiled_components"))
+    if not compiled:
+        print("FAIL: cycle-engine bench ran no compiled components "
+              "(auto backend fell back to the event kernel)")
+        return 1
+    ratio = _dig(fresh["e1"], ("compiled_vs_event",))
+    if ratio is not None and ratio < 1.0:
+        print(f"FAIL: compiled backend slower than the event backend "
+              f"({ratio:.2f}x) on the e1 pure-RTL bench")
+        return 1
 
     if not baselines:
         print("no committed baselines found — artifacts written, "

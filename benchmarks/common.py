@@ -77,7 +77,8 @@ def build_cosim_accounting(num_cells: int, load: float = 0.25,
                            lockstep: bool = False,
                            bug: Optional[str] = None,
                            clocking: str = "cycle",
-                           observe: bool = True):
+                           observe: bool = True,
+                           rtl_backend: Optional[str] = None):
     """Figure-1 setup: 4-port abstract switch, CBR sources at *load*
     per port, the RTL accounting unit coupled as the DUT on the
     aggregate switched stream.
@@ -91,7 +92,8 @@ def build_cosim_accounting(num_cells: int, load: float = 0.25,
     the drain and returns DUT records.
     """
     env = CoVerificationEnvironment(timebase=TIMEBASE, lockstep=lockstep,
-                                    clocking=clocking, observe=observe)
+                                    clocking=clocking, observe=observe,
+                                    rtl_backend=rtl_backend)
     dut = AccountingUnitRtl(env.hdl, "acct", env.clk, bug=bug)
     entity = env.add_dut(rx_port=dut.rx, tick_signal=dut.tariff_tick)
     reference = AccountingUnit(drop_unknown=True)
@@ -178,7 +180,8 @@ def reference_records(reference: AccountingUnit) -> List[Tuple[int, ...]]:
 # ---------------------------------------------------------------------------
 
 def build_pure_rtl_system(cells_per_port: int, load: float = 0.25,
-                          clocking: str = "cycle"):
+                          clocking: str = "cycle",
+                          rtl_backend: Optional[str] = None):
     """The fully-RTL alternative — the paper's device list verbatim:
     an RTL switch of **four port modules and one global control unit**
     (:class:`repro.rtl.AtmSwitchRtl`), driven at line occupancy by RTL
@@ -187,12 +190,16 @@ def build_pure_rtl_system(cells_per_port: int, load: float = 0.25,
     on port 0's output stream.
 
     *clocking* selects the clock scheme ("cycle" fast dispatch, the
-    default, or the seed "event" generator clock).
+    default, or the seed "event" generator clock); *rtl_backend*
+    selects the component execution backend ("event" | "compiled" |
+    "auto", default: the simulator's REPRO_RTL_BACKEND/"auto").
 
     Returns (sim, run) where run() executes the bench and returns the
     measurement dict.
     """
     sim = Simulator(time_unit=TIMEBASE.tick_seconds)
+    if rtl_backend is not None:
+        sim.rtl_backend = rtl_backend
     clk = sim.signal("clk", init="0")
     if clocking == "cycle":
         CycleEngine(sim, clk, period=TIMEBASE.clock_period_ticks)

@@ -93,7 +93,8 @@ class CoVerificationEnvironment:
                  observe: bool = True,
                  trace: Optional[Union[str, Path,
                                        TraceWriter]] = None,
-                 provenance_sample: Optional[int] = 1) -> None:
+                 provenance_sample: Optional[int] = 1,
+                 rtl_backend: Optional[str] = None) -> None:
         self.name = name
         # Observability: the registry collects lag/queue-wait/latency
         # histograms from the synchronisers and entities; *trace* (a
@@ -119,6 +120,11 @@ class CoVerificationEnvironment:
             else TimeBase.for_line_rate()
         self.network = Network(f"{name}.net")
         self.hdl = Simulator(time_unit=self.timebase.tick_seconds)
+        # RTL execution backend for components built on this
+        # environment ("event" | "compiled" | "auto"); ``None`` keeps
+        # the simulator default (REPRO_RTL_BACKEND env var or "auto").
+        if rtl_backend is not None:
+            self.hdl.rtl_backend = rtl_backend
         self.clk = self.hdl.signal("clk", init="0")
         # The DUT clock.  "cycle" (default since the hot-path overhaul)
         # attaches a CycleEngine: clock edges are applied by direct

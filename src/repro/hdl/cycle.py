@@ -231,12 +231,30 @@ class CycleEngine:
         sim._delta_stamp = stamp
         sim.delta_cycles += 1
         sim.events_executed += 1
-        if not clk._apply(self._driver, value):
+        drivers = clk._drivers
+        drivers[self._driver] = value
+        if len(drivers) == 1:
+            # Inlined single-driver Signal._apply (the engine owns the
+            # clock, so this is the per-edge common case).
+            if value == clk._value:
+                sim._delta_stamp = stamp + 1  # settle, as the loop would
+                return
+            clk._previous = clk._value
+            clk._value = value
+            clk.change_count += 1
+            slot = clk._compiled_slot
+            if slot is not None:
+                slot._sync(value)
+        elif not clk._apply(self._driver, value):
             sim._delta_stamp = stamp + 1  # settle, as the loop would
             return
         clk._event_delta = stamp
         clk.last_event_time = sim.now
         sim.signal_events += 1
+
+        kernel = clk._compiled_kernel
+        if kernel is not None and value == "1":
+            kernel._on_edge()
 
         sensitive = clk._sensitive
         rise = clk._sensitive_rise
@@ -249,17 +267,11 @@ class CycleEngine:
         table = self._edge_table_all if value == "1" else self._edge_table
         runnable: List[Process] = [
             p for p in table if not p.finished] if table else []
-        bucket = sim._waiters.get(self._clk_id)
-        if bucket:
-            seen = set(runnable)
-            matched: List[Process] = []
-            for process in bucket:
-                if process not in seen and process._satisfied_by(clk):
-                    seen.add(process)
-                    matched.append(process)
-            for process in matched:
-                process._disarm(sim)
-            runnable.extend(matched)
+        if sim._waiters.get(self._clk_id):
+            # The edge table already carries clk's sensitivity lists
+            # (and, on falling edges, value == '1' never holds), so the
+            # shared dispatch rule only adds the satisfied waiters.
+            sim._wake_observers(clk, runnable, set(runnable))
 
         if runnable:
             try:

@@ -53,7 +53,8 @@ class Signal:
     __slots__ = ("sim", "name", "width", "_value", "_previous",
                  "_drivers", "_sensitive", "_sensitive_rise",
                  "_event_delta", "last_event_time", "change_count",
-                 "_norm_cache", "_driver_gen")
+                 "_norm_cache", "_driver_gen", "_compiled_slot",
+                 "_compiled_kernel")
 
     #: normalisation memo cap per signal (see :meth:`_normalize`)
     _NORM_CACHE_LIMIT = 4096
@@ -85,6 +86,12 @@ class Signal:
         self._event_delta: int = -1
         self.last_event_time: Optional[int] = None
         self.change_count = 0
+        #: compiled-backend view of this signal (see
+        #: :mod:`repro.hdl.compiled`); kept in sync on every change
+        self._compiled_slot = None
+        #: the CompiledKernel clocked by this signal, if any — checked
+        #: by the edge-dispatch paths after the signal's updates apply
+        self._compiled_kernel = None
         sim._register_signal(self)
 
     # ------------------------------------------------------------------
@@ -160,6 +167,8 @@ class Signal:
         produce an event and is overwritten by the next driver update.
         """
         self._value = self._normalize(value)
+        if self._compiled_slot is not None:
+            self._compiled_slot._sync(self._value)
 
     def normalize(self, value: Union[Value, int]) -> Value:
         """Validate and convert *value* to this signal's canonical
@@ -227,6 +236,8 @@ class Signal:
         self._previous = self._value
         self._value = resolved
         self.change_count += 1
+        if self._compiled_slot is not None:
+            self._compiled_slot._sync(resolved)
         return True
 
     def _resolve(self) -> Value:

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from typing import Callable, Dict, Generator, List, Optional, Sequence, \
     Tuple
 
@@ -175,6 +176,15 @@ class Simulator:
         #: context manager, wrapped around every :meth:`run` call (see
         #: :func:`repro.obs.profile.attach_profiling`)
         self.profile: Optional[Callable[[], object]] = None
+        #: default RTL component backend ("event" | "compiled" |
+        #: "auto"); components resolve ``backend=None`` against this.
+        #: Overridable per run via the REPRO_RTL_BACKEND env var.
+        self.rtl_backend = os.environ.get("REPRO_RTL_BACKEND", "auto")
+        #: clock-signal id -> CompiledKernel (see repro.hdl.compiled)
+        self._compiled_kernels: Dict[int, object] = {}
+        #: components that requested backend="auto" but fell back to
+        #: the event kernel (UnsupportedFeature during compile)
+        self.compiled_fallbacks = 0
 
         # statistics
         self.events_executed = 0     # applied signal updates
@@ -187,6 +197,7 @@ class Simulator:
     def stats_snapshot(self) -> Dict[str, int]:
         """Machine-readable kernel counters (the raw material of the
         paper's event-count comparison, E3) — plain reads, no reset."""
+        kernels = self._compiled_kernels.values()
         return {
             "now_ticks": self.now,
             "events_executed": self.events_executed,
@@ -198,6 +209,13 @@ class Simulator:
             "pending_events": self.pending_event_count,
             "signals": len(self.signals),
             "processes": len(self.processes),
+            # compiled (levelized) backend activity, aggregated over
+            # all clock-domain kernels — see repro.hdl.compiled
+            "compiled_components": sum(k.components for k in kernels),
+            "compiled_evals": sum(k.evals_run for k in kernels),
+            "compiled_commit_writes": sum(
+                k.commit_writes for k in kernels),
+            "compiled_fallbacks": self.compiled_fallbacks,
         }
 
     # ------------------------------------------------------------------
@@ -400,6 +418,8 @@ class Simulator:
             self._engine._prime()
         for process in list(self.processes):
             self._run_process(process)
+        for kernel in self._compiled_kernels.values():
+            kernel._initialize()
         self._execute_deltas()
 
     def run(self, until: Optional[int] = None) -> int:
@@ -567,7 +587,6 @@ class Simulator:
     def _execute_deltas(self) -> None:
         rounds = 0
         hooks = self.signal_hooks
-        waiters = self._waiters
         while self._pending_updates or self._pending_resumes:
             rounds += 1
             if rounds > self.max_delta_cycles:
@@ -595,23 +614,10 @@ class Simulator:
             runnable: List[Process] = []
             seen = set()
             for signal in changed:
-                for process in signal._sensitive:
-                    if process not in seen and not process.finished:
-                        seen.add(process)
-                        runnable.append(process)
-                if signal._sensitive_rise and signal._value == "1":
-                    for process in signal._sensitive_rise:
-                        if process not in seen and not process.finished:
-                            seen.add(process)
-                            runnable.append(process)
-                bucket = waiters.get(id(signal))
-                if bucket:
-                    for process in list(bucket):
-                        if (process not in seen
-                                and process._satisfied_by(signal)):
-                            seen.add(process)
-                            process._disarm(self)
-                            runnable.append(process)
+                kernel = signal._compiled_kernel
+                if kernel is not None and signal._value == "1":
+                    kernel._on_edge()
+                self._wake_observers(signal, runnable, seen)
             for process in resumes:
                 if process not in seen and not process.finished:
                     seen.add(process)
@@ -632,6 +638,40 @@ class Simulator:
         # Leave the stamp pointing past the last delta so that
         # Signal.event reads False once delta processing has settled.
         self._delta_stamp += 1
+
+    def _wake_observers(self, signal: Signal, runnable: List[Process],
+                        seen: set) -> int:
+        """Append every process observing an event on *signal* to
+        *runnable*: statically sensitive processes, rising-edge
+        processes (when the event left the signal at '1'), and
+        waiters whose edge condition is satisfied (disarmed here).
+
+        The single edge-dispatch rule shared by the delta loop, the
+        :class:`~repro.hdl.cycle.CycleEngine` fast edge path and the
+        compiled kernel's commit phase.  Returns the number added.
+        """
+        added = 0
+        for process in signal._sensitive:
+            if process not in seen and not process.finished:
+                seen.add(process)
+                runnable.append(process)
+                added += 1
+        if signal._sensitive_rise and signal._value == "1":
+            for process in signal._sensitive_rise:
+                if process not in seen and not process.finished:
+                    seen.add(process)
+                    runnable.append(process)
+                    added += 1
+        bucket = self._waiters.get(id(signal))
+        if bucket:
+            for process in list(bucket):
+                if (process not in seen
+                        and process._satisfied_by(signal)):
+                    seen.add(process)
+                    process._disarm(self)
+                    runnable.append(process)
+                    added += 1
+        return added
 
     def _run_process(self, process: Process) -> None:
         self._current_process = process

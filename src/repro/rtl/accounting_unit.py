@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
+from ..hdl.compiled import slot_int
 from ..hdl.logic import vector_to_int
 from ..hdl.signal import Signal
 from ..hdl.simulator import Simulator
@@ -63,8 +64,9 @@ class AccountingUnitRtl(Component):
     def __init__(self, sim: Simulator, name: str, clk: Signal,
                  rx: Optional[CellStreamPort] = None,
                  table_size: int = 64,
-                 bug: Optional[str] = None) -> None:
-        super().__init__(sim, name)
+                 bug: Optional[str] = None,
+                 backend: Optional[str] = None) -> None:
+        super().__init__(sim, name, backend=backend)
         if bug is not None and bug not in _KNOWN_BUGS:
             raise ValueError(
                 f"unknown bug {bug!r}; known: {_KNOWN_BUGS}")
@@ -89,7 +91,7 @@ class AccountingUnitRtl(Component):
         self.cells_seen = 0
         self.unknown_cells = 0
         self.records_emitted = 0
-        self.clocked(clk, self._tick)
+        self.clocked(clk, self._tick, compile_fn=self._compile_seq)
 
     # -- management plane ---------------------------------------------------
     def register(self, vpi: int, vci: int, units_per_cell: int = 1,
@@ -206,3 +208,49 @@ class AccountingUnitRtl(Component):
         self._rec_idle = False
         self.rec_word.drive(fifo.popleft())
         self.rec_valid.drive("1")
+
+    # -- compiled twin --------------------------------------------------------
+    def _compile_seq(self, ctx):
+        """Compiled twin of :meth:`_tick`.  The event path's
+        ``_rec_idle`` once-only idle drive is dropped: the writer
+        closure's change detection makes a repeated '0' write free."""
+        tariff_tick = ctx.read(self.tariff_tick)
+        valid = ctx.read(self.rx.valid)
+        cellsync = ctx.read(self.rx.cellsync)
+        atmdata = ctx.read(self.rx.atmdata)
+        w_rec_valid = ctx.write(self.rec_valid)
+        w_rec_word = ctx.write(self.rec_word)
+        fifo = self._out_fifo
+        lost_tick = self.bug == "lost_tick"
+
+        def evaluate():
+            # tariff tick
+            if tariff_tick.value == "1":
+                if lost_tick:
+                    self._tick_parity ^= 1
+                    if self._tick_parity:
+                        self._close_interval()
+                else:
+                    self._close_interval()
+            # cell octet
+            if valid.value == "1":
+                octet = slot_int(atmdata.value)
+                if cellsync.value == "1":
+                    self._header = [octet]
+                    self._octet_count = 1
+                elif self._octet_count:
+                    self._octet_count += 1
+                    if self._octet_count <= 4:
+                        self._header.append(octet)
+                        if self._octet_count == 4:
+                            self._account_header()
+                    if self._octet_count == CELL_OCTETS:
+                        self._octet_count = 0
+            # record stream
+            if fifo:
+                w_rec_word(fifo.popleft())
+                w_rec_valid("1")
+            else:
+                w_rec_valid("0")
+
+        return evaluate

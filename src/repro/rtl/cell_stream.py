@@ -331,13 +331,18 @@ class CellReceiver(Component):
     While no cell is in progress and ``valid`` is low the receiver
     parks on ``valid``'s rising edge instead of sampling every clock —
     idle gaps cost no process runs (the edge-gated idle loop).
+
+    On the compiled backend the receiver is instead levelized into the
+    clock's kernel: one straight-line sample per rising edge, with the
+    same per-edge observations as the generator (idle edges where the
+    generator parks are exactly the edges whose sample is a no-op).
     """
 
     def __init__(self, sim: Simulator, name: str, clk: Signal,
                  port: CellStreamPort,
-                 on_cell: Optional[Callable[[List[int]], None]] = None
-                 ) -> None:
-        super().__init__(sim, name)
+                 on_cell: Optional[Callable[[List[int]], None]] = None,
+                 backend: Optional[str] = None) -> None:
+        super().__init__(sim, name, backend=backend)
         self.port = port
         self.on_cell = on_cell
         self.cells: List[List[int]] = []
@@ -347,7 +352,15 @@ class CellReceiver(Component):
         self._valid = port.valid
         self._cellsync = port.cellsync
         self._atmdata = port.atmdata
-        sim.add_generator(f"{name}.receiver", self._run(clk))
+        # The event path is a generator (with edge-gated idle parking),
+        # not a clocked callback, so the backend dispatch is inlined
+        # here instead of going through Component.clocked().
+        if self._register_compiled(clk, "receiver", self._compile_seq,
+                                   "seq"):
+            self.backends["receiver"] = "compiled"
+        else:
+            self.backends["receiver"] = "event"
+            sim.add_generator(f"{name}.receiver", self._run(clk))
 
     @property
     def collecting(self) -> bool:
@@ -384,3 +397,35 @@ class CellReceiver(Component):
             self.cells.append(cell)
             if self.on_cell is not None:
                 self.on_cell(cell)
+
+    def _compile_seq(self, ctx):
+        """Compiled twin of the sampling loop (no outputs — the
+        receiver only observes)."""
+        valid = ctx.read(self._valid)
+        cellsync = ctx.read(self._cellsync)
+        atmdata = ctx.read(self._atmdata)
+        cells = self.cells
+        to_int = vector_to_int
+
+        def evaluate():
+            if valid.value != "1":
+                return
+            raw = atmdata.value
+            octet = raw if type(raw) is int else to_int(raw)
+            partial = self._partial
+            if cellsync.value == "1":
+                if partial is not None:
+                    self.framing_errors += 1
+                partial = self._partial = [octet]
+            elif partial is None:
+                self.framing_errors += 1
+                return
+            else:
+                partial.append(octet)
+            if len(partial) == CELL_OCTETS:
+                self._partial = None
+                cells.append(partial)
+                if self.on_cell is not None:
+                    self.on_cell(partial)
+
+        return evaluate

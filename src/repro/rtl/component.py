@@ -6,24 +6,56 @@ entity/architecture pair.  Synthesisable style is kept deliberately:
 components expose port signals, all state changes happen in clocked
 processes, and combinational outputs are driven with zero (delta)
 delay.
+
+Since the compiled-backend work, every component carries a *backend*:
+
+``"event"``
+    processes run on the event kernel (per-event callbacks), always.
+``"compiled"``
+    processes that provide a compile hook are levelized into the
+    clock's :class:`repro.hdl.CompiledKernel`; a missing hook or a
+    failed compile raises :class:`repro.hdl.CompileError`.
+``"auto"`` (the simulator default)
+    compile when possible, silently fall back to the event kernel on
+    :class:`repro.hdl.UnsupportedFeature` (the fallback is counted on
+    ``Simulator.compiled_fallbacks``).
+
+``backend=None`` inherits ``Simulator.rtl_backend`` (settable via the
+``REPRO_RTL_BACKEND`` environment variable).  ``self.backends`` maps
+each registered process name to the backend it actually landed on.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
+from ..hdl.compiled import (CompileContext, CompileError,
+                            UnsupportedFeature, compile_kernel)
 from ..hdl.signal import Signal
 from ..hdl.simulator import Simulator
 
 __all__ = ["Component"]
 
+_BACKENDS = ("event", "compiled", "auto")
+
 
 class Component:
     """Base class: named signal factory + clocked-process helper."""
 
-    def __init__(self, sim: Simulator, name: str) -> None:
+    def __init__(self, sim: Simulator, name: str,
+                 backend: Optional[str] = None) -> None:
         self.sim = sim
         self.name = name
+        if backend is None:
+            backend = sim.rtl_backend
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"{name}: backend must be one of {_BACKENDS}, "
+                f"got {backend!r}")
+        #: requested backend ("event" | "compiled" | "auto")
+        self.backend = backend
+        #: process name -> backend it actually landed on
+        self.backends: Dict[str, str] = {}
 
     def signal(self, local_name: str, width: Optional[int] = None,
                init=None) -> Signal:
@@ -31,8 +63,44 @@ class Component:
         return self.sim.signal(f"{self.name}.{local_name}", width=width,
                                init=init)
 
+    def _register_compiled(self, clk: Signal, name: str,
+                           compile_fn: Optional[Callable],
+                           kind: str) -> bool:
+        """Try to land process *name* on the compiled backend.
+
+        Returns True on success, False when the event kernel should
+        host it instead (backend "event", no hook, or an ``auto``
+        fallback — which is counted); re-raises compile failures for
+        the strict ``"compiled"`` backend.
+        """
+        label = f"{self.name}.{name}"
+        if self.backend == "event":
+            return False
+        if compile_fn is None:
+            if self.backend == "compiled":
+                raise CompileError(
+                    f"{label}: backend='compiled' but the component "
+                    "provides no compile hook")
+            return False
+        try:
+            kernel = compile_kernel(self.sim, clk)
+            if kind == "seq":
+                kernel.add_seq(label, compile_fn)
+            else:
+                kernel.add_comb(label, compile_fn)
+        except UnsupportedFeature:
+            if self.backend == "compiled":
+                raise
+            self.sim.compiled_fallbacks += 1
+            return False
+        kernel.components += 1
+        return True
+
     def clocked(self, clk: Signal, body: Callable[[], None],
-                name: str = "seq") -> None:
+                name: str = "seq",
+                compile_fn: Optional[Callable[[CompileContext],
+                                              Callable[[], None]]] = None
+                ) -> None:
         """Register *body* to run on every rising edge of *clk*.
 
         The body reads ``.value`` of its inputs and drives outputs —
@@ -40,7 +108,16 @@ class Component:
         Registered with rising-edge sensitivity, so the falling edge
         does not dispatch the process at all; the guard stays as a
         belt-and-braces check for the initialisation run.
+
+        *compile_fn* is the optional compiled-backend twin: a builder
+        that receives a :class:`repro.hdl.CompileContext` and returns
+        the levelized evaluation callable.  Whether it is used depends
+        on the component's backend (see the module docstring).
         """
+        if self._register_compiled(clk, name, compile_fn, "seq"):
+            self.backends[name] = "compiled"
+            return
+        self.backends[name] = "event"
 
         def proc(_sim: Simulator) -> None:
             if clk.rising():
@@ -51,8 +128,23 @@ class Component:
 
     def combinational(self, inputs: Sequence[Signal],
                       body: Callable[[], None],
-                      name: str = "comb") -> None:
+                      name: str = "comb",
+                      clk: Optional[Signal] = None,
+                      compile_fn: Optional[Callable[[CompileContext],
+                                                    Callable[[], None]]]
+                      = None) -> None:
         """Register *body* to run on any event of *inputs* (and once at
-        initialisation), like a combinational VHDL process."""
+        initialisation), like a combinational VHDL process.
+
+        When *clk* and *compile_fn* are given, the compiled backend
+        levelizes the process into *clk*'s kernel instead (inputs must
+        be written inside the same kernel; see
+        :meth:`repro.hdl.CompiledKernel.add_comb`).
+        """
+        if clk is not None and self._register_compiled(
+                clk, name, compile_fn, "comb"):
+            self.backends[name] = "compiled"
+            return
+        self.backends[name] = "event"
         self.sim.add_process(f"{self.name}.{name}",
                              lambda _sim: body(), sensitivity=list(inputs))

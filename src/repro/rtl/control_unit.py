@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from ..hdl.compiled import slot_int
 from ..hdl.logic import vector_to_int
 from ..hdl.signal import Signal
 from ..hdl.simulator import Simulator
@@ -53,8 +54,9 @@ class GlobalControlUnitRtl(Component):
     """
 
     def __init__(self, sim: Simulator, name: str, clk: Signal,
-                 num_clients: int = 4, lookup_latency: int = 4) -> None:
-        super().__init__(sim, name)
+                 num_clients: int = 4, lookup_latency: int = 4,
+                 backend: Optional[str] = None) -> None:
+        super().__init__(sim, name, backend=backend)
         if num_clients < 1:
             raise ValueError(f"need >= 1 client, got {num_clients}")
         if lookup_latency < 1:
@@ -77,7 +79,7 @@ class GlobalControlUnitRtl(Component):
         self.lookup_misses = 0
         self.busy_cycles = 0
         self.idle_cycles = 0
-        self.clocked(clk, self._tick)
+        self.clocked(clk, self._tick, compile_fn=self._compile_seq)
 
     # -- management plane ---------------------------------------------------
     def install(self, client: int, vpi: int, vci: int, out_port: int,
@@ -145,3 +147,85 @@ class GlobalControlUnitRtl(Component):
         client.out_port.drive(out_port)
         client.out_vpi.drive(out_vpi)
         client.out_vci.drive(out_vci)
+
+    # -- compiled twin --------------------------------------------------------
+    def _compile_seq(self, ctx):
+        """Compiled twin of :meth:`_tick` (arbitration inlined)."""
+        reads = []      # (req, vpi_in, vci_in) slots per client
+        writes = []     # (done, found, out_port, out_vpi, out_vci)
+        for client in self.clients:
+            reads.append((ctx.read(client.req),
+                          ctx.read(client.vpi_in),
+                          ctx.read(client.vci_in)))
+            writes.append((ctx.write(client.done),
+                           ctx.write(client.found),
+                           ctx.write(client.out_port),
+                           ctx.write(client.out_vpi),
+                           ctx.write(client.out_vci)))
+        table = self._table
+        num = self.num_clients
+        latency = self.lookup_latency
+
+        def finish(index):
+            _req, vpi_slot, vci_slot = reads[index]
+            w_done, w_found, w_port, w_vpi, w_vci = writes[index]
+            vpi = slot_int(vpi_slot.value)
+            vci = slot_int(vci_slot.value)
+            entry = table.get((index, vpi, vci))
+            self.lookups_served += 1
+            self._cooldown = index
+            w_done("1")
+            self._done_hot = index
+            if entry is None:
+                self.lookup_misses += 1
+                w_found("0")
+                return
+            out_port, out_vpi, out_vci = entry
+            w_found("1")
+            w_port(out_port)
+            w_vpi(out_vpi)
+            w_vci(out_vci)
+
+        done_writers = [bundle[0] for bundle in writes]
+        req_slots = [bundle[0] for bundle in reads]
+        #: precomputed round-robin scan order per starting client —
+        #: the arbitration runs every edge, so no modulo in the loop
+        orders = [tuple((start + offset) % num for offset in range(num))
+                  for start in range(num)]
+        # The event twin drives every done '0' each clock; with
+        # change-detecting writers only the client whose done is
+        # actually '1' (the last finished lookup) needs the clear.
+        self._done_hot = None
+
+        def evaluate():
+            hot = self._done_hot
+            if hot is not None:
+                done_writers[hot]("0")
+                self._done_hot = None
+            cooled = self._cooldown
+            if cooled is not None:
+                self._cooldown = None
+            if self._busy_client is not None:
+                self.busy_cycles += 1
+                self._busy_remaining -= 1
+                if self._busy_remaining == 0:
+                    finish(self._busy_client)
+                    self._busy_client = None
+                return
+            grant = None
+            for index in orders[self._rr_next]:
+                if index != cooled and req_slots[index].value == "1":
+                    self._rr_next = (index + 1) % num
+                    grant = index
+                    break
+            if grant is None:
+                self.idle_cycles += 1
+                return
+            self.busy_cycles += 1
+            self._busy_client = grant
+            self._busy_remaining = latency - 1
+            if self._busy_remaining == 0:
+                finish(grant)
+                self._busy_client = None
+
+        return evaluate

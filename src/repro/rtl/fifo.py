@@ -11,6 +11,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque
 
+from typing import Optional
+
+from ..hdl.compiled import slot_int
 from ..hdl.logic import vector_to_int
 from ..hdl.signal import Signal
 from ..hdl.simulator import Simulator
@@ -33,8 +36,9 @@ class SyncFifo(Component):
     """
 
     def __init__(self, sim: Simulator, name: str, clk: Signal,
-                 width: int, depth: int) -> None:
-        super().__init__(sim, name)
+                 width: int, depth: int,
+                 backend: Optional[str] = None) -> None:
+        super().__init__(sim, name, backend=backend)
         if depth < 1:
             raise ValueError(f"FIFO depth must be >= 1, got {depth}")
         self.width = width
@@ -48,7 +52,7 @@ class SyncFifo(Component):
         self._store: Deque[int] = deque()
         self.overflow_drops = 0
         self.max_level = 0
-        self.clocked(clk, self._tick)
+        self.clocked(clk, self._tick, compile_fn=self._compile_seq)
 
     def __len__(self) -> int:
         return len(self._store)
@@ -74,3 +78,36 @@ class SyncFifo(Component):
         else:
             self.empty.drive("1")
         self.full.drive("1" if len(self._store) >= self.depth else "0")
+
+    def _compile_seq(self, ctx):
+        """Compiled twin of :meth:`_tick` over raw slot values."""
+        wr_en = ctx.read(self.wr_en)
+        wr_data = ctx.read(self.wr_data)
+        rd_en = ctx.read(self.rd_en)
+        w_rd_data = ctx.write(self.rd_data)
+        w_empty = ctx.write(self.empty)
+        w_full = ctx.write(self.full)
+        store = self._store
+        depth = self.depth
+
+        def evaluate():
+            popped = False
+            if rd_en.value == "1" and store:
+                store.popleft()
+                popped = True
+            writing = wr_en.value == "1"
+            if writing:
+                if len(store) >= depth:
+                    self.overflow_drops += 1
+                else:
+                    store.append(slot_int(wr_data.value))
+                    self.max_level = max(self.max_level, len(store))
+            if popped or writing:
+                if store:
+                    w_rd_data(store[0])
+                    w_empty("0")
+                else:
+                    w_empty("1")
+                w_full("1" if len(store) >= depth else "0")
+
+        return evaluate

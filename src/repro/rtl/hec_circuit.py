@@ -8,6 +8,9 @@ the paper's reference-model-vs-DUT methodology at unit scale).
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..hdl.compiled import slot_int
 from ..hdl.logic import vector_to_int
 from ..hdl.signal import Signal
 from ..hdl.simulator import Simulator
@@ -40,8 +43,9 @@ class HecGenerator(Component):
             fourth octet was accepted.
     """
 
-    def __init__(self, sim: Simulator, name: str, clk: Signal) -> None:
-        super().__init__(sim, name)
+    def __init__(self, sim: Simulator, name: str, clk: Signal,
+                 backend: Optional[str] = None) -> None:
+        super().__init__(sim, name, backend=backend)
         self.d = self.signal("d", width=8, init=0)
         self.d_valid = self.signal("d_valid", init="0")
         self.sof = self.signal("sof", init="0")
@@ -49,7 +53,7 @@ class HecGenerator(Component):
         self.hec_valid = self.signal("hec_valid", init="0")
         self._crc = 0
         self._count = 0
-        self.clocked(clk, self._tick)
+        self.clocked(clk, self._tick, compile_fn=self._compile_seq)
 
     def _tick(self) -> None:
         self.hec_valid.drive("0")
@@ -66,6 +70,31 @@ class HecGenerator(Component):
             self.hec.drive(self._crc ^ _COSET)
             self.hec_valid.drive("1")
 
+    def _compile_seq(self, ctx):
+        """Compiled twin of :meth:`_tick`."""
+        d = ctx.read(self.d)
+        d_valid = ctx.read(self.d_valid)
+        sof = ctx.read(self.sof)
+        w_hec = ctx.write(self.hec)
+        w_hec_valid = ctx.write(self.hec_valid)
+
+        def evaluate():
+            w_hec_valid("0")
+            if d_valid.value != "1":
+                return
+            if sof.value == "1":
+                self._crc = 0
+                self._count = 0
+            if self._count >= 4:
+                return
+            self._crc = crc8_step(self._crc, slot_int(d.value))
+            self._count += 1
+            if self._count == 4:
+                w_hec(self._crc ^ _COSET)
+                w_hec_valid("1")
+
+        return evaluate
+
 
 class HecChecker(Component):
     """Checks the HEC of a 5-octet header stream.
@@ -76,8 +105,9 @@ class HecChecker(Component):
             of them fires.
     """
 
-    def __init__(self, sim: Simulator, name: str, clk: Signal) -> None:
-        super().__init__(sim, name)
+    def __init__(self, sim: Simulator, name: str, clk: Signal,
+                 backend: Optional[str] = None) -> None:
+        super().__init__(sim, name, backend=backend)
         self.d = self.signal("d", width=8, init=0)
         self.d_valid = self.signal("d_valid", init="0")
         self.sof = self.signal("sof", init="0")
@@ -87,7 +117,7 @@ class HecChecker(Component):
         self._count = 0
         self.headers_checked = 0
         self.errors_seen = 0
-        self.clocked(clk, self._tick)
+        self.clocked(clk, self._tick, compile_fn=self._compile_seq)
 
     def _tick(self) -> None:
         self.ok.drive("0")
@@ -110,3 +140,35 @@ class HecChecker(Component):
                 self.errors_seen += 1
                 self.err.drive("1")
         self._count += 1
+
+    def _compile_seq(self, ctx):
+        """Compiled twin of :meth:`_tick`."""
+        d = ctx.read(self.d)
+        d_valid = ctx.read(self.d_valid)
+        sof = ctx.read(self.sof)
+        w_ok = ctx.write(self.ok)
+        w_err = ctx.write(self.err)
+
+        def evaluate():
+            w_ok("0")
+            w_err("0")
+            if d_valid.value != "1":
+                return
+            if sof.value == "1":
+                self._crc = 0
+                self._count = 0
+            if self._count >= 5:
+                return
+            octet = slot_int(d.value)
+            if self._count < 4:
+                self._crc = crc8_step(self._crc, octet)
+            else:
+                self.headers_checked += 1
+                if (self._crc ^ _COSET) == octet:
+                    w_ok("1")
+                else:
+                    self.errors_seen += 1
+                    w_err("1")
+            self._count += 1
+
+        return evaluate

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..hdl.compiled import slot_int
 from ..hdl.logic import vector_to_int
 from ..hdl.signal import Signal
 from ..hdl.simulator import Simulator
@@ -148,8 +149,9 @@ class AccountingMgmtSlave(Component):
 
     def __init__(self, sim: Simulator, name: str, clk: Signal,
                  unit: AccountingUnitRtl,
-                 port: Optional[MpBusSlavePort] = None) -> None:
-        super().__init__(sim, name)
+                 port: Optional[MpBusSlavePort] = None,
+                 backend: Optional[str] = None) -> None:
+        super().__init__(sim, name, backend=backend)
         self.unit = unit
         self.port = port if port is not None \
             else MpBusSlavePort(sim, f"{name}.bus")
@@ -158,10 +160,14 @@ class AccountingMgmtSlave(Component):
             REG_FIXED: 0}
         self._status = STATUS_IDLE
         self._strobe_seen = False
+        #: set by a CTRL_TICK write; the executing process (event or
+        #: compiled) turns it into the actual tariff_tick pulse, so
+        #: :meth:`_write` stays free of signal side effects
+        self._tick_request = False
         self._tick_pending = False
         self.writes = 0
         self.reads = 0
-        self.clocked(clk, self._tick)
+        self.clocked(clk, self._tick, compile_fn=self._compile_seq)
 
     def _tick(self) -> None:
         if self._tick_pending:
@@ -183,9 +189,54 @@ class AccountingMgmtSlave(Component):
         addr = vector_to_int(port.addr.value)
         if wr:
             self._write(addr, vector_to_int(port.wdata.value))
+            if self._tick_request:
+                # pulse the unit's tariff_tick input for one clock;
+                # the unit samples it at the next rising edge
+                self._tick_request = False
+                self.unit.tariff_tick.drive("1")
+                self._tick_pending = True
         else:
             port.rdata.drive(self._read(addr))
         port.ready.drive("1")
+
+    def _compile_seq(self, ctx):
+        """Compiled twin of :meth:`_tick`; register semantics are
+        shared through the pure :meth:`_write` / :meth:`_read`."""
+        port = self.port
+        wr_slot = ctx.read(port.wr)
+        rd_slot = ctx.read(port.rd)
+        addr_slot = ctx.read(port.addr)
+        wdata_slot = ctx.read(port.wdata)
+        w_ready = ctx.write(port.ready)
+        w_rdata = ctx.write(port.rdata)
+        w_tick = ctx.write(self.unit.tariff_tick)
+
+        def evaluate():
+            if self._tick_pending:
+                w_tick("0")
+                self._tick_pending = False
+            wr = wr_slot.value == "1"
+            rd = rd_slot.value == "1"
+            if not (wr or rd):
+                w_ready("0")
+                self._strobe_seen = False
+                return
+            if self._strobe_seen:
+                w_ready("0")
+                return
+            self._strobe_seen = True
+            addr = slot_int(addr_slot.value)
+            if wr:
+                self._write(addr, slot_int(wdata_slot.value))
+                if self._tick_request:
+                    self._tick_request = False
+                    w_tick("1")
+                    self._tick_pending = True
+            else:
+                w_rdata(self._read(addr))
+            w_ready("1")
+
+        return evaluate
 
     # ------------------------------------------------------------------
     # Register semantics
@@ -209,10 +260,7 @@ class AccountingMgmtSlave(Component):
             except ValueError:
                 self._status = STATUS_FAIL
         elif data == CTRL_TICK:
-            # pulse the unit's tariff_tick input for one clock; the
-            # unit samples it at the next rising edge
-            self.unit.tariff_tick.drive("1")
-            self._tick_pending = True
+            self._tick_request = True
             self._status = STATUS_OK
         elif data == CTRL_CLEAR:
             self._status = STATUS_IDLE

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..hdl.compiled import slot_int
 from ..hdl.logic import vector_to_int
 from ..hdl.signal import Signal
 from ..hdl.simulator import Simulator
@@ -70,8 +71,9 @@ class UpcPolicerRtl(Component):
                  rx: Optional[CellStreamPort] = None,
                  tx: Optional[CellStreamPort] = None,
                  action: str = "drop",
-                 bug: Optional[str] = None) -> None:
-        super().__init__(sim, name)
+                 bug: Optional[str] = None,
+                 backend: Optional[str] = None) -> None:
+        super().__init__(sim, name, backend=backend)
         if action not in ("drop", "tag"):
             raise ValueError(f"unknown UPC action {action!r}")
         if bug is not None and bug not in _KNOWN_BUGS:
@@ -90,7 +92,7 @@ class UpcPolicerRtl(Component):
         self.cells_non_conforming = 0
         self.unpoliced_cells = 0
         self.idle_cells = 0
-        self.clocked(clk, self._tick)
+        self.clocked(clk, self._tick, compile_fn=self._compile_seq)
 
     # -- management plane ---------------------------------------------------
     def install_contract(self, vpi: int, vci: int,
@@ -187,3 +189,51 @@ class UpcPolicerRtl(Component):
         if self._tx_offset == CELL_OCTETS:
             self._tx_queue.pop(0)
             self._tx_offset = 0
+
+    # -- compiled twin --------------------------------------------------------
+    def _compile_seq(self, ctx):
+        """Compiled twin of :meth:`_tick` (policing reuses the pure
+        :meth:`_police_cell`)."""
+        valid = ctx.read(self.rx.valid)
+        cellsync = ctx.read(self.rx.cellsync)
+        atmdata = ctx.read(self.rx.atmdata)
+        w_atmdata = ctx.write(self.tx.atmdata)
+        w_cellsync = ctx.write(self.tx.cellsync)
+        w_valid = ctx.write(self.tx.valid)
+        queue = self._tx_queue
+        #: idle levels already driven -> skip the per-edge '0' writes
+        self._tx_idle = False
+
+        def evaluate():
+            self._clock_count += 1
+            if valid.value == "1":
+                octet = slot_int(atmdata.value)
+                buffer = self._rx_buffer
+                if cellsync.value == "1":
+                    buffer = self._rx_buffer = [octet]
+                elif buffer:
+                    buffer.append(octet)
+                else:
+                    buffer = None
+                if buffer is not None and len(buffer) == CELL_OCTETS:
+                    self._police_cell(buffer)
+                    self._rx_buffer = []
+            if not queue:
+                if not self._tx_idle:
+                    w_valid("0")
+                    w_cellsync("0")
+                    self._tx_idle = True
+            else:
+                self._tx_idle = False
+                cell = queue[0]
+                offset = self._tx_offset
+                w_atmdata(cell[offset])
+                w_cellsync("1" if offset == 0 else "0")
+                w_valid("1")
+                offset += 1
+                if offset == CELL_OCTETS:
+                    queue.pop(0)
+                    offset = 0
+                self._tx_offset = offset
+
+        return evaluate

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..hdl.compiled import slot_int
 from ..hdl.logic import vector_to_int
 from ..hdl.signal import Signal
 from ..hdl.simulator import Simulator
@@ -44,8 +45,9 @@ class AtmPortModuleRtl(Component):
 
     def __init__(self, sim: Simulator, name: str, clk: Signal,
                  rx: Optional[CellStreamPort] = None,
-                 tx: Optional[CellStreamPort] = None) -> None:
-        super().__init__(sim, name)
+                 tx: Optional[CellStreamPort] = None,
+                 backend: Optional[str] = None) -> None:
+        super().__init__(sim, name, backend=backend)
         self.rx = rx if rx is not None else CellStreamPort(sim, f"{name}.rx")
         self.tx = tx if tx is not None else CellStreamPort(sim, f"{name}.tx")
         #: (vpi, vci) -> (out_vpi, out_vci); the translation RAM.
@@ -59,7 +61,7 @@ class AtmPortModuleRtl(Component):
         self.hec_errors = 0
         self.unknown_connections = 0
         self.idle_cells = 0
-        self.clocked(clk, self._tick)
+        self.clocked(clk, self._tick, compile_fn=self._compile_seq)
 
     # -- management plane ---------------------------------------------------
     def install(self, vpi: int, vci: int, out_vpi: int,
@@ -136,3 +138,55 @@ class AtmPortModuleRtl(Component):
         if self._tx_offset == CELL_OCTETS:
             self._tx_queue.pop(0)
             self._tx_offset = 0
+
+    # -- compiled twin --------------------------------------------------------
+    def _compile_seq(self, ctx):
+        """Compiled twin of :meth:`_tick` (cell completion reuses the
+        pure :meth:`_complete_cell`)."""
+        valid = ctx.read(self.rx.valid)
+        cellsync = ctx.read(self.rx.cellsync)
+        atmdata = ctx.read(self.rx.atmdata)
+        w_atmdata = ctx.write(self.tx.atmdata)
+        w_cellsync = ctx.write(self.tx.cellsync)
+        w_valid = ctx.write(self.tx.valid)
+        queue = self._tx_queue
+        #: idle levels already driven -> skip the per-edge '0' writes
+        self._tx_idle = False
+
+        def evaluate():
+            # receive
+            if valid.value == "1":
+                octet = slot_int(atmdata.value)
+                buffer = self._rx_buffer
+                if cellsync.value == "1":
+                    buffer = self._rx_buffer = [octet]
+                    self._rx_crc = crc8_step(0, octet)
+                elif buffer:
+                    buffer.append(octet)
+                    if len(buffer) <= 4:
+                        self._rx_crc = crc8_step(self._rx_crc, octet)
+                else:
+                    buffer = None
+                if buffer is not None and len(buffer) == CELL_OCTETS:
+                    self._complete_cell(buffer)
+                    self._rx_buffer = []
+            # transmit
+            if not queue:
+                if not self._tx_idle:
+                    w_valid("0")
+                    w_cellsync("0")
+                    self._tx_idle = True
+            else:
+                self._tx_idle = False
+                cell = queue[0]
+                offset = self._tx_offset
+                w_atmdata(cell[offset])
+                w_cellsync("1" if offset == 0 else "0")
+                w_valid("1")
+                offset += 1
+                if offset == CELL_OCTETS:
+                    queue.pop(0)
+                    offset = 0
+                self._tx_offset = offset
+
+        return evaluate

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..hdl.compiled import raw_value
 from ..hdl.signal import Signal
 from ..hdl.simulator import Simulator
 from .component import Component
@@ -23,14 +24,14 @@ class Register(Component):
     def __init__(self, sim: Simulator, name: str, clk: Signal, d: Signal,
                  enable: Optional[Signal] = None,
                  reset: Optional[Signal] = None,
-                 reset_value=0) -> None:
-        super().__init__(sim, name)
+                 reset_value=0, backend: Optional[str] = None) -> None:
+        super().__init__(sim, name, backend=backend)
         self.d = d
         self.q = self.signal("q", width=d.width)
         self.enable = enable
         self.reset = reset
         self._reset_value = reset_value
-        self.clocked(clk, self._tick)
+        self.clocked(clk, self._tick, compile_fn=self._compile_seq)
 
     def _tick(self) -> None:
         if self.reset is not None and self.reset.value == "1":
@@ -39,6 +40,27 @@ class Register(Component):
         if self.enable is not None and self.enable.value != "1":
             return
         self.q.drive(self.d.value)
+
+    def _compile_seq(self, ctx):
+        """Compiled twin of :meth:`_tick`; the reset value is
+        pre-normalised to slot raw form at compile time."""
+        d = ctx.read(self.d)
+        w_q = ctx.write(self.q)
+        reset = (ctx.read(self.reset)
+                 if self.reset is not None else None)
+        enable = (ctx.read(self.enable)
+                  if self.enable is not None else None)
+        reset_raw = raw_value(self.q, self._reset_value)
+
+        def evaluate():
+            if reset is not None and reset.value == "1":
+                w_q(reset_raw)
+                return
+            if enable is not None and enable.value != "1":
+                return
+            w_q(d.value)
+
+        return evaluate
 
 
 class Counter(Component):
@@ -49,8 +71,9 @@ class Counter(Component):
 
     def __init__(self, sim: Simulator, name: str, clk: Signal, width: int,
                  enable: Optional[Signal] = None,
-                 reset: Optional[Signal] = None) -> None:
-        super().__init__(sim, name)
+                 reset: Optional[Signal] = None,
+                 backend: Optional[str] = None) -> None:
+        super().__init__(sim, name, backend=backend)
         if width < 1:
             raise ValueError(f"counter width must be >= 1, got {width}")
         self.width = width
@@ -58,7 +81,7 @@ class Counter(Component):
         self.enable = enable
         self.reset = reset
         self._count = 0
-        self.clocked(clk, self._tick)
+        self.clocked(clk, self._tick, compile_fn=self._compile_seq)
 
     def _tick(self) -> None:
         if self.reset is not None and self.reset.value == "1":
@@ -68,3 +91,23 @@ class Counter(Component):
         else:
             return
         self.q.drive(self._count)
+
+    def _compile_seq(self, ctx):
+        """Compiled twin of :meth:`_tick`."""
+        w_q = ctx.write(self.q)
+        reset = (ctx.read(self.reset)
+                 if self.reset is not None else None)
+        enable = (ctx.read(self.enable)
+                  if self.enable is not None else None)
+        modulus = 1 << self.width
+
+        def evaluate():
+            if reset is not None and reset.value == "1":
+                self._count = 0
+            elif enable is None or enable.value == "1":
+                self._count = (self._count + 1) % modulus
+            else:
+                return
+            w_q(self._count)
+
+        return evaluate

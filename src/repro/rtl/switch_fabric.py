@@ -18,8 +18,9 @@ each other in ``tests/rtl/test_switch_fabric.py``.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List
+from typing import Deque, Dict, List, Optional
 
+from ..hdl.compiled import slot_int
 from ..hdl.logic import vector_to_int
 from ..hdl.signal import Signal
 from ..hdl.simulator import Simulator
@@ -45,6 +46,9 @@ class _PortState:
         #: cells queued for transmission out of this port
         self.tx_queue: Deque[List[int]] = deque()
         self.tx_offset = 0
+        #: compiled-backend shortcut: the idle levels are already
+        #: driven, so the per-edge '0' writes can be skipped
+        self.tx_idle = False
 
 
 class AtmSwitchRtl(Component):
@@ -63,8 +67,9 @@ class AtmSwitchRtl(Component):
 
     def __init__(self, sim: Simulator, name: str, clk: Signal,
                  num_ports: int = 4, lookup_latency: int = 4,
-                 queue_depth: int = 16) -> None:
-        super().__init__(sim, name)
+                 queue_depth: int = 16,
+                 backend: Optional[str] = None) -> None:
+        super().__init__(sim, name, backend=backend)
         if num_ports < 1:
             raise ValueError(f"need >= 1 port, got {num_ports}")
         if queue_depth < 1:
@@ -73,7 +78,8 @@ class AtmSwitchRtl(Component):
         self.queue_depth = queue_depth
         self.gcu = GlobalControlUnitRtl(sim, f"{name}.gcu", clk,
                                         num_clients=num_ports,
-                                        lookup_latency=lookup_latency)
+                                        lookup_latency=lookup_latency,
+                                        backend=self.backend)
         self.rx_ports = [CellStreamPort(sim, f"{name}.p{i}.rx")
                          for i in range(num_ports)]
         self.tx_ports = [CellStreamPort(sim, f"{name}.p{i}.tx")
@@ -85,7 +91,7 @@ class AtmSwitchRtl(Component):
         self.cells_dropped_overflow = 0
         self.hec_errors = 0
         self.idle_cells = 0
-        self.clocked(clk, self._tick)
+        self.clocked(clk, self._tick, compile_fn=self._compile_seq)
 
     # ------------------------------------------------------------------
     # Management plane
@@ -206,6 +212,108 @@ class AtmSwitchRtl(Component):
         if state.tx_offset == CELL_OCTETS:
             state.tx_queue.popleft()
             state.tx_offset = 0
+
+    # ------------------------------------------------------------------
+    # Compiled twin
+    # ------------------------------------------------------------------
+    def _compile_seq(self, ctx):
+        """Compiled twin of :meth:`_tick` — per-port receive/lookup/
+        transmit over raw slots (the GCU compiles separately; the two
+        evaluations exchange values through the shared commit phase,
+        exactly like the two event processes exchange them through
+        delta cycles)."""
+        rx_reads = [(ctx.read(rx.valid), ctx.read(rx.cellsync),
+                     ctx.read(rx.atmdata)) for rx in self.rx_ports]
+        cl_reads = [(ctx.read(c.done), ctx.read(c.found),
+                     ctx.read(c.out_port), ctx.read(c.out_vpi),
+                     ctx.read(c.out_vci)) for c in self.gcu.clients]
+        cl_writes = [(ctx.write(c.req), ctx.write(c.vpi_in),
+                      ctx.write(c.vci_in)) for c in self.gcu.clients]
+        tx_writes = [(ctx.write(tx.atmdata), ctx.write(tx.cellsync),
+                      ctx.write(tx.valid)) for tx in self.tx_ports]
+        # One flat record per port, iterated directly — no per-edge
+        # list indexing in the hot loop.
+        lanes = [
+            (index, state) + rx_reads[index] + cl_reads[index]
+            + cl_writes[index] + tx_writes[index]
+            for index, state in enumerate(self._ports)]
+        accept = self._accept_cell
+        forward = self._forward
+        crc8 = crc8_step
+        as_int = slot_int
+        to_int = vector_to_int
+        octets_per_cell = CELL_OCTETS
+
+        def evaluate():
+            for (index, state, valid, cellsync, atmdata,
+                 done, found, out_port, out_vpi, out_vci,
+                 w_req, w_vpi_in, w_vci_in,
+                 w_atmdata, w_cellsync, w_valid) in lanes:
+                # -- receive --------------------------------------
+                if valid.value == "1":
+                    raw = atmdata.value
+                    octet = raw if type(raw) is int else to_int(raw)
+                    if cellsync.value == "1":
+                        state.rx_buffer = [octet]
+                        state.rx_crc = crc8(0, octet)
+                        filled = 1
+                    else:
+                        buffer = state.rx_buffer
+                        if buffer:
+                            buffer.append(octet)
+                            filled = len(buffer)
+                            if filled <= 4:
+                                state.rx_crc = crc8(state.rx_crc,
+                                                    octet)
+                        else:
+                            filled = 0
+                    if filled == octets_per_cell:
+                        accept(index, state)
+                        state.rx_buffer = []
+                # -- lookup ---------------------------------------
+                if state.lookup_in_flight:
+                    if done.value == "1":
+                        w_req("0")
+                        state.lookup_in_flight = False
+                        octets = state.lookup_fifo.popleft()
+                        if found.value != "1":
+                            self.cells_dropped_unknown += 1
+                        else:
+                            forward(octets,
+                                    as_int(out_port.value),
+                                    as_int(out_vpi.value),
+                                    as_int(out_vci.value))
+                elif state.lookup_fifo:
+                    head = state.lookup_fifo[0]
+                    vpi = ((head[0] & 0xF) << 4) | ((head[1] >> 4)
+                                                    & 0xF)
+                    vci = (((head[1] & 0xF) << 12) | (head[2] << 4)
+                           | ((head[3] >> 4) & 0xF))
+                    w_vpi_in(vpi)
+                    w_vci_in(vci)
+                    w_req("1")
+                    state.lookup_in_flight = True
+                # -- transmit -------------------------------------
+                queue = state.tx_queue
+                if not queue:
+                    if not state.tx_idle:
+                        w_valid("0")
+                        w_cellsync("0")
+                        state.tx_idle = True
+                else:
+                    state.tx_idle = False
+                    cell = queue[0]
+                    offset = state.tx_offset
+                    w_atmdata(cell[offset])
+                    w_cellsync("1" if offset == 0 else "0")
+                    w_valid("1")
+                    offset += 1
+                    if offset == octets_per_cell:
+                        queue.popleft()
+                        offset = 0
+                    state.tx_offset = offset
+
+        return evaluate
 
     # ------------------------------------------------------------------
     # Introspection
