@@ -10,7 +10,9 @@ the performance trajectory is tracked across pull requests:
   cycles per second and kernel event counters for both schemes;
 * **e1** — the paper's headline workload (E1): co-simulation
   throughput of the accounting DUT under CASTANET versus the pure-RTL
-  four-port bench, in DUT clock cycles per wall-clock second.
+  four-port bench, in DUT clock cycles per wall-clock second — plus
+  the same scenario with the DUT swapped to its behavioural twin
+  (the ``behav`` dimension; ``behav_vs_compiled`` must stay >= 1).
 
 Run from the repo root::
 
@@ -154,12 +156,27 @@ def bench_e1(cells=None):
             f"{rtl_event_stats['dut_cells']} vs "
             f"{rtl_stats['dut_cells']} DUT cells")
 
+    # the same co-verification scenario with the DUT swapped to its
+    # behavioural twin (the multi-abstraction dimension: no HDL
+    # kernel, no synchroniser — the cheapest level of the swap)
+    env_b, dut_b, entity_b, reference_b = build_cosim_accounting(
+        cells, observe=False, level="behav")
+    start = time.perf_counter()
+    behav_stats = run_cosim_accounting(env_b, dut_b, entity_b,
+                                       reference_b)
+    behav_wall = time.perf_counter() - start
+    if behav_stats["cells"] != cells:
+        raise AssertionError(
+            f"behavioural run processed {behav_stats['cells']} of "
+            f"{cells} cells")
+
     if cosim_stats["cells"] != cells:
         raise AssertionError(
             f"co-sim processed {cosim_stats['cells']} of {cells} cells")
     cosim_rate = cosim_stats["hdl_clocks"] / cosim_wall
     rtl_rate = rtl_stats["hdl_clocks"] / rtl_wall
     rtl_event_rate = rtl_event_stats["hdl_clocks"] / rtl_event_wall
+    behav_rate = behav_stats["hdl_clocks"] / behav_wall
     payload = {
         "cells": cells,
         "clock_period_ticks": TIMEBASE.clock_period_ticks,
@@ -182,8 +199,15 @@ def bench_e1(cells=None):
             "cycles_per_s": rtl_event_rate,
             "hdl_events": rtl_event_stats["hdl_events"],
         },
+        "behav": {
+            "wall_s": behav_wall,
+            "hdl_clocks": behav_stats["hdl_clocks"],
+            "cycles_per_s": behav_rate,
+            "netsim_events": behav_stats["netsim_events"],
+        },
         "cosim_vs_rtl": cosim_rate / rtl_rate,
         "compiled_vs_event": rtl_rate / rtl_event_rate,
+        "behav_vs_compiled": behav_rate / cosim_rate,
     }
     return payload
 
@@ -213,8 +237,11 @@ def main():
           f"({e1['pure_rtl']['wall_s']:.3f} s)")
     print(f"  pure RTL (ev): {e1['pure_rtl_event']['cycles_per_s']:>10.0f} cyc/s "
           f"({e1['pure_rtl_event']['wall_s']:.3f} s)")
+    print(f"  behavioural  : {e1['behav']['cycles_per_s']:>10.0f} cyc/s "
+          f"({e1['behav']['wall_s']:.3f} s)")
     print(f"  cosim/RTL    : {e1['cosim_vs_rtl']:.2f}x "
-          f"(compiled vs event {e1['compiled_vs_event']:.2f}x)"
+          f"(compiled vs event {e1['compiled_vs_event']:.2f}x, "
+          f"behav vs compiled {e1['behav_vs_compiled']:.2f}x)"
           f"  -> {path}")
     return 0
 

@@ -53,6 +53,7 @@ CHECKS = [
     ("e1", "e1 co-simulation", ("cosim", "cycles_per_s")),
     ("e1", "e1 pure RTL", ("pure_rtl", "cycles_per_s")),
     ("e1", "e1 pure RTL (event)", ("pure_rtl_event", "cycles_per_s")),
+    ("e1", "e1 behavioural", ("behav", "cycles_per_s")),
     ("obs", "e1 observed (sampled)", ("observed", "cycles_per_s")),
 ]
 
@@ -95,6 +96,14 @@ def main() -> int:
     if ratio is not None and ratio < 1.0:
         print(f"FAIL: compiled backend slower than the event backend "
               f"({ratio:.2f}x) on the e1 pure-RTL bench")
+        return 1
+    # abstraction guard: the zero-delta behavioural twin skips the
+    # HDL kernel and synchroniser entirely, so falling below compiled
+    # co-simulation throughput means the swap machinery regressed
+    ratio = _dig(fresh["e1"], ("behav_vs_compiled",))
+    if ratio is not None and ratio < 1.0:
+        print(f"FAIL: behavioural twin slower than compiled "
+              f"co-simulation ({ratio:.2f}x) on the e1 workload")
         return 1
 
     if not baselines:

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.atm import (AccountingUnit, AtmCell, AtmSwitch, Tariff)
+from repro.behav import AccountingUnitBehav
 from repro.core import CoVerificationEnvironment, TimeBase
 from repro.hdl import CycleEngine, RisingEdge, Simulator
 from repro.netsim import SinkModule
@@ -78,24 +79,33 @@ def build_cosim_accounting(num_cells: int, load: float = 0.25,
                            bug: Optional[str] = None,
                            clocking: str = "cycle",
                            observe: bool = True,
-                           rtl_backend: Optional[str] = None):
+                           rtl_backend: Optional[str] = None,
+                           level: Optional[str] = None):
     """Figure-1 setup: 4-port abstract switch, CBR sources at *load*
-    per port, the RTL accounting unit coupled as the DUT on the
-    aggregate switched stream.
+    per port, the accounting DUT coupled on the aggregate switched
+    stream.
 
     *clocking* selects the DUT clock scheme ("cycle" fast dispatch,
     the default, or the seed "event" generator clock); *observe=False*
     disables the metrics registry (the perf benchmarks measure the
-    un-instrumented stack).
+    un-instrumented stack); *level* selects the DUT abstraction
+    ("rtl", the seed behaviour, or "behav" for the zero-delta twin —
+    default: the environment's ``REPRO_DUT_LEVEL`` policy).
 
     Returns (env, dut, entity, reference, finish) where finish() runs
     the drain and returns DUT records.
     """
     env = CoVerificationEnvironment(timebase=TIMEBASE, lockstep=lockstep,
                                     clocking=clocking, observe=observe,
-                                    rtl_backend=rtl_backend)
-    dut = AccountingUnitRtl(env.hdl, "acct", env.clk, bug=bug)
-    entity = env.add_dut(rx_port=dut.rx, tick_signal=dut.tariff_tick)
+                                    rtl_backend=rtl_backend,
+                                    dut_level=level)
+    if env.resolved_dut_level() == "behav":
+        dut = AccountingUnitBehav("acct", timebase=TIMEBASE, bug=bug)
+        entity = env.add_dut(behav=dut)
+    else:
+        dut = AccountingUnitRtl(env.hdl, "acct", env.clk, bug=bug)
+        entity = env.add_dut(rx_port=dut.rx,
+                             tick_signal=dut.tariff_tick)
     reference = AccountingUnit(drop_unknown=True)
 
     switch = AtmSwitch(env.network, "switch", num_ports=4,
@@ -132,17 +142,24 @@ def build_cosim_accounting(num_cells: int, load: float = 0.25,
 
 def run_cosim_accounting(env, dut, entity, reference
                          ) -> Dict[str, float]:
-    """Execute the co-simulation; returns measurement dict."""
+    """Execute the co-simulation (either DUT level); returns the
+    measurement dict."""
     env.run()
     entity.send_tariff_tick(env.network.kernel.now + CELL_TIME)
     env.finish()
-    # drain the record FIFO
-    env.hdl.run(until=env.hdl.now
-                + 64 * TIMEBASE.clock_period_ticks)
-    clocks = env.hdl.now // TIMEBASE.clock_period_ticks
+    if entity.level == "behav":
+        # no HDL kernel ran: clocks are the modelled activity span
+        clocks = entity.modelled_clocks
+        hdl_events = 0
+    else:
+        # drain the record FIFO
+        env.hdl.run(until=env.hdl.now
+                    + 64 * TIMEBASE.clock_period_ticks)
+        clocks = env.hdl.now // TIMEBASE.clock_period_ticks
+        hdl_events = env.hdl.events_executed
     return {
         "hdl_clocks": clocks,
-        "hdl_events": env.hdl.events_executed,
+        "hdl_events": hdl_events,
         "netsim_events": env.network.kernel.executed_events,
         "cells": entity.cells_in,
     }

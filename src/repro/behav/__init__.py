@@ -1,0 +1,26 @@
+"""Behavioural abstraction level — cell-granularity DUT twins.
+
+The third backend tier of the multi-abstraction environment: where
+``repro.rtl`` models the designs octet-serially in the HDL kernel
+(event-driven or compiled), this package models them as zero-delta
+cell-level twins evaluated eagerly in netsim time, selected per DUT
+via ``level="behav"`` (or the ``REPRO_DUT_LEVEL`` environment
+variable) and verified against the RTL by the cross-level equivalence
+harness (:mod:`repro.behav.equiv`, ``python -m repro equiv``).
+"""
+
+from .entity import BehavioralEntity
+from .equiv import make_events, run_equivalence, run_kind
+from .factory import DutHandle, KINDS, build_dut
+from .latency import SerialLine, hop_latency_seconds
+from .twins import (AccountingUnitBehav, AtmPortModuleBehav,
+                    AtmSwitchBehav, BehavioralTwin, UpcPolicerBehav)
+
+__all__ = [
+    "BehavioralEntity",
+    "make_events", "run_equivalence", "run_kind",
+    "DutHandle", "KINDS", "build_dut",
+    "SerialLine", "hop_latency_seconds",
+    "AccountingUnitBehav", "AtmPortModuleBehav", "AtmSwitchBehav",
+    "BehavioralTwin", "UpcPolicerBehav",
+]

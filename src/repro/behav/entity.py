@@ -1,0 +1,179 @@
+"""The behavioural endpoint of the simulator coupling.
+
+:class:`BehavioralEntity` is the ``level="behav"`` implementation of
+:class:`~repro.core.contract.DutContract`: it stands where a
+:class:`~repro.core.cosim.CosimulationEntity` would, but its DUT is a
+behavioural twin (:mod:`repro.behav.twins`) evaluated eagerly in
+netsim time.  ``send_cell`` runs the twin synchronously — zero-delta
+computation, with output timestamps from the fixed latency model — so
+no HDL kernel and no synchroniser exist for this entity, and null
+messages (:meth:`BehavioralEntity.advance_time`) are pure bookkeeping.
+
+The observability surface matches the RTL entity where it is
+meaningful at cell granularity: the same
+``cosim.cell_ingress_latency_s`` / ``cosim.cell_e2e_latency_s``
+histograms (now recording *modelled* latencies), the same
+``post``/``ingress``/``dut_out`` provenance hops (stamped with
+modelled seconds in the HDL-time slot and a ``level="behav"`` marker
+on the post hop), and a ``finish`` trace record.
+"""
+
+from __future__ import annotations
+
+from typing import (Callable, Dict, List, Optional, Tuple,
+                    TYPE_CHECKING)
+
+from ..atm.cell import AtmCell
+from ..core.contract import DutContract
+from ..core.timebase import TimeBase
+from ..netsim.packet import Packet
+from .twins import BehavioralTwin
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.provenance import ProvenanceTracker
+    from ..obs.trace import TraceWriter
+
+__all__ = ["BehavioralEntity"]
+
+
+class BehavioralEntity(DutContract):
+    """The netsim-side endpoint of one behavioural twin.
+
+    Args:
+        twin: the behavioural DUT model.
+        timebase: second/tick conversion (for modelled-clock metrics).
+        port: the twin input/output port this entity couples (multi-
+            port twins — the switch fabric — take one entity per port,
+            mirroring the per-port streams of the RTL coupling).
+        metrics, trace, provenance: the environment's observability
+            hooks, all optional and None-guarded.
+
+    Response cells are collected in :attr:`output_cells` as
+    ``(modelled_seconds, AtmCell)`` tuples and passed to
+    :attr:`on_output` when set — the same surface the RTL entity
+    exposes, so taps, comparators and sinks are reused unchanged.
+    """
+
+    level = "behav"
+
+    def __init__(self, twin: BehavioralTwin,
+                 timebase: Optional[TimeBase] = None,
+                 port: int = 0,
+                 metrics: Optional["MetricsRegistry"] = None,
+                 trace: Optional["TraceWriter"] = None,
+                 provenance: Optional["ProvenanceTracker"] = None
+                 ) -> None:
+        self.twin = twin
+        self.timebase = timebase if timebase is not None \
+            else twin.timebase
+        self.port = port
+        self.output_cells: List[Tuple[float, AtmCell]] = []
+        self.on_output: Optional[Callable[[float, AtmCell], None]] = None
+        self.cells_in = 0
+        self.ticks_in = 0
+        #: latest netsim time announced by a null message
+        self.horizon = 0.0
+        #: modelled time of the twin's latest activity on this port
+        self._last_activity = 0.0
+        #: netsim post time of the cell currently being evaluated —
+        #: twin outputs arrive synchronously inside send_cell, so this
+        #: pairs each response with its causing stimulus exactly (no
+        #: FIFO matching needed at zero delta)
+        self._current_post = 0.0
+        self._trace = trace
+        self._prov = provenance
+        self._ingress_hist = None
+        self._e2e_hist = None
+        if metrics is not None and metrics.enabled:
+            self._ingress_hist = metrics.histogram(
+                "cosim.cell_ingress_latency_s")
+            self._e2e_hist = metrics.histogram(
+                "cosim.cell_e2e_latency_s")
+        twin.bind_output(self._on_twin_output, port=port)
+
+    # ------------------------------------------------------------------
+    # Network-simulator-side API (the DutContract surface)
+    # ------------------------------------------------------------------
+    def send_cell(self, time: float, cell) -> None:
+        """Post one cell stamped with netsim *time*; the twin evaluates
+        it synchronously (zero-delta) and any response cells are
+        emitted before this call returns."""
+        if isinstance(cell, Packet):
+            cell = AtmCell.from_packet(cell)
+        self.cells_in += 1
+        if self._prov is not None:
+            self._prov.record_hop(cell.trace_id, "post", t=time,
+                                  hdl_s=self._last_activity,
+                                  level="behav")
+        self._current_post = time
+        done = self.twin.cell_arrival(time, cell, port=self.port)
+        if done > self._last_activity:
+            self._last_activity = done
+        if self._ingress_hist is not None:
+            self._ingress_hist.record(max(0.0, done - time))
+        if self._prov is not None:
+            self._prov.record_hop(cell.trace_id, "ingress", hdl_s=done)
+
+    def send_tariff_tick(self, time: float) -> None:
+        """Post a tariff-interval tick stamped with netsim *time*."""
+        tick = getattr(self.twin, "tariff_tick", None)
+        if tick is None:
+            raise ValueError("entity has no tick signal configured")
+        self.ticks_in += 1
+        tick(time)
+        if time > self._last_activity:
+            self._last_activity = time
+
+    def advance_time(self, time: float) -> None:
+        """Null message — pure bookkeeping at zero delta: the twin
+        holds no pending work, so there is nothing to release."""
+        if time > self.horizon:
+            self.horizon = time
+
+    def finish(self, time: Optional[float] = None) -> None:
+        """Settle the entity (a no-op beyond bookkeeping: eager
+        evaluation leaves no backlog, the behavioural counterpart of
+        the RTL drain-and-settle)."""
+        if time is not None:
+            self.advance_time(time)
+        if self._trace is not None:
+            self._trace.emit("finish", hdl_s=self._last_activity,
+                             residual=0, level="behav")
+
+    # ------------------------------------------------------------------
+    # Twin-side internals
+    # ------------------------------------------------------------------
+    def _on_twin_output(self, when: float, cell: AtmCell) -> None:
+        if when > self._last_activity:
+            self._last_activity = when
+        self.output_cells.append((when, cell))
+        if self._e2e_hist is not None:
+            self._e2e_hist.record(max(0.0, when - self._current_post))
+        if self._prov is not None:
+            self._prov.record_hop(cell.trace_id, "dut_out", hdl_s=when)
+        if self.on_output is not None:
+            self.on_output(when, cell)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def modelled_clocks(self) -> int:
+        """Whole DUT clocks of modelled activity — the behavioural
+        analogue of the RTL's executed clock count, and the basis of
+        the behavioural cyc/s benchmark dimension."""
+        return self.timebase.ticks_to_clocks(
+            self.timebase.to_ticks(self._last_activity))
+
+    def snapshot(self) -> Dict[str, object]:
+        """Per-entity metrics snapshot (no ``sync`` section — there is
+        no synchroniser to report on)."""
+        return {
+            "level": self.level,
+            "cells_in": self.cells_in,
+            "ticks_in": self.ticks_in,
+            "output_cells": len(self.output_cells),
+            "modelled_clocks": self.modelled_clocks,
+            "dut": self.twin.counters(),
+        }

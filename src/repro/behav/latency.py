@@ -1,0 +1,73 @@
+"""The fixed per-hop latency model of the behavioural twins.
+
+A behavioural twin processes whole cells in zero simulated delta time,
+but its outputs must still carry *plausible* timestamps — otherwise a
+mixed-level topology would see behavioural hops answer instantly while
+RTL hops take a cell time, and cross-level stream comparisons would
+reorder.  The model is deliberately simple and fixed (DESIGN.md
+discusses the rationale):
+
+* **serialisation** — an octet-serial line carries one cell per
+  :attr:`~repro.core.timebase.TimeBase.cell_time_seconds`; a cell
+  arriving while the line is busy waits for it
+  (:class:`SerialLine.occupy`).  This reproduces exactly the
+  store-and-forward latency the RTL pays clocking 53 octets through a
+  port.
+* **pipeline** — a fixed number of DUT clocks between ingress
+  completion and egress start (one clock for the port module and
+  policer, the GCU lookup latency for the switch fabric), matching the
+  RTL pipeline depth.
+
+No queueing-theoretic modelling beyond that: contention effects inside
+a twin reduce to the per-line busy times, which is the level of detail
+the equivalence harness can actually verify against the RTL.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.timebase import TimeBase
+
+__all__ = ["SerialLine", "hop_latency_seconds"]
+
+
+class SerialLine:
+    """Busy-time bookkeeping of one octet-serial cell line.
+
+    Tracks the time until which the line is occupied; cells occupy it
+    back to back, so a burst arriving faster than one cell per cell
+    time queues exactly like octets queue in an RTL transmit FIFO.
+    """
+
+    __slots__ = ("free_at",)
+
+    def __init__(self) -> None:
+        #: netsim seconds until which the line is busy
+        self.free_at = 0.0
+
+    def occupy(self, start: float, duration: float) -> float:
+        """Occupy the line for *duration* seconds from *start* (or from
+        the end of the current transfer, whichever is later); returns
+        the completion time."""
+        begin = start if start > self.free_at else self.free_at
+        done = begin + duration
+        self.free_at = done
+        return done
+
+    def backlog_cells(self, at: float, duration: float) -> int:
+        """Whole cells' worth of busy time still ahead at time *at* —
+        the behavioural analogue of an RTL transmit queue's depth."""
+        ahead = self.free_at - at
+        if ahead <= 0.0:
+            return 0
+        return int(math.ceil(ahead / duration - 1e-9))
+
+
+def hop_latency_seconds(timebase: TimeBase,
+                        pipeline_clocks: int = 1) -> float:
+    """Fixed pipeline latency of one behavioural hop: *pipeline_clocks*
+    DUT clocks in netsim seconds (the serialisation delay is modelled
+    separately by :class:`SerialLine`)."""
+    return timebase.to_seconds(
+        timebase.clocks_to_ticks(pipeline_clocks))

@@ -86,6 +86,10 @@ class RtlPinDevice(PinLevelDevice):
         self.output_signals = dict(output_signals)
         self.period = clock_period_ticks
         self.clocks_applied = 0
+        #: outport samples masked to zero because the signal held a
+        #: metavalue ('U'/'X'/'Z') — surfaced by the board interface's
+        #: stats snapshot so masked reads are observable, not silent.
+        self.metavalue_reads = 0
         for number in config.inports:
             if number not in self.input_signals:
                 raise ValueError(f"no DUT signal for inport {number}")
@@ -108,8 +112,13 @@ class RtlPinDevice(PinLevelDevice):
         for number, signal in self.output_signals.items():
             try:
                 responses[number] = signal.as_int()
-            except Exception:
-                responses[number] = 0  # metavalues read back as zeros
+            except ValueError:
+                # Metavalues ('U'/'X'/'Z') read back as zeros — that is
+                # what a real pin sampler does with an undriven line.
+                # Only logic-value errors are masked; programming bugs
+                # (AttributeError, TypeError, ...) must propagate.
+                responses[number] = 0
+                self.metavalue_reads += 1
         for number, value in responses.items():
             mapping = self.config.outports[number]
             self.config._scatter(frame, mapping.bit_positions(), value,

@@ -16,9 +16,13 @@ Small operational conveniences for exploring the reproduction:
 * ``trace export`` — convert an existing JSONL trace into a
   ``chrome://tracing``/Perfetto-loadable JSON;
 * ``sweep`` — fan a declarative scenario matrix (traffic model ×
-  port count × seed × sync mode) out over worker processes and
-  aggregate the results into ``BENCH_sweep.json`` plus a human table
-  (see ``docs/api/sweep.md``).
+  port count × seed × sync mode × abstraction level) out over worker
+  processes and aggregate the results into ``BENCH_sweep.json`` plus
+  a human table (see ``docs/api/sweep.md``);
+* ``equiv`` — replay identical seeded cell streams through the RTL
+  designs and their behavioural twins and diff the contract surface
+  (output cells, records, policing verdicts, counters); exit 1 on
+  any divergence (see ``docs/api/behav.md``).
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ _SUBPACKAGES = [
     ("atm", "ATM model suite (cells, switching, policing, accounting)"),
     ("hdl", "VSS-equivalent event-driven HDL simulation kernel"),
     ("rtl", "RTL device-under-test designs"),
+    ("behav", "behavioural DUT twins + cross-level equivalence"),
     ("board", "RAVEN-equivalent hardware test board model"),
     ("core", "CASTANET: coupling, sync protocol, interfaces, compare"),
     ("obs", "observability: metrics registry, decision traces"),
@@ -195,7 +200,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     print("\nsynchronisation:")
     for entity in report["entities"]:
-        sync = entity["sync"]
+        sync = entity.get("sync")
+        if not sync:
+            # Behavioural entities have no synchroniser to report.
+            print(f"  level {entity.get('level', '?')} entity — "
+                  "no sync protocol")
+            continue
         print(f"  windows granted     {sync['windows_granted']}")
         print(f"  null messages       {sync['null_messages']}")
         print(f"  null msgs coalesced "
@@ -326,6 +336,50 @@ def _csv(values: str) -> List[str]:
     return [item.strip() for item in values.split(",") if item.strip()]
 
 
+def _cmd_equiv(args: argparse.Namespace) -> int:
+    # Lazy import — the harness builds the full RTL + behavioural
+    # stacks.
+    from repro.behav import KINDS, run_equivalence
+
+    kinds = _csv(args.duts) if args.duts else list(KINDS)
+    unknown = [kind for kind in kinds if kind not in KINDS]
+    if unknown:
+        print(f"unknown DUT kind(s): {', '.join(unknown)}; "
+              f"known: {', '.join(KINDS)}", file=sys.stderr)
+        return 2
+    report = run_equivalence(kinds=kinds, cells=args.cells,
+                             seed=args.seed, clocking=args.clocking)
+    print(f"cross-level equivalence — {args.cells} cells/kind, "
+          f"seed {args.seed}, {args.clocking} clocking")
+    for kind, entry in report["duts"].items():
+        streams = entry["streams"]
+        cells_out = sum(s["rtl_count"] for s in streams)
+        verdict = "match" if entry["passed"] else "DIVERGED"
+        print(f"  {kind:<12} {verdict:<9} "
+              f"{cells_out} cell(s) out on {entry['ports']} port(s), "
+              f"{entry['records']['rtl_count']} record(s), "
+              f"{entry['decisions']['rtl_count']} decision(s)")
+        if not entry["passed"]:
+            for port, stream in enumerate(streams):
+                for mm in stream["mismatches"]:
+                    print(f"    port {port} cell {mm['index']}: "
+                          f"rtl={mm['rtl']} behav={mm['behav']}")
+            for label in ("records", "decisions"):
+                for mm in entry[label]["mismatches"]:
+                    print(f"    {label} {mm['index']}: "
+                          f"rtl={mm['rtl']} behav={mm['behav']}")
+            if not entry["counters"]["matched"]:
+                print(f"    counters rtl={entry['counters']['rtl']}")
+                print(f"    counters behav="
+                      f"{entry['counters']['behav']}")
+    if args.json:
+        path = Path(args.json)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True)
+                        + "\n")
+        print(f"\nwrote {path}")
+    return 0 if report["passed"] else 1
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     # Lazy import (same reason as stats: the sweep pulls in the whole
     # co-simulation stack).
@@ -341,6 +395,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 ports=[int(v) for v in _csv(args.ports)],
                 seeds=[int(v) for v in _csv(args.seeds)],
                 sync=_csv(args.sync),
+                level=_csv(args.levels),
                 cells=args.cells, load=args.load)
         if args.trace_dir:
             spec.trace_dir = args.trace_dir
@@ -474,6 +529,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     sweep.add_argument("--sync", default="conservative",
                        help="comma list of sync modes "
                             "(conservative,lockstep)")
+    sweep.add_argument("--levels", default="rtl",
+                       help="comma list of DUT abstraction levels "
+                            "(rtl,behav; default rtl)")
     sweep.add_argument("--cells", type=int, default=32,
                        help="cell budget per run (default 32)")
     sweep.add_argument("--load", type=float, default=0.25,
@@ -492,6 +550,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="sweep JSON output path "
                             "(default BENCH_sweep.json; '' disables)")
     sweep.set_defaults(fn=_cmd_sweep)
+    equiv = commands.add_parser(
+        "equiv",
+        help="diff the behavioural DUT twins against the RTL designs "
+             "on identical seeded cell streams")
+    equiv.add_argument("--duts", default=None,
+                       help="comma list of DUT kinds (port_module,"
+                            "switch,policer,accounting; default all)")
+    equiv.add_argument("--cells", type=int, default=64,
+                       help="cells per DUT kind (default 64)")
+    equiv.add_argument("--seed", type=int, default=0,
+                       help="base RNG seed (default 0)")
+    equiv.add_argument("--clocking", default="cycle",
+                       choices=("cycle", "event"),
+                       help="RTL-side clocking scheme (default cycle)")
+    equiv.add_argument("--json",
+                       default=str(_repo_root() / "BENCH_equiv.json"),
+                       help="report JSON output path "
+                            "(default BENCH_equiv.json; '' disables)")
+    equiv.set_defaults(fn=_cmd_equiv)
     args = parser.parse_args(argv)
     if not getattr(args, "fn", None):
         parser.print_help()

@@ -11,6 +11,7 @@ from .board_interface import (BoardInterfaceModel, IN_ATMDATA, IN_CELLSYNC,
                               IN_TICK, IN_VALID, OUT_REC_VALID,
                               OUT_REC_WORD, cell_stream_pin_config)
 from .comparison import Mismatch, StreamComparator, VerificationReport
+from .contract import DUT_LEVELS, DutContract, resolve_level
 from .cosim import (CELL_MSG, CosimulationEntity,
                     ResidualBacklogWarning, TICK_MSG)
 from .environment import CoVerificationEnvironment, TapModule
@@ -34,6 +35,7 @@ __all__ = [
     "IN_VALID", "OUT_REC_VALID", "OUT_REC_WORD",
     "cell_stream_pin_config",
     "Mismatch", "StreamComparator", "VerificationReport",
+    "DUT_LEVELS", "DutContract", "resolve_level",
     "CELL_MSG", "CosimulationEntity", "ResidualBacklogWarning",
     "TICK_MSG",
     "CoVerificationEnvironment", "TapModule",

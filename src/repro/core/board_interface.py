@@ -170,6 +170,10 @@ class BoardInterfaceModel:
             "record_words": len(self.record_words),
             "hw_time_s": hw_time,
             "total_wall_time_s": self.total_wall_time(),
+            # Outport samples the device masked to zero on a metavalue
+            # read; devices without the counter report zero.
+            "metavalue_reads": getattr(self.device, "metavalue_reads",
+                                       0),
             "board": self.board.stats_snapshot(),
         }
 

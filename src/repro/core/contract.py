@@ -1,0 +1,111 @@
+"""The common DUT port contract shared by every abstraction level.
+
+The paper's central reuse claim is that *one* testbench drives the
+design at every abstraction level.  :class:`DutContract` is that claim
+made structural: it extracts the network-simulator-side endpoint API
+of :class:`~repro.core.cosim.CosimulationEntity` (the RTL coupling)
+into an abstract interface that behavioural twins
+(:mod:`repro.behav`) implement as well.  Everything above the contract
+— taps, traffic sources, comparators, the environment's drain and
+metrics plumbing — is level-agnostic: it posts whole cells stamped
+with netsim time and collects whole cells back, never caring whether
+an octet-serial HDL kernel or a zero-delta cell-level model produced
+them.
+
+Levels:
+
+* ``"rtl"`` — :class:`~repro.core.cosim.CosimulationEntity`: the DUT
+  is RTL in the HDL simulator, coupled through the conservative
+  synchronisation protocol (cell ↔ octet-serial signal conditioning).
+* ``"behav"`` — :class:`~repro.behav.entity.BehavioralEntity`: the DUT
+  is a cell-granularity behavioural twin evaluated eagerly in netsim
+  time; no HDL kernel and no synchroniser exist for it.
+
+:data:`DUT_LEVELS` names the concrete levels; ``"auto"`` is accepted
+wherever a level is *selected* (environment default, sweep axis) and
+means "defer to the per-instance/environment default".
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..atm.cell import AtmCell
+
+__all__ = ["DutContract", "DUT_LEVELS", "resolve_level"]
+
+#: the concrete abstraction levels a DUT can be coupled at
+DUT_LEVELS = ("rtl", "behav")
+
+
+def resolve_level(level: Optional[str], default: str = "auto",
+                  fallback: str = "rtl") -> str:
+    """Resolve a per-DUT *level* against a *default* policy.
+
+    An explicit ``"rtl"``/``"behav"`` wins; ``None`` defers to
+    *default* (typically the environment's ``dut_level``, itself
+    seeded from the ``REPRO_DUT_LEVEL`` environment variable); and
+    ``"auto"`` — at either position — resolves to *fallback* so that
+    mixed-level scenarios can pin individual instances while the rest
+    of the topology follows the environment policy.
+    """
+    chosen = level if level is not None else default
+    if chosen == "auto":
+        chosen = fallback
+    if chosen not in DUT_LEVELS:
+        raise ValueError(
+            f"unknown DUT level {chosen!r}; known: "
+            f"{', '.join(DUT_LEVELS)} (or 'auto')")
+    return chosen
+
+
+class DutContract(abc.ABC):
+    """Abstract netsim-side endpoint of one coupled DUT.
+
+    Concrete implementations set :attr:`level` and provide the message
+    API below.  Shared attributes (established by implementations):
+
+    * ``output_cells`` — ``List[(seconds, AtmCell)]`` of response
+      cells, stamped with the time the cell left the DUT (HDL time for
+      RTL, modelled time for behavioural).
+    * ``on_output`` — optional ``(seconds, AtmCell)`` callback invoked
+      for every response cell.
+    * ``cells_in`` / ``ticks_in`` — stimulus counters.
+    """
+
+    #: abstraction level of this endpoint ("rtl" | "behav")
+    level: str = "rtl"
+    output_cells: List[Tuple[float, AtmCell]]
+    on_output: Optional[Callable[[float, AtmCell], None]]
+    cells_in: int
+    ticks_in: int
+
+    @abc.abstractmethod
+    def send_cell(self, time: float, cell) -> None:
+        """Post one cell (an :class:`~repro.atm.cell.AtmCell` or a
+        netsim packet) stamped with netsim *time*."""
+
+    @abc.abstractmethod
+    def send_tariff_tick(self, time: float) -> None:
+        """Post a tariff-interval tick stamped with netsim *time*."""
+
+    @abc.abstractmethod
+    def advance_time(self, time: float) -> None:
+        """Null message: the network simulator reached *time*."""
+
+    @abc.abstractmethod
+    def finish(self, time: Optional[float] = None) -> None:
+        """Release pending stimulus and settle the DUT."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> Dict[str, object]:
+        """One machine-readable metrics snapshot of this endpoint.
+
+        Always contains ``level``, ``cells_in``, ``ticks_in`` and
+        ``output_cells``; RTL endpoints add the sender/synchroniser
+        statistics, behavioural endpoints their modelled-time
+        counters.  :meth:`CoVerificationEnvironment.metrics
+        <repro.core.environment.CoVerificationEnvironment.metrics>`
+        aggregates these per-entity snapshots.
+        """

@@ -24,6 +24,7 @@ from ..hdl.signal import Signal
 from ..hdl.simulator import Simulator
 from ..netsim.packet import Packet
 from ..rtl.cell_stream import CellReceiver, CellSender, CellStreamPort
+from .contract import DutContract
 from .mapping import CellMapper
 from .messages import TimestampedMessage
 from .sync import ConservativeSynchronizer, LockstepSynchronizer
@@ -49,7 +50,7 @@ class ResidualBacklogWarning(RuntimeWarning):
     collected — ``output_cells`` is then truncated."""
 
 
-class CosimulationEntity:
+class CosimulationEntity(DutContract):
     """The HDL-side endpoint of the simulator coupling.
 
     Args:
@@ -83,6 +84,8 @@ class CosimulationEntity:
     edge dispatch, with the event-driven generator clock it runs the
     seed scheduler — byte-identical traces either way.
     """
+
+    level = "rtl"
 
     def __init__(self, hdl: Simulator, clk: Signal, timebase: TimeBase,
                  rx_port: CellStreamPort,
@@ -234,6 +237,21 @@ class CosimulationEntity:
                    if collecting else "")
                 + " — output_cells is truncated; raise max_settle_cells",
                 ResidualBacklogWarning, stacklevel=2)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Per-entity metrics snapshot: stimulus/response counters,
+        sender statistics and the synchroniser's exchange counts."""
+        return {
+            "level": self.level,
+            "cells_in": self.cells_in,
+            "ticks_in": self.ticks_in,
+            "output_cells": len(self.output_cells),
+            "sender_backlog": self.sender.backlog,
+            "sender_playback": self.sender.playback,
+            "sender_template_hits": self.sender.template_hits,
+            "sender_template_misses": self.sender.template_misses,
+            "sync": self.sync.stats.as_dict(),
+        }
 
     # ------------------------------------------------------------------
     # HDL-side internals

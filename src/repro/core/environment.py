@@ -19,6 +19,7 @@ coupled DUT(s), and (optionally) forwards it unchanged.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
@@ -33,6 +34,7 @@ from ..obs.trace import TraceWriter
 from ..rtl.cell_stream import CellStreamPort
 from .board_interface import BoardInterfaceModel
 from .comparison import StreamComparator, VerificationReport
+from .contract import DUT_LEVELS, DutContract, resolve_level
 from .cosim import CosimulationEntity
 from .timebase import TimeBase
 
@@ -94,8 +96,20 @@ class CoVerificationEnvironment:
                  trace: Optional[Union[str, Path,
                                        TraceWriter]] = None,
                  provenance_sample: Optional[int] = 1,
-                 rtl_backend: Optional[str] = None) -> None:
+                 rtl_backend: Optional[str] = None,
+                 dut_level: Optional[str] = None) -> None:
         self.name = name
+        # Default abstraction level for swappable DUTs built on this
+        # environment ("rtl" | "behav" | "auto"); ``None`` defers to
+        # the REPRO_DUT_LEVEL environment variable, itself defaulting
+        # to "auto" (which resolves to "rtl" — the seed behaviour).
+        if dut_level is None:
+            dut_level = os.environ.get("REPRO_DUT_LEVEL", "auto")
+        if dut_level not in DUT_LEVELS + ("auto",):
+            raise ValueError(
+                f"dut_level must be one of {', '.join(DUT_LEVELS)} or "
+                f"'auto', got {dut_level!r}")
+        self.dut_level = dut_level
         # Observability: the registry collects lag/queue-wait/latency
         # histograms from the synchronisers and entities; *trace* (a
         # path or a TraceWriter) additionally streams every
@@ -144,7 +158,7 @@ class CoVerificationEnvironment:
                 f"clocking must be 'cycle' or 'event', got {clocking!r}")
         self.clocking = clocking
         self.lockstep = lockstep
-        self.entities: List[CosimulationEntity] = []
+        self.entities: List[DutContract] = []
         self.board_interfaces: List[BoardInterfaceModel] = []
         self.comparators: List[StreamComparator] = []
         self._finished = False
@@ -153,12 +167,65 @@ class CoVerificationEnvironment:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def add_dut(self, rx_port: CellStreamPort,
+    def resolved_dut_level(self, level: Optional[str] = None) -> str:
+        """Resolve a per-DUT *level* override against this
+        environment's ``dut_level`` policy (see
+        :func:`~repro.core.contract.resolve_level`)."""
+        return resolve_level(level, default=self.dut_level)
+
+    def add_dut(self, rx_port: Optional[CellStreamPort] = None,
                 tx_port: Optional[CellStreamPort] = None,
                 tick_signal=None,
-                deltas: Optional[Dict[str, int]] = None
-                ) -> CosimulationEntity:
-        """Couple a DUT living in ``env.hdl`` into the environment."""
+                deltas: Optional[Dict[str, int]] = None,
+                *, level: Optional[str] = None,
+                behav=None, behav_port: int = 0) -> DutContract:
+        """Couple a DUT into the environment at either abstraction
+        level.
+
+        RTL form (the seed API, unchanged): pass the HDL-side ports —
+        ``rx_port`` and optionally ``tx_port``/``tick_signal``/
+        ``deltas`` — and a :class:`CosimulationEntity` with its own
+        synchroniser is created.
+
+        Behavioural form: pass ``behav=`` (a twin from
+        :mod:`repro.behav.twins`, plus ``behav_port`` for multi-port
+        twins) and a :class:`~repro.behav.entity.BehavioralEntity` is
+        created — no HDL kernel or synchroniser involvement.
+
+        *level* is a consistency assertion, not a selector: the form of
+        the call already fixes the level, so an explicit *level*
+        contradicting it raises.  (The environment's ``dut_level``
+        policy influences *builders* — see
+        :func:`repro.behav.factory.build_dut` — not direct couplings,
+        so existing RTL call sites keep working under
+        ``REPRO_DUT_LEVEL=behav``.)
+        """
+        if behav is not None:
+            if resolve_level(level, default="behav") != "behav":
+                raise ValueError(
+                    f"level={level!r} contradicts the behavioural twin "
+                    "passed via behav=")
+            if (rx_port is not None or tx_port is not None
+                    or tick_signal is not None):
+                raise ValueError(
+                    "behavioural DUTs take no HDL ports; drop "
+                    "rx_port/tx_port/tick_signal or couple at "
+                    "level='rtl'")
+            from ..behav.entity import BehavioralEntity
+            entity: DutContract = BehavioralEntity(
+                behav, timebase=self.timebase, port=behav_port,
+                metrics=self.metrics_registry, trace=self.trace,
+                provenance=self.provenance)
+            self.entities.append(entity)
+            return entity
+        if rx_port is None:
+            raise TypeError(
+                "add_dut requires rx_port for an RTL DUT (or behav= "
+                "for a behavioural twin)")
+        if resolve_level(level, default="rtl") != "rtl":
+            raise ValueError(
+                "level='behav' requires a behavioural twin — pass "
+                "behav=<twin> instead of HDL ports")
         entity = CosimulationEntity(self.hdl, self.clk, self.timebase,
                                     rx_port=rx_port, tx_port=tx_port,
                                     tick_signal=tick_signal,
@@ -176,7 +243,7 @@ class CoVerificationEnvironment:
         self.board_interfaces.append(interface)
 
     def make_cell_tap(self, name: str,
-                      *entities: CosimulationEntity,
+                      *entities: DutContract,
                       forward: bool = True) -> TapModule:
         """Create a tap that feeds every given DUT entity (add it to a
         node and wire it into the topology yourself)."""
@@ -202,18 +269,29 @@ class CoVerificationEnvironment:
             return self.network.run(until=until, max_events=max_events)
 
     def finish(self) -> None:
-        """Drain every coupled simulator and board interface."""
+        """Drain every coupled simulator and board interface.
+
+        The done-latch is set only after every entity drained and
+        every board interface flushed: a raising entity used to latch
+        ``_finished`` on the way in, so the retry after a fixed cause
+        silently skipped the drain and returned truncated outputs.
+        The trace sink is closed in a ``finally`` either way — on
+        failure the records emitted so far are exactly the evidence
+        needed to debug it.
+        """
         if self._finished:
             return
-        self._finished = True
         horizon = self.network.kernel.now
-        with self.metrics_registry.timer("env.finish_wall_s"):
-            for entity in self.entities:
-                entity.finish(horizon)
-            for interface in self.board_interfaces:
-                interface.flush()
-        if self.trace is not None:
-            self.trace.close()
+        try:
+            with self.metrics_registry.timer("env.finish_wall_s"):
+                for entity in self.entities:
+                    entity.finish(horizon)
+                for interface in self.board_interfaces:
+                    interface.flush()
+            self._finished = True
+        finally:
+            if self.trace is not None:
+                self.trace.close()
 
     def close(self) -> None:
         """Close the trace sink unconditionally (idempotent).
@@ -265,20 +343,8 @@ class CoVerificationEnvironment:
             "lockstep": self.lockstep,
             "hdl_kernel": self.hdl.stats_snapshot(),
             "netsim_kernel": self.network.kernel.stats_snapshot(),
-            "entities": [
-                {
-                    "cells_in": entity.cells_in,
-                    "ticks_in": entity.ticks_in,
-                    "output_cells": len(entity.output_cells),
-                    "sender_backlog": entity.sender.backlog,
-                    "sender_playback": entity.sender.playback,
-                    "sender_template_hits": entity.sender.template_hits,
-                    "sender_template_misses":
-                        entity.sender.template_misses,
-                    "sync": entity.sync.stats.as_dict(),
-                }
-                for entity in self.entities
-            ],
+            "entities": [entity.snapshot()
+                         for entity in self.entities],
             "board_interfaces": [
                 interface.stats_snapshot()
                 for interface in self.board_interfaces

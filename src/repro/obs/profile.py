@@ -51,11 +51,14 @@ def attach_profiling(env: "CoVerificationEnvironment") -> List[str]:
         lambda: registry.timer("prof.netsim_run_s")
     env.hdl.profile = lambda: registry.timer("prof.hdl_run_s")
     for entity in env.entities:
-        if hasattr(entity.sync, "profile"):
+        # Behavioural entities have neither a synchroniser nor a cell
+        # sender — nothing to sample on a zero-delta endpoint.
+        if hasattr(entity, "sync") and hasattr(entity.sync, "profile"):
             entity.sync.profile = \
                 lambda: registry.timer("prof.sync_advance_s")
-        entity.sender.profile = \
-            lambda: registry.timer("prof.cell_compile_s")
+        if hasattr(entity, "sender"):
+            entity.sender.profile = \
+                lambda: registry.timer("prof.cell_compile_s")
     return list(PROFILE_METRICS)
 
 
@@ -64,6 +67,7 @@ def detach_profiling(env: "CoVerificationEnvironment") -> None:
     env.network.kernel.profile = None
     env.hdl.profile = None
     for entity in env.entities:
-        if hasattr(entity.sync, "profile"):
+        if hasattr(entity, "sync") and hasattr(entity.sync, "profile"):
             entity.sync.profile = None
-        entity.sender.profile = None
+        if hasattr(entity, "sender"):
+            entity.sender.profile = None

@@ -132,6 +132,15 @@ class AccountingUnitRtl(Component):
         """Record words queued but not yet streamed out."""
         return len(self._out_fifo)
 
+    def counters(self) -> Dict[str, int]:
+        """Management-plane counter snapshot — the level-agnostic
+        surface the cross-level equivalence harness diffs."""
+        return {
+            "cells_seen": self.cells_seen,
+            "unknown_cells": self.unknown_cells,
+            "records_emitted": self.records_emitted,
+        }
+
     # -- fast path ------------------------------------------------------------
     def _tick(self) -> None:
         self._handle_tariff_tick()

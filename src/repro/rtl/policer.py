@@ -111,6 +111,16 @@ class UpcPolicerRtl(Component):
         """Remove a connection's policing contract."""
         self._contracts.pop((vpi, vci), None)
 
+    def counters(self) -> Dict[str, int]:
+        """Management-plane counter snapshot — the level-agnostic
+        surface the cross-level equivalence harness diffs."""
+        return {
+            "cells_conforming": self.cells_conforming,
+            "cells_non_conforming": self.cells_non_conforming,
+            "unpoliced_cells": self.unpoliced_cells,
+            "idle_cells": self.idle_cells,
+        }
+
     # -- fast path ------------------------------------------------------------
     def _tick(self) -> None:
         self._clock_count += 1

@@ -73,6 +73,17 @@ class AtmPortModuleRtl(Component):
         """Clear one translation RAM entry."""
         self._table.pop((vpi, vci), None)
 
+    def counters(self) -> Dict[str, int]:
+        """Management-plane counter snapshot — the level-agnostic
+        surface the cross-level equivalence harness diffs."""
+        return {
+            "cells_received": self.cells_received,
+            "cells_translated": self.cells_translated,
+            "hec_errors": self.hec_errors,
+            "unknown_connections": self.unknown_connections,
+            "idle_cells": self.idle_cells,
+        }
+
     # -- fast path ------------------------------------------------------------
     def _tick(self) -> None:
         self._receive_octet()

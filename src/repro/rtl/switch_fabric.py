@@ -109,6 +109,18 @@ class AtmSwitchRtl(Component):
         """Remove one connection from the GCU's table."""
         self.gcu.remove(in_port, vpi, vci)
 
+    def counters(self) -> Dict[str, int]:
+        """Management-plane counter snapshot — the level-agnostic
+        surface the cross-level equivalence harness diffs."""
+        return {
+            "cells_received": self.cells_received,
+            "cells_switched": self.cells_switched,
+            "cells_dropped_unknown": self.cells_dropped_unknown,
+            "cells_dropped_overflow": self.cells_dropped_overflow,
+            "hec_errors": self.hec_errors,
+            "idle_cells": self.idle_cells,
+        }
+
     # ------------------------------------------------------------------
     # Fast path
     # ------------------------------------------------------------------

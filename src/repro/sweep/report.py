@@ -69,4 +69,55 @@ def render_sweep_report(payload: Dict[str, Any]) -> str:
             f"{execution.get('serial_fallbacks', 0)} serial "
             f"fallback(s), wall "
             f"{execution.get('sweep_wall_s', 0.0):.2f} s")
+    lines.extend(_failure_lines(payload["runs"]))
+    lines.extend(_retry_lines(execution.get("retry_log", [])))
     return "\n".join(lines)
+
+
+def _detail_lines(label: str, detail: Dict[str, Any]) -> List[str]:
+    """One failure detail as report lines: the exception headline and
+    the worker-side traceback (indented so the report stays greppable
+    by run name at column zero)."""
+    lines = []
+    kind = detail.get("type")
+    message = detail.get("message")
+    if kind is not None:
+        lines.append(f"  {label}: {kind}: {message}")
+    elif "timeout_s" in detail:
+        lines.append(f"  {label}: exceeded "
+                     f"{detail['timeout_s']:g} s budget")
+    elif "exitcode" in detail:
+        lines.append(f"  {label}: worker died "
+                     f"(exit code {detail['exitcode']})")
+    else:
+        lines.append(f"  {label}: {detail!r}")
+    for raw in (detail.get("traceback") or "").rstrip().splitlines():
+        lines.append(f"    {raw}")
+    return lines
+
+
+def _failure_lines(runs: List[Dict[str, Any]]) -> List[str]:
+    """Per-failure detail section: the exception type, message and
+    full worker traceback for every non-ok run."""
+    failed = [run for run in runs if run.get("status") != "ok"]
+    if not failed:
+        return []
+    lines = ["", "failures:"]
+    for run in failed:
+        detail = run.get("detail") or {}
+        lines.extend(_detail_lines(
+            f"{run['name']} [{run.get('status', 'error')}]", detail))
+    return lines
+
+
+def _retry_lines(retry_log: List[Dict[str, Any]]) -> List[str]:
+    """Attempts that were retried or degraded (and may have succeeded
+    afterwards — the failure that *motivated* each retry)."""
+    if not retry_log:
+        return []
+    lines = ["", "retried attempts:"]
+    for entry in retry_log:
+        lines.extend(_detail_lines(
+            f"{entry['name']} attempt {entry['attempt']} "
+            f"[{entry['kind']}]", entry.get("detail") or {}))
+    return lines

@@ -30,6 +30,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import traceback
 from multiprocessing.connection import wait as _conn_wait
 from typing import Any, Dict, List, Optional
 
@@ -49,14 +50,17 @@ def _worker_main(conn, run: Dict[str, Any], attempt: int) -> None:
     A scenario exception is converted into an ``("error", info)``
     message — only hard process death leaves the parent without a
     message, which is exactly the crash signal the retry policy keys
-    on.
+    on.  The info dict carries the formatted traceback: the exception
+    object dies with the worker process, so type and message alone
+    used to be all a failed sweep run ever reported.
     """
     try:
         result = execute_run(run, attempt=attempt, in_worker=True)
         conn.send(("ok", result))
     except Exception as exc:
         conn.send(("error", {"type": type(exc).__name__,
-                             "message": str(exc)}))
+                             "message": str(exc),
+                             "traceback": traceback.format_exc()}))
     finally:
         conn.close()
 
@@ -127,7 +131,10 @@ class SweepRunner:
                       "start_method": self._ctx.get_start_method(),
                       "workers_spawned": 0, "crashes": 0, "timeouts": 0,
                       "retries": 0, "serial_fallbacks": 0,
-                      "degraded_to_serial": False}
+                      "degraded_to_serial": False,
+                      # one entry per retried/degraded attempt, with
+                      # the failure detail that motivated it
+                      "retry_log": []}
         if self.jobs == 1:
             results = {run.name: self._run_serial(run) for run in runs}
         else:
@@ -153,7 +160,8 @@ class SweepRunner:
         except Exception as exc:
             result = self._failure_result(
                 run, "error", {"type": type(exc).__name__,
-                               "message": str(exc)})
+                               "message": str(exc),
+                               "traceback": traceback.format_exc()})
         result["mode"] = mode
         result["attempts"] = attempt
         return result
@@ -259,6 +267,9 @@ class SweepRunner:
         self.stats["crashes" if kind == "crash" else "timeouts"] += 1
         if attempt < MAX_ATTEMPTS:
             self.stats["retries"] += 1
+            self.stats["retry_log"].append(
+                {"name": run.name, "attempt": attempt, "kind": kind,
+                 "detail": payload})
             pending.append((run, attempt + 1))
             return
         if kind == "timeout":
@@ -270,6 +281,9 @@ class SweepRunner:
         # Second crash: degrade this run to serial execution so its
         # result (or a caught error) survives without a worker.
         self.stats["serial_fallbacks"] += 1
+        self.stats["retry_log"].append(
+            {"name": run.name, "attempt": attempt, "kind": kind,
+             "detail": payload})
         result = self._run_serial(run, attempt=attempt + 1,
                                   mode="serial-fallback")
         results[run.name] = result
@@ -282,7 +296,8 @@ class SweepRunner:
             "name": run.name,
             "params": {"traffic": run.traffic, "ports": run.ports,
                        "seed": run.seed, "sync": run.sync,
-                       "cells": run.cells, "load": run.load},
+                       "cells": run.cells, "load": run.load,
+                       "level": run.level},
             "status": status,
             "passed": False,
             "detail": detail,

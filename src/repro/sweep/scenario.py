@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Tuple
 
 from ..atm import AccountingUnit, AtmCell, AtmSwitch, Tariff
+from ..behav import AccountingUnitBehav
 from ..core import CoVerificationEnvironment, StreamComparator, TimeBase
 from ..hdl import RisingEdge
 from ..netsim import SinkModule
@@ -92,9 +93,16 @@ def _build_and_run(run: Dict[str, Any]) -> Dict[str, Any]:
         Path(trace_file).parent.mkdir(parents=True, exist_ok=True)
     env = CoVerificationEnvironment(name=f"sweep.{run['name']}",
                                     timebase=timebase, lockstep=lockstep,
-                                    trace=trace_file)
-    dut = AccountingUnitRtl(env.hdl, "acct", env.clk)
-    entity = env.add_dut(rx_port=dut.rx, tick_signal=dut.tariff_tick)
+                                    trace=trace_file,
+                                    dut_level=run.get("level"))
+    level = env.resolved_dut_level()
+    if level == "behav":
+        dut = AccountingUnitBehav("acct", timebase=timebase)
+        entity = env.add_dut(behav=dut)
+    else:
+        dut = AccountingUnitRtl(env.hdl, "acct", env.clk)
+        entity = env.add_dut(rx_port=dut.rx,
+                             tick_signal=dut.tariff_tick)
     reference = AccountingUnit(drop_unknown=True)
 
     switch = AtmSwitch(env.network, "switch", num_ports=ports,
@@ -131,36 +139,41 @@ def _build_and_run(run: Dict[str, Any]) -> Dict[str, Any]:
         env.network.add_link(switch.node, port, host, 0,
                              rate_bps=155.52e6)
 
-    # Record-bus monitor: collect the DUT's 32-bit record words.
+    # Record-bus monitor (RTL only): collect the DUT's 32-bit record
+    # words.  The behavioural twin accumulates whole record tuples.
     words: List[int] = []
+    if level == "rtl":
+        def _monitor():
+            while True:
+                yield RisingEdge(env.clk)
+                if dut.rec_valid.value == "1":
+                    words.append(dut.rec_word.as_int())
 
-    def _monitor():
-        while True:
-            yield RisingEdge(env.clk)
-            if dut.rec_valid.value == "1":
-                words.append(dut.rec_word.as_int())
-
-    env.hdl.add_generator("sweep.records", _monitor())
+        env.hdl.add_generator("sweep.records", _monitor())
 
     start = _time.perf_counter()
     try:
         env.run()
         entity.send_tariff_tick(env.network.kernel.now + cell_time)
         env.finish()
-        # Drain the record FIFO: the tariff tick queues records that
-        # keep clocking out after the protocol drain.
-        env.hdl.run(until=env.hdl.now
-                    + 64 * timebase.clock_period_ticks)
+        if level == "rtl":
+            # Drain the record FIFO: the tariff tick queues records
+            # that keep clocking out after the protocol drain.
+            env.hdl.run(until=env.hdl.now
+                        + 64 * timebase.clock_period_ticks)
     finally:
         # A failed run still flushes its partial trace — that stream
         # is exactly the evidence needed to debug the failure.
         env.close()
     wall = _time.perf_counter() - start
 
-    whole = len(words) // RECORD_WORDS
-    dut_records: List[Tuple[int, ...]] = [
-        tuple(words[i * RECORD_WORDS:(i + 1) * RECORD_WORDS])
-        for i in range(whole)]
+    if level == "behav":
+        dut_records: List[Tuple[int, ...]] = list(dut.records)
+    else:
+        whole = len(words) // RECORD_WORDS
+        dut_records = [
+            tuple(words[i * RECORD_WORDS:(i + 1) * RECORD_WORDS])
+            for i in range(whole)]
     reference_records = [
         (r.vpi, r.vci, r.interval, r.cells_clp0, r.cells_clp1,
          r.charge_units) for r in reference.close_interval()]
@@ -170,8 +183,17 @@ def _build_and_run(run: Dict[str, Any]) -> Dict[str, Any]:
     comparator.extend_observed(dut_records)
     report = comparator.compare()
 
-    hdl_clocks = env.hdl.now // timebase.clock_period_ticks
-    sync = entity.sync.stats.as_dict()
+    if level == "behav":
+        # No HDL kernel ran: clocks are the modelled activity span,
+        # and there is no synchroniser to report exchanges for.
+        hdl_clocks = entity.modelled_clocks
+        sync = {}
+        sync_exchanges = 0
+    else:
+        hdl_clocks = env.hdl.now // timebase.clock_period_ticks
+        sync = entity.sync.stats.as_dict()
+        sync_exchanges = int(sync["messages_posted"]
+                             + sync["null_messages"])
     instruments = env.metrics_registry.snapshot()
     latency = instruments["histograms"].get(
         "cosim.cell_ingress_latency_s")
@@ -179,7 +201,8 @@ def _build_and_run(run: Dict[str, Any]) -> Dict[str, Any]:
         "name": run["name"],
         "params": {"traffic": run["traffic"], "ports": ports,
                    "seed": seed, "sync": run["sync"],
-                   "cells": int(run["cells"]), "load": load},
+                   "cells": int(run["cells"]), "load": load,
+                   "level": level},
         "status": "ok",
         "passed": report.passed,
         "comparison": {
@@ -195,8 +218,7 @@ def _build_and_run(run: Dict[str, Any]) -> Dict[str, Any]:
         "hdl_events": env.hdl.events_executed,
         "netsim_events": env.network.kernel.executed_events,
         "sync": sync,
-        "sync_exchanges": int(sync["messages_posted"]
-                              + sync["null_messages"]),
+        "sync_exchanges": sync_exchanges,
         "latency": latency,
         "wall_s": wall,
         "cycles_per_s": hdl_clocks / wall if wall > 0 else 0.0,

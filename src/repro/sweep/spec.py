@@ -1,9 +1,9 @@
 """Declarative scenario-matrix specification for ``repro.sweep``.
 
-A sweep is the cross product of four axes — traffic model × switch
-port count × RNG seed × synchronisation mode — plus shared per-run
-workload knobs (cell budget, line load) and execution knobs (worker
-count, per-run timeout).  :class:`SweepSpec` holds the matrix,
+A sweep is the cross product of five axes — traffic model × switch
+port count × RNG seed × synchronisation mode × DUT abstraction level
+— plus shared per-run workload knobs (cell budget, line load) and
+execution knobs (worker count, per-run timeout).  :class:`SweepSpec` holds the matrix,
 :meth:`SweepSpec.expand` turns it into the concrete list of
 :class:`RunSpec` cells the runner fans out, and :meth:`SweepSpec.from_file`
 reads either a TOML or a JSON spec file::
@@ -34,6 +34,8 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
+
+from ..core.contract import DUT_LEVELS
 
 try:
     import tomllib as _toml
@@ -74,6 +76,11 @@ class RunSpec:
     sync: str
     cells: int
     load: float
+    #: DUT abstraction level ("rtl" | "behav"); "rtl" is the seed
+    #: behaviour and stays implicit in run *names*, but is always
+    #: pinned on the wire — a spec'd level must not drift with the
+    #: ``REPRO_DUT_LEVEL`` policy of whatever process executes the run
+    level: str = "rtl"
     #: test-only failure injection: one of :data:`INJECT_MODES` or None
     inject: Optional[str] = None
     #: per-run JSONL decision-trace path (None = no trace)
@@ -85,6 +92,7 @@ class RunSpec:
             "name": self.name, "traffic": self.traffic,
             "ports": self.ports, "seed": self.seed, "sync": self.sync,
             "cells": self.cells, "load": self.load,
+            "level": self.level,
         }
         if self.inject is not None:
             payload["inject"] = self.inject
@@ -99,6 +107,7 @@ class RunSpec:
                    ports=int(data["ports"]), seed=int(data["seed"]),
                    sync=data["sync"], cells=int(data["cells"]),
                    load=float(data["load"]),
+                   level=data.get("level", "rtl"),
                    inject=data.get("inject"),
                    trace_file=data.get("trace_file"))
 
@@ -112,6 +121,9 @@ class SweepSpec:
         ports: switch port-count axis (each ≥ 2).
         seeds: RNG-seed axis.
         sync: synchronisation-mode axis (subset of :data:`SYNC_MODES`).
+        level: DUT abstraction-level axis (subset of
+            :data:`~repro.core.contract.DUT_LEVELS`); default
+            ``["rtl"]``, the seed behaviour.
         cells: total cell budget per run, split across the ports.
         load: per-port line occupancy of every source.
         jobs: worker processes to fan runs out over (1 = serial).
@@ -127,6 +139,7 @@ class SweepSpec:
     ports: List[int] = field(default_factory=lambda: [4])
     seeds: List[int] = field(default_factory=lambda: [0])
     sync: List[str] = field(default_factory=lambda: ["conservative"])
+    level: List[str] = field(default_factory=lambda: ["rtl"])
     cells: int = 32
     load: float = 0.25
     jobs: int = 2
@@ -149,7 +162,13 @@ class SweepSpec:
         for count in self.ports:
             if count < 2:
                 raise SweepSpecError(f"need >= 2 switch ports, got {count}")
-        if not (self.traffic and self.ports and self.seeds and self.sync):
+        for level in self.level:
+            if level not in DUT_LEVELS:
+                raise SweepSpecError(
+                    f"unknown DUT level {level!r}; "
+                    f"known: {', '.join(DUT_LEVELS)}")
+        if not (self.traffic and self.ports and self.seeds and self.sync
+                and self.level):
             raise SweepSpecError("every matrix axis needs >= 1 value")
         if self.cells < 1:
             raise SweepSpecError(f"need >= 1 cell, got {self.cells}")
@@ -176,9 +195,14 @@ class SweepSpec:
         identical specs yield identically ordered reports.
         """
         runs: List[RunSpec] = []
-        for traffic, ports, seed, sync in itertools.product(
-                self.traffic, self.ports, self.seeds, self.sync):
+        for traffic, ports, seed, sync, level in itertools.product(
+                self.traffic, self.ports, self.seeds, self.sync,
+                self.level):
             name = f"{traffic}-p{ports}-s{seed}-{sync}"
+            if level != "rtl":
+                # The seed naming stays stable for RTL-only sweeps;
+                # other levels are suffixed to keep names unique.
+                name = f"{name}-{level}"
             trace_file = None
             if self.trace_dir is not None:
                 trace_file = str(Path(self.trace_dir)
@@ -186,7 +210,8 @@ class SweepSpec:
             runs.append(RunSpec(
                 name=name, traffic=traffic, ports=ports, seed=seed,
                 sync=sync, cells=self.cells, load=self.load,
-                inject=self.inject.get(name), trace_file=trace_file))
+                level=level, inject=self.inject.get(name),
+                trace_file=trace_file))
         return runs
 
     def as_dict(self) -> Dict[str, Any]:
@@ -195,11 +220,14 @@ class SweepSpec:
                                      "timeout_s": self.timeout_s}
         if self.trace_dir is not None:
             execution["trace_dir"] = self.trace_dir
+        matrix: Dict[str, Any] = {"traffic": list(self.traffic),
+                                  "ports": list(self.ports),
+                                  "seeds": list(self.seeds),
+                                  "sync": list(self.sync)}
+        if self.level != ["rtl"]:
+            matrix["level"] = list(self.level)
         return {
-            "matrix": {"traffic": list(self.traffic),
-                       "ports": list(self.ports),
-                       "seeds": list(self.seeds),
-                       "sync": list(self.sync)},
+            "matrix": matrix,
             "run": {"cells": self.cells, "load": self.load},
             "execution": execution,
         }
@@ -225,7 +253,8 @@ class SweepSpec:
         if unknown:
             raise SweepSpecError(
                 f"unknown spec section(s): {', '.join(sorted(unknown))}")
-        known_keys = {"matrix": {"traffic", "ports", "seeds", "sync"},
+        known_keys = {"matrix": {"traffic", "ports", "seeds", "sync",
+                                 "level"},
                       "run": {"cells", "load", "inject"},
                       "execution": {"jobs", "timeout_s", "trace_dir"}}
         for section, payload in (("matrix", matrix), ("run", run),
@@ -249,6 +278,8 @@ class SweepSpec:
             kwargs["seeds"] = [int(v) for v in _listify(matrix["seeds"])]
         if "sync" in matrix:
             kwargs["sync"] = [str(v) for v in _listify(matrix["sync"])]
+        if "level" in matrix:
+            kwargs["level"] = [str(v) for v in _listify(matrix["level"])]
         if "cells" in run:
             kwargs["cells"] = int(run["cells"])
         if "load" in run:

@@ -1,0 +1,293 @@
+"""Unit tests for the behavioural DUT twins and their latency model."""
+
+import pytest
+
+from repro.atm import AtmCell
+from repro.behav import (AccountingUnitBehav, AtmPortModuleBehav,
+                         AtmSwitchBehav, BehavioralEntity, SerialLine,
+                         UpcPolicerBehav, hop_latency_seconds)
+from repro.core import TimeBase
+
+TB = TimeBase.for_line_rate()
+CELL_S = TB.cell_time_seconds
+
+
+def collect(twin, port=0):
+    """Bind a list-collector to one twin output port."""
+    out = []
+    twin.bind_output(lambda when, cell: out.append((when, cell)),
+                     port=port)
+    return out
+
+
+class TestSerialLine:
+    def test_idle_line_starts_immediately(self):
+        line = SerialLine()
+        assert line.occupy(5.0, 2.0) == 7.0
+
+    def test_busy_line_queues(self):
+        line = SerialLine()
+        line.occupy(0.0, 2.0)
+        # arriving mid-transfer waits for the line to free up
+        assert line.occupy(1.0, 2.0) == 4.0
+        assert line.occupy(10.0, 2.0) == 12.0
+
+    def test_backlog_counts_queued_cells(self):
+        line = SerialLine()
+        for _ in range(3):
+            line.occupy(0.0, 2.0)
+        assert line.backlog_cells(0.0, 2.0) == 3
+        assert line.backlog_cells(6.0, 2.0) == 0
+
+    def test_hop_latency_is_whole_clocks(self):
+        assert hop_latency_seconds(TB, 1) == pytest.approx(
+            TB.clock_period_ticks * TB.tick_seconds)
+
+
+class TestPortModuleTwin:
+    def test_translation_preserves_header_and_payload(self):
+        twin = AtmPortModuleBehav("pm", timebase=TB)
+        out = collect(twin)
+        twin.install(1, 100, 2, 200)
+        cell = AtmCell.with_payload(1, 100, [0xAB, 0xCD], pt=5, clp=1)
+        done = twin.cell_arrival(0.0, cell)
+        assert done == pytest.approx(CELL_S)
+        ((when, translated),) = out
+        assert when > done  # pipeline + egress serialisation
+        assert (translated.vpi, translated.vci) == (2, 200)
+        assert translated.pt == 5 and translated.clp == 1
+        assert translated.payload == cell.payload
+        assert twin.cells_translated == 1
+
+    def test_unknown_and_idle_cells_counted_not_forwarded(self):
+        twin = AtmPortModuleBehav("pm", timebase=TB)
+        out = collect(twin)
+        twin.cell_arrival(0.0, AtmCell.idle())
+        twin.cell_arrival(CELL_S, AtmCell.with_payload(7, 77, [1]))
+        assert out == []
+        assert twin.counters()["idle_cells"] == 1
+        assert twin.counters()["unknown_connections"] == 1
+        assert twin.counters()["cells_received"] == 2
+
+    def test_remove_uninstalls_the_connection(self):
+        twin = AtmPortModuleBehav("pm", timebase=TB)
+        out = collect(twin)
+        twin.install(1, 100, 2, 200)
+        twin.remove(1, 100)
+        twin.cell_arrival(0.0, AtmCell.with_payload(1, 100, [1]))
+        assert out == []
+        assert twin.unknown_connections == 1
+
+
+class TestSwitchTwin:
+    def test_ring_routing_per_port(self):
+        twin = AtmSwitchBehav("sw", timebase=TB, num_ports=3)
+        outs = [collect(twin, port=i) for i in range(3)]
+        for i in range(3):
+            twin.install_connection(i, 1, 100 + i,
+                                    (i + 1) % 3, 2, 200 + i)
+        for i in range(3):
+            twin.cell_arrival(0.0, AtmCell.with_payload(1, 100 + i, [i]),
+                              port=i)
+        for i in range(3):
+            ((_, cell),) = outs[(i + 1) % 3]
+            assert (cell.vpi, cell.vci) == (2, 200 + i)
+        assert twin.cells_switched == 3
+
+    def test_invalid_construction_and_routes_rejected(self):
+        with pytest.raises(ValueError):
+            AtmSwitchBehav("sw", timebase=TB, num_ports=0)
+        with pytest.raises(ValueError):
+            AtmSwitchBehav("sw", timebase=TB, queue_depth=0)
+        twin = AtmSwitchBehav("sw", timebase=TB, num_ports=2)
+        with pytest.raises(ValueError):
+            twin.install_connection(0, 1, 100, 5, 2, 200)
+
+    def test_output_overflow_drops(self):
+        # Three inputs converge on one output: the egress line drains
+        # at a third of the aggregate arrival rate, so its modelled
+        # backlog grows past queue_depth and newcomers drop.
+        twin = AtmSwitchBehav("sw", timebase=TB, num_ports=3,
+                              queue_depth=2)
+        out = collect(twin, port=2)
+        for in_port in range(3):
+            twin.install_connection(in_port, 1, 100, 2, 2, 200)
+        sent = 0
+        for slot in range(4):
+            for in_port in range(3):
+                twin.cell_arrival(slot * CELL_S,
+                                  AtmCell.with_payload(1, 100, [1]),
+                                  port=in_port)
+                sent += 1
+        counters = twin.counters()
+        assert counters["cells_dropped_overflow"] > 0
+        assert counters["cells_switched"] == len(out)
+        assert (counters["cells_switched"]
+                + counters["cells_dropped_overflow"]) == sent
+
+
+class TestPolicerTwin:
+    def contract(self, twin, increment=2, limit=0):
+        twin.install_contract(1, 100, increment * TB.clocks_per_cell,
+                              limit * TB.clocks_per_cell)
+
+    def test_conforming_stream_passes(self):
+        twin = UpcPolicerBehav("upc", timebase=TB)
+        out = collect(twin)
+        self.contract(twin, increment=2)
+        for slot in range(0, 10, 2):  # exactly the contract rate
+            twin.cell_arrival(slot * CELL_S,
+                              AtmCell.with_payload(1, 100, [1]))
+        assert twin.cells_non_conforming == 0
+        assert twin.cells_conforming == 5
+        assert len(out) == 5
+        assert all(d.conforming for d in twin.decisions)
+
+    def test_over_rate_stream_dropped(self):
+        twin = UpcPolicerBehav("upc", timebase=TB)
+        out = collect(twin)
+        self.contract(twin, increment=2)
+        for slot in range(6):  # twice the contracted rate
+            twin.cell_arrival(slot * CELL_S,
+                              AtmCell.with_payload(1, 100, [1]))
+        assert twin.cells_non_conforming > 0
+        assert len(out) == twin.cells_conforming
+
+    def test_tag_action_sets_clp(self):
+        twin = UpcPolicerBehav("upc", timebase=TB, action="tag")
+        out = collect(twin)
+        self.contract(twin, increment=3)
+        for slot in range(4):
+            twin.cell_arrival(slot * CELL_S,
+                              AtmCell.with_payload(1, 100, [1], clp=0))
+        assert len(out) == 4  # tagged cells still forwarded
+        tagged = [cell for _, cell in out if cell.clp == 1]
+        assert len(tagged) == twin.cells_non_conforming
+
+    def test_unpoliced_connections_pass_transparently(self):
+        twin = UpcPolicerBehav("upc", timebase=TB)
+        out = collect(twin)
+        for slot in range(3):
+            twin.cell_arrival(slot * CELL_S,
+                              AtmCell.with_payload(3, 300, [1]))
+        assert twin.unpoliced_cells == 3
+        assert len(out) == 3
+        assert twin.decisions == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UpcPolicerBehav("upc", timebase=TB, action="shape")
+        with pytest.raises(ValueError):
+            UpcPolicerBehav("upc", timebase=TB, bug="nonsense")
+        twin = UpcPolicerBehav("upc", timebase=TB)
+        with pytest.raises(ValueError):
+            twin.install_contract(1, 100, 0)
+        with pytest.raises(ValueError):
+            twin.install_contract(1, 100, 10, -1)
+
+
+class TestAccountingTwin:
+    def test_records_in_registration_order(self):
+        twin = AccountingUnitBehav("acct", timebase=TB)
+        twin.register(5, 500, units_per_cell=1)
+        twin.register(1, 100, units_per_cell=2)
+        twin.cell_arrival(0.0, AtmCell.with_payload(1, 100, [1]))
+        twin.cell_arrival(2 * CELL_S, AtmCell.with_payload(5, 500, [1]))
+        twin.tariff_tick(9 * CELL_S)
+        # registration order (the RTL FIFO order), not sorted order
+        assert twin.records == [(5, 500, 0, 1, 0, 1),
+                                (1, 100, 0, 1, 0, 2)]
+
+    def test_clp1_and_fixed_units_charging(self):
+        twin = AccountingUnitBehav("acct", timebase=TB)
+        twin.register(1, 100, units_per_cell=3, units_per_cell_clp1=1,
+                      fixed_units=10)
+        twin.cell_arrival(0.0, AtmCell.with_payload(1, 100, [1], clp=0))
+        twin.cell_arrival(2 * CELL_S,
+                          AtmCell.with_payload(1, 100, [1], clp=1))
+        twin.tariff_tick(9 * CELL_S)
+        assert twin.records == [(1, 100, 0, 1, 1, 10 + 3 + 1)]
+
+    def test_idle_and_unknown_cells(self):
+        twin = AccountingUnitBehav("acct", timebase=TB)
+        twin.register(1, 100)
+        twin.cell_arrival(0.0, AtmCell.idle())
+        twin.cell_arrival(2 * CELL_S, AtmCell.with_payload(9, 999, [1]))
+        counters = twin.counters()
+        assert counters["cells_seen"] == 1  # idle never counted
+        assert counters["unknown_cells"] == 1
+
+    def test_registration_validation(self):
+        twin = AccountingUnitBehav("acct", timebase=TB, table_size=1)
+        twin.register(1, 100)
+        with pytest.raises(ValueError):
+            twin.register(1, 100)  # duplicate
+        with pytest.raises(ValueError):
+            twin.register(2, 200)  # table full
+        with pytest.raises(ValueError):
+            AccountingUnitBehav("acct", timebase=TB, bug="nonsense")
+
+    def test_bug_hooks_mirror_the_rtl(self):
+        swap = AccountingUnitBehav("acct", timebase=TB, bug="swap_clp")
+        swap.register(1, 100, units_per_cell=2, units_per_cell_clp1=1)
+        swap.cell_arrival(0.0, AtmCell.with_payload(1, 100, [1], clp=1))
+        swap.tariff_tick(9 * CELL_S)
+        assert swap.records == [(1, 100, 0, 1, 0, 2)]  # clp1 -> clp0
+
+        off = AccountingUnitBehav("acct", timebase=TB,
+                                  bug="charge_off_by_one")
+        off.register(1, 100, units_per_cell=2)
+        off.cell_arrival(0.0, AtmCell.with_payload(1, 100, [1]))
+        off.tariff_tick(9 * CELL_S)
+        assert off.records == [(1, 100, 0, 1, 0, 3)]
+
+        lost = AccountingUnitBehav("acct", timebase=TB, bug="lost_tick")
+        lost.register(1, 100)
+        lost.cell_arrival(0.0, AtmCell.with_payload(1, 100, [1]))
+        lost.tariff_tick(5 * CELL_S)   # odd tick: processed
+        lost.tariff_tick(10 * CELL_S)  # even tick: dropped
+        assert lost.interval == 1
+        assert len(lost.records) == 1
+
+
+class TestBehavioralEntity:
+    def test_snapshot_and_modelled_clocks(self):
+        twin = AtmPortModuleBehav("pm", timebase=TB)
+        twin.install(1, 100, 2, 200)
+        entity = BehavioralEntity(twin)
+        entity.send_cell(0.0, AtmCell.with_payload(1, 100, [1]))
+        entity.finish(10 * CELL_S)
+        snapshot = entity.snapshot()
+        assert snapshot["level"] == "behav"
+        assert snapshot["cells_in"] == 1
+        assert snapshot["output_cells"] == 1
+        assert "sync" not in snapshot
+        assert entity.modelled_clocks > 0
+        assert snapshot["dut"]["cells_translated"] == 1
+
+    def test_tick_without_tick_capable_twin_raises(self):
+        entity = BehavioralEntity(AtmPortModuleBehav("pm", timebase=TB))
+        with pytest.raises(ValueError, match="no tick signal"):
+            entity.send_tariff_tick(0.0)
+
+    def test_counter_keys_match_the_rtl(self):
+        """The counters() contract: identical key sets at both levels."""
+        from repro.hdl import Simulator
+        from repro.rtl import (AccountingUnitRtl, AtmPortModuleRtl,
+                               AtmSwitchRtl, UpcPolicerRtl)
+
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        sim.add_clock(clk, period=10)
+        pairs = [
+            (AtmPortModuleRtl(sim, "pm", clk),
+             AtmPortModuleBehav("pm", timebase=TB)),
+            (AtmSwitchRtl(sim, "sw", clk, num_ports=2),
+             AtmSwitchBehav("sw", timebase=TB, num_ports=2)),
+            (UpcPolicerRtl(sim, "upc", clk),
+             UpcPolicerBehav("upc", timebase=TB)),
+            (AccountingUnitRtl(sim, "acct", clk),
+             AccountingUnitBehav("acct", timebase=TB)),
+        ]
+        for rtl, twin in pairs:
+            assert rtl.counters().keys() == twin.counters().keys()

@@ -148,3 +148,54 @@ class TestRtlPinDevice:
         with pytest.raises(ValueError):
             RtlPinDevice(sim, clk, config, input_signals={},
                          output_signals={})
+
+
+class TestMetavalueReads:
+    """Outport sampling policy: metavalues mask to zero (and are
+    counted); programming bugs propagate."""
+
+    def make_device(self, out_signal):
+        sim = Simulator()
+        clk = sim.signal("clk", init="0")
+        sim.add_clock(clk, period=10)
+        enable = sim.signal("en", init="0")
+        config = ConfigurationDataSet()
+        config.add_inport(PortMapping(0, 1, (PinSegment(0, 0, 1),)))
+        config.add_outport(PortMapping(0, 8, (PinSegment(1, 7, 8),)))
+        device = RtlPinDevice(sim, clk, config,
+                              input_signals={0: enable},
+                              output_signals={0: out_signal(sim)})
+        return device
+
+    def test_metavalue_masked_to_zero_and_counted(self):
+        # An undriven 8-bit output holds 'U' — each sampled clock
+        # masks it to zero and bumps the counter.
+        device = self.make_device(
+            lambda sim: sim.signal("floating", width=8))
+        frame = device.clock([0] * 8)
+        assert device.metavalue_reads == 1
+        assert all(lane == 0 for lane in frame)
+        device.clock([0] * 8)
+        assert device.metavalue_reads == 2
+
+    def test_driven_output_not_counted(self):
+        device = self.make_device(
+            lambda sim: sim.signal("q", width=8, init=0x5A))
+        frame = device.clock([0] * 8)
+        assert device.metavalue_reads == 0
+        assert frame[1] == 0x5A
+
+    def test_programming_bug_propagates(self):
+        # A broken signal object is a bug in the harness, not a
+        # metavalue — it must not be silently masked to zeros.
+        class _Broken:
+            width = 8
+            name = "broken"
+
+            def as_int(self):
+                raise AttributeError("not a logic problem")
+
+        device = self.make_device(lambda sim: _Broken())
+        with pytest.raises(AttributeError):
+            device.clock([0] * 8)
+        assert device.metavalue_reads == 0

@@ -1,0 +1,76 @@
+"""finish() error path: the done-latch must only be set on success.
+
+Regression tests for the bug where a raising entity latched
+``_finished`` on the way in, so a retry after fixing the cause
+silently skipped the drain and returned truncated outputs.
+"""
+
+import json
+
+import pytest
+
+from repro.core import CoVerificationEnvironment
+
+
+class _ExplodingEntity:
+    """A coupled entity whose drain raises a configurable number of
+    times before succeeding."""
+
+    def __init__(self, failures=1):
+        self.failures = failures
+        self.finish_calls = 0
+
+    def finish(self, horizon):
+        self.finish_calls += 1
+        if self.finish_calls <= self.failures:
+            raise RuntimeError("entity drain exploded")
+
+
+def test_failed_finish_does_not_latch_done(tmp_path):
+    trace_file = tmp_path / "finish.trace.jsonl"
+    env = CoVerificationEnvironment(name="finish-err", observe=False,
+                                    trace=trace_file)
+    entity = _ExplodingEntity(failures=10)
+    env.entities.append(entity)
+    with pytest.raises(RuntimeError, match="drain exploded"):
+        env.finish()
+    # The latch stayed open: a second call retries the drain instead
+    # of silently returning truncated outputs.
+    assert not env._finished
+    with pytest.raises(RuntimeError, match="drain exploded"):
+        env.finish()
+    assert entity.finish_calls == 2
+
+
+def test_failed_finish_still_closes_trace(tmp_path):
+    trace_file = tmp_path / "finish.trace.jsonl"
+    env = CoVerificationEnvironment(name="finish-err", observe=False,
+                                    trace=trace_file)
+    env.entities.append(_ExplodingEntity(failures=1))
+    env.trace.emit("partial-evidence", detail="emitted before failure")
+    with pytest.raises(RuntimeError):
+        env.finish()
+    # The partial trace is flushed evidence, not lost.
+    assert env.trace.closed
+    lines = trace_file.read_text().splitlines()
+    assert lines
+    assert any(json.loads(line)["ev"] == "partial-evidence"
+               for line in lines)
+
+
+def test_finish_retry_succeeds_after_transient_failure():
+    # No trace sink here: a closed TraceWriter refuses further
+    # emits, so retrying finish() is only possible without one (or
+    # with a fresh sink) — exactly the scenario the fix enables.
+    env = CoVerificationEnvironment(name="finish-retry", observe=False)
+    entity = _ExplodingEntity(failures=1)
+    env.entities.append(entity)
+    with pytest.raises(RuntimeError):
+        env.finish()
+    assert not env._finished
+    env.finish()
+    assert env._finished
+    assert entity.finish_calls == 2
+    # And the latch now holds: a third call is a no-op.
+    env.finish()
+    assert entity.finish_calls == 2

@@ -120,3 +120,59 @@ def test_runner_rejects_bad_overrides():
         SweepRunner(_spec(seeds=[0]), jobs=0)
     with pytest.raises(ValueError):
         SweepRunner(_spec(seeds=[0]), timeout_s=0.0)
+
+
+def test_worker_error_detail_carries_the_traceback():
+    # The exception object dies with the worker process — the
+    # formatted traceback in the detail payload is the only record of
+    # where the failure happened.
+    inject = {"cbr-p2-s0-conservative": "error"}
+    payload = SweepRunner(_spec(seeds=[0], inject=inject)).run()
+    failed = _by_name(payload)["cbr-p2-s0-conservative"]
+    assert failed["mode"] == "pool"
+    tb = failed["detail"]["traceback"]
+    assert "Traceback (most recent call last)" in tb
+    assert "RuntimeError: injected error" in tb
+    assert "_apply_injection" in tb  # the actual raise site
+
+
+def test_serial_error_detail_carries_the_traceback():
+    inject = {"cbr-p2-s0-conservative": "error"}
+    payload = SweepRunner(_spec(seeds=[0], inject=inject, jobs=1)).run()
+    failed = _by_name(payload)["cbr-p2-s0-conservative"]
+    assert failed["mode"] == "serial"
+    tb = failed["detail"]["traceback"]
+    assert "Traceback (most recent call last)" in tb
+    assert "_apply_injection" in tb
+
+
+def test_retry_log_records_the_motivating_failure():
+    inject = {"cbr-p2-s0-conservative": "crash_once"}
+    payload = SweepRunner(_spec(seeds=[0, 1], inject=inject)).run()
+    retry_log = payload["execution"]["retry_log"]
+    assert len(retry_log) == 1
+    entry = retry_log[0]
+    assert entry["name"] == "cbr-p2-s0-conservative"
+    assert entry["attempt"] == 1
+    assert entry["kind"] == "crash"
+    assert entry["detail"]["exitcode"] == 23
+
+
+def test_retry_log_covers_serial_degradation():
+    inject = {"cbr-p2-s0-conservative": "crash"}
+    payload = SweepRunner(_spec(seeds=[0], inject=inject)).run()
+    retry_log = payload["execution"]["retry_log"]
+    # first crash -> retry entry; second crash -> degradation entry
+    assert [e["attempt"] for e in retry_log] == [1, 2]
+    assert all(e["kind"] == "crash" for e in retry_log)
+
+
+def test_failure_details_render_in_the_report():
+    from repro.sweep import render_sweep_report
+
+    inject = {"cbr-p2-s0-conservative": "error"}
+    payload = SweepRunner(_spec(seeds=[0], inject=inject)).run()
+    report = render_sweep_report(payload)
+    assert "failures:" in report
+    assert "RuntimeError: injected error" in report
+    assert "Traceback (most recent call last)" in report

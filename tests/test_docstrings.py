@@ -15,7 +15,7 @@ from pathlib import Path
 import pytest
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-PACKAGES = ("core", "obs", "sweep")
+PACKAGES = ("behav", "core", "obs", "sweep")
 
 
 def _iter_modules():
