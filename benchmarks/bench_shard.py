@@ -1,0 +1,174 @@
+"""Sharded-topology scaling benchmark — the multi-process gate.
+
+Runs the same seeded behavioural switch+accounting workload three ways
+and writes ``BENCH_shard.json`` at the repo root:
+
+* **local** — one shard driven through the in-process reference
+  (:class:`repro.shard.client.LocalShardHandle`): the no-transport
+  baseline every sharded figure is read against;
+* **one_shard** — the identical op stream shipped to a single worker
+  process over a pipe (pipelined up to ``max_inflight`` frames): what
+  the coordinator/transport layer costs;
+* **two_shard** — two independent behavioural shards, each in its own
+  worker process: the multi-switch configuration the topology layer
+  exists for.
+
+The headline figure is ``scaling``: the two-shard aggregate throughput
+(simulated DUT clock cycles per wall second, summed over both shards)
+divided by the one-shard figure.  Two shards execute twice the clocks,
+so perfect overlap reads 2.0 and a fully serialised exchange reads 1.0.
+
+**The scaling bar is host-aware.**  Aggregate scaling needs real
+parallel hardware: the coordinator and both workers are CPU-bound
+Python processes, so on fewer than 3 usable cores they time-slice one
+after another and the ratio is physically pinned at ~1.0 no matter how
+good the protocol is.  The payload therefore records ``cpus`` and
+``parallel_capable`` (cpus >= 3), and the regression guard
+(``check_regression.py``) enforces ``REPRO_SHARD_SCALING_MIN``
+(default 1.5) only on parallel-capable hosts; elsewhere it enforces
+``REPRO_SHARD_SCALING_MIN_SERIAL`` (default 0.8) — a floor that still
+catches protocol serialisation bugs (a per-window barrier in the
+driver measured 0.77x on one core before it was removed).
+
+Each configuration reports the best of ``REPEATS`` runs so scheduler
+noise does not masquerade as a regression.  The wall figure is
+``run_topology``'s own timed region: driving + finishing, with
+stimulus generation and process spawning excluded as setup.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py
+
+``REPRO_BENCH_SCALE`` scales the cell workload exactly as it does for
+the other benchmarks (CI smoke-runs at 0.25).
+"""
+
+import os
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # script mode
+    sys.path.insert(0, str(Path(__file__).parent))
+    from common import save_bench_json, scale, scaled
+else:
+    from .common import save_bench_json, scale, scaled
+
+from repro.shard import ShardSpec, TopologySpec, run_topology
+
+#: best-of-N repeats per configuration
+REPEATS = 3
+
+#: timing-window width (slots) and pipeline depth for the bench —
+#: large windows amortise the per-frame exchange, deep pipelining
+#: keeps the workers fed while the coordinator encodes the next window
+WINDOW_SLOTS = 256
+MAX_INFLIGHT = 8
+
+#: a coordinator plus two workers need at least this many cores for
+#: aggregate scaling to be physically possible
+PARALLEL_CPUS = 3
+
+
+def _usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def scaling_floor(parallel_capable: bool) -> float:
+    """The scaling bar the regression guard enforces on this host."""
+    if parallel_capable:
+        return float(os.environ.get("REPRO_SHARD_SCALING_MIN", "1.5"))
+    return float(os.environ.get("REPRO_SHARD_SCALING_MIN_SERIAL",
+                                "0.8"))
+
+
+def _spec(num_shards: int, cells: int) -> TopologySpec:
+    return TopologySpec(
+        shards=[ShardSpec(f"shard{i}", level="behav")
+                for i in range(num_shards)],
+        cells=cells, seed=0, window_slots=WINDOW_SLOTS,
+        max_inflight=MAX_INFLIGHT)
+
+
+def _measure(num_shards: int, cells: int, mode: str):
+    """Best-of-``REPEATS`` topology run; returns the throughput
+    summary of the fastest run."""
+    spec = _spec(num_shards, cells)
+    best = None
+    for _ in range(REPEATS):
+        report = run_topology(spec, mode=mode)
+        if best is None or (report["cycles_per_s"]
+                            > best["cycles_per_s"]):
+            best = report
+    return {
+        "shards": num_shards,
+        "mode": mode,
+        "cycles_per_s": best["cycles_per_s"],
+        "wall_s": best["wall_s"],
+        "clocks": best["totals"]["clocks"],
+        "cells_in": best["totals"]["cells_in"],
+        "output_cells": best["totals"]["output_cells"],
+        "frames": best["totals"]["frames"],
+        "digest": best["digest"],
+    }
+
+
+def bench_shard(cells=None):
+    """Sharded-topology throughput and 2-vs-1 shard scaling."""
+    cells = scaled(1024) if cells is None else cells
+    cpus = _usable_cpus()
+    parallel_capable = cpus >= PARALLEL_CPUS
+
+    local = _measure(1, cells, "local")
+    one = _measure(1, cells, "sharded")
+    two = _measure(2, cells, "sharded")
+
+    return {
+        "cells": cells,
+        "window_slots": WINDOW_SLOTS,
+        "max_inflight": MAX_INFLIGHT,
+        "cpus": cpus,
+        "parallel_capable": parallel_capable,
+        "scaling_floor": scaling_floor(parallel_capable),
+        "local": local,
+        "one_shard": one,
+        "two_shard": two,
+        "scaling": two["cycles_per_s"] / one["cycles_per_s"],
+        "transport_overhead":
+            1.0 - one["cycles_per_s"] / local["cycles_per_s"],
+    }
+
+
+def main():
+    payload = bench_shard()
+    floor = payload["scaling_floor"]
+    kind = ("parallel" if payload["parallel_capable"]
+            else f"serial, {payload['cpus']} cpu(s)")
+    print(f"sharded-topology scaling benchmark "
+          f"({kind} host, floor {floor:g}x, "
+          f"REPRO_BENCH_SCALE={scale():g})")
+    for key in ("local", "one_shard", "two_shard"):
+        stats = payload[key]
+        print(f"  {key:<9}: {stats['cycles_per_s']:>12,.0f} cyc/s "
+              f"({stats['wall_s'] * 1e3:7.1f} ms, "
+              f"{stats['clocks']:,} clocks)")
+    print(f"  scaling  : {payload['scaling']:.2f}x aggregate "
+          f"(transport overhead "
+          f"{payload['transport_overhead']:+.1%} vs local)")
+    path = save_bench_json("shard", payload)
+    print(f"  -> {path}")
+
+    if payload["scaling"] < floor:
+        print(f"FAIL: 2-shard scaling {payload['scaling']:.2f}x "
+              f"below the {floor:g}x floor for this host class")
+        return 1
+    print(f"2-shard scaling {payload['scaling']:.2f}x meets the "
+          f"{floor:g}x floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

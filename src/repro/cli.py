@@ -22,7 +22,15 @@ Small operational conveniences for exploring the reproduction:
 * ``equiv`` — replay identical seeded cell streams through the RTL
   designs and their behavioural twins and diff the contract surface
   (output cells, records, policing verdicts, counters); exit 1 on
-  any divergence (see ``docs/api/behav.md``).
+  any divergence (see ``docs/api/behav.md``);
+* ``shard`` — run a sharded multi-switch topology (one worker process
+  per DUT shard, coupled over pipes or sockets by the conservative
+  protocol); ``--mode both`` additionally replays the identical op
+  stream in-process and diffs the output digests (see
+  ``docs/api/shard.md``);
+* ``serve`` — start the persistent scenario job service: a worker
+  pool that outlives individual jobs (sharing compiled cell
+  templates across them) behind a JSON-lines TCP endpoint.
 """
 
 from __future__ import annotations
@@ -48,6 +56,7 @@ _SUBPACKAGES = [
     ("core", "CASTANET: coupling, sync protocol, interfaces, compare"),
     ("obs", "observability: metrics registry, decision traces"),
     ("sweep", "parallel scenario-matrix sweep runner"),
+    ("shard", "sharded multi-switch topologies + job service"),
     ("analysis", "result collection and report rendering"),
 ]
 
@@ -421,6 +430,135 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _print_topology_report(report: Dict[str, object]) -> None:
+    totals = report["totals"]
+    sync = totals["sync"]
+    print(f"  mode {report['mode']}: {totals['cells_in']} cells in, "
+          f"{totals['output_cells']} out, "
+          f"{totals['records']} record(s), "
+          f"{totals['clocks']} DUT clocks in "
+          f"{report['wall_s']:.3f} s wall "
+          f"({report['cycles_per_s']:,.0f} cycles/s aggregate)")
+    for shard in report["shards"]:
+        result = shard["result"]
+        exchange = shard["exchange"]
+        frames = (exchange["frames_sent"]
+                  + exchange["frames_received"])
+        print(f"    {shard['id']:<10} {shard['level']:<6} "
+              f"{result['cells_in']:>4} in  "
+              f"{result['output_cells']:>4} out  "
+              f"{len(result['records']):>3} rec  "
+              f"{frames:>4} frame(s)")
+    print(f"  sync: {sync['messages_posted']} posts, "
+          f"{sync['null_messages']} nulls "
+          f"({sync['null_messages_coalesced']} coalesced), "
+          f"{sync['windows_granted']} windows")
+    print(f"  digest {report['digest'][:16]}…")
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    # Lazy import — the topology pulls in the whole stack.
+    from repro.shard import (ShardError, ShardSpec, ShardSpecError,
+                             TopologySpec, run_topology)
+
+    try:
+        if args.spec:
+            spec = TopologySpec.from_file(args.spec)
+        else:
+            levels = _csv(args.levels)
+            if len(levels) == 1:
+                levels = levels * args.shards
+            if len(levels) != args.shards:
+                raise ShardSpecError(
+                    f"--levels names {len(levels)} level(s) for "
+                    f"{args.shards} shard(s)")
+            spec = TopologySpec(
+                shards=[ShardSpec(f"shard{i}", level=levels[i],
+                                  num_ports=args.ports)
+                        for i in range(args.shards)],
+                cells=args.cells, seed=args.seed, chain=args.chain,
+                transport=args.transport,
+                window_slots=args.window_slots)
+        if args.trace_dir:
+            spec.trace_dir = args.trace_dir
+    except ShardSpecError as exc:
+        print(f"invalid topology: {exc}", file=sys.stderr)
+        return 2
+
+    shape = ", ".join(f"{s.id}:{s.level}" for s in spec.shards)
+    print(f"sharded topology — {len(spec.shards)} shard(s) [{shape}], "
+          f"{spec.cells} cells/shard, seed {spec.seed}, "
+          f"{'chained' if spec.chain else 'independent'}, "
+          f"{spec.transport} transport")
+    modes = ["local", "sharded"] if args.mode == "both" \
+        else [args.mode]
+    reports = {}
+    try:
+        for mode in modes:
+            reports[mode] = run_topology(spec, mode=mode)
+            _print_topology_report(reports[mode])
+    except ShardError as exc:
+        print(f"shard failure: {exc}", file=sys.stderr)
+        return 1
+
+    matched = True
+    if args.mode == "both":
+        matched = (reports["local"]["digest"]
+                   == reports["sharded"]["digest"])
+        if matched:
+            print("  output cell streams byte-identical across modes")
+        else:
+            print("  DIVERGED: sharded output differs from the "
+                  "single-process reference", file=sys.stderr)
+            for mode in modes:
+                for shard in reports[mode]["shards"]:
+                    print(f"    {mode}/{shard['id']}: "
+                          f"{shard['digests']}", file=sys.stderr)
+    if args.json:
+        path = Path(args.json)
+        payload = reports[modes[-1]] if len(modes) == 1 else {
+            "benchmark": "shard_topology",
+            "modes": reports,
+            "matched": matched,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n")
+        print(f"\nwrote {path}")
+    return 0 if matched else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Lazy import — the service spawns the sweep scenario workers.
+    from repro.shard import JobService
+
+    try:
+        service = JobService(jobs=args.jobs, timeout_s=args.timeout,
+                             host=args.host, port=args.port)
+        service.start()
+    except (ValueError, OSError) as exc:
+        print(f"cannot start job service: {exc}", file=sys.stderr)
+        return 2
+    host, port = service.address
+    print(f"serve: listening on {host}:{port} — {service.jobs} "
+          f"persistent worker(s), {service.timeout_s:g} s/job budget",
+          flush=True)
+    print("serve: submit JSON-lines requests "
+          "({\"op\": \"submit\", \"run\": {...}}); "
+          "{\"op\": \"shutdown\"} stops the service", flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.shutdown()
+    stats = service.stats
+    print(f"serve: shut down after {stats['submitted']} job(s) "
+          f"({stats['completed']} done, {stats['errors']} error(s), "
+          f"{stats['crashes']} crash(es), "
+          f"{stats['timeouts']} timeout(s))")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -569,6 +707,64 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="report JSON output path "
                             "(default BENCH_equiv.json; '' disables)")
     equiv.set_defaults(fn=_cmd_equiv)
+    shard = commands.add_parser(
+        "shard",
+        help="run a sharded multi-switch topology (one process per "
+             "DUT shard, conservative protocol over pipes/sockets)")
+    shard.add_argument("--spec", default=None,
+                       help="TOML/JSON topology spec (see examples/"
+                            "topology_two_switch.toml); flags below "
+                            "define the topology when omitted")
+    shard.add_argument("--shards", type=int, default=2,
+                       help="shard count (default 2)")
+    shard.add_argument("--levels", default="auto",
+                       help="comma list of per-shard DUT levels "
+                            "(rtl,behav,auto; one value applies to "
+                            "all shards; default auto)")
+    shard.add_argument("--ports", type=int, default=4,
+                       help="switch ports per shard (default 4)")
+    shard.add_argument("--cells", type=int, default=48,
+                       help="seeded stimulus cells per shard "
+                            "(default 48)")
+    shard.add_argument("--seed", type=int, default=0,
+                       help="stimulus RNG seed (default 0)")
+    shard.add_argument("--chain", action="store_true",
+                       help="forward shard k's output cells into "
+                            "shard k+1 (two-switch cell flows)")
+    shard.add_argument("--transport", default="pipe",
+                       choices=("pipe", "socket"),
+                       help="shard coupling transport (default pipe)")
+    shard.add_argument("--window-slots", type=int, default=64,
+                       help="cell slots per conservative driving "
+                            "window (default 64)")
+    shard.add_argument("--mode", default="sharded",
+                       choices=("sharded", "local", "both"),
+                       help="sharded processes, in-process reference, "
+                            "or both + digest diff (default sharded)")
+    shard.add_argument("--trace-dir", default=None,
+                       help="write one JSONL decision trace per "
+                            "shard to this directory")
+    shard.add_argument("--json", default=None,
+                       help="report JSON output path (default: none; "
+                            "the committed BENCH_shard.json baseline "
+                            "comes from benchmarks/check_regression"
+                            ".py)")
+    shard.set_defaults(fn=_cmd_shard)
+    serve = commands.add_parser(
+        "serve",
+        help="start the persistent scenario job service (JSON-lines "
+             "TCP endpoint over a long-lived worker pool)")
+    serve.add_argument("--jobs", type=int, default=2,
+                       help="persistent worker processes (default 2)")
+    serve.add_argument("--timeout", type=float, default=120.0,
+                       help="per-job wall-clock budget in seconds "
+                            "(default 120)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default 0 = ephemeral, "
+                            "printed on startup)")
+    serve.set_defaults(fn=_cmd_serve)
     args = parser.parse_args(argv)
     if not getattr(args, "fn", None):
         parser.print_help()

@@ -207,9 +207,19 @@ class ConservativeSynchronizer(_SynchronizerBase):
 
     # -- originator-side API ----------------------------------------------
     def post(self, msg_type: str, time: float, payload: Any = None) -> None:
-        """Receive a data message from the network simulator."""
-        self._flush_nulls()
+        """Receive a data message from the network simulator.
+
+        The message is queued *before* any deferred null bound is
+        flushed: a data message at *time* is itself proof the
+        originator reached *time*, and the lag invariant must be
+        checked against that knowledge.  (With several synchronisers
+        sharing one HDL kernel — a sharded switch + accounting group —
+        a sibling entity may already have run the shared clock to
+        *time*; flushing a stale coalesced bound first would spuriously
+        trip this entity's causality check.)
+        """
         self._queue_message(msg_type, time, payload)
+        self._flush_nulls()
         self._advance()
 
     def post_many(self, messages: Iterable[Tuple[str, float, Any]]
@@ -224,11 +234,11 @@ class ConservativeSynchronizer(_SynchronizerBase):
         same HDL ticks: every release follows a window grant to the
         message's own stamp.
         """
-        self._flush_nulls()
         posted = False
         for msg_type, time, payload in messages:
             self._queue_message(msg_type, time, payload)
             posted = True
+        self._flush_nulls()
         if posted:
             self._advance()
 

@@ -44,6 +44,10 @@ class TraceWriter:
         sink: a path (``str`` / :class:`~pathlib.Path`), an open
             text-mode file-like object, or ``None`` to collect records
             in memory (:attr:`records`).
+        defaults: fields stamped onto *every* record (event fields
+            win on collision).  Shard workers use this to stamp their
+            shard id on each span so multi-process traces stay
+            attributable after merging.
 
     Crash safety: path sinks are opened *line-buffered*, so every
     record reaches the file as soon as it is emitted — a run that
@@ -53,8 +57,10 @@ class TraceWriter:
     """
 
     def __init__(self,
-                 sink: Optional[Union[str, Path, IO[str]]] = None) -> None:
+                 sink: Optional[Union[str, Path, IO[str]]] = None,
+                 defaults: Optional[Dict[str, object]] = None) -> None:
         self.emitted = 0
+        self.defaults: Dict[str, object] = dict(defaults or {})
         self.records: List[Dict[str, object]] = []
         self._own_file = False
         self._closed = False
@@ -87,6 +93,8 @@ class TraceWriter:
             raise ValueError(
                 f"TraceWriter is closed; cannot emit {ev!r}")
         record: Dict[str, object] = {"ev": ev}
+        if self.defaults:
+            record.update(self.defaults)
         record.update(fields)
         self.emitted += 1
         if self._file is not None:

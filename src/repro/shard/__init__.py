@@ -1,0 +1,57 @@
+"""Sharded multi-switch co-simulation and the scenario job service.
+
+This package scales the paper's one-netsim/one-HDL-kernel coupling to
+*N DUT shards in N processes*, coupled by the existing conservative
+protocol carried over pipes or sockets, plus a persistent job service
+(``python -m repro serve``) that turns the one-shot sweep runner into
+a long-lived scenario server.
+
+Layers (bottom up):
+
+* :mod:`~repro.shard.transport` — frame transports
+  (:class:`PipeTransport`, :class:`SocketTransport`) with precise EOF
+  reporting (:class:`TransportClosed`).
+* :mod:`~repro.shard.protocol` — the op-log replay wire protocol:
+  cells/nulls/ticks as compact ops, batched into frames, with full
+  remote tracebacks on failure (:class:`ShardError`).
+* :mod:`~repro.shard.group` — :class:`ShardGroup`, one shard's
+  switch + accounting DUTs behind the single replay path both the
+  worker process and the local reference mode share (the
+  byte-identity guarantee lives here).
+* :mod:`~repro.shard.worker` — the worker-process frame loop.
+* :mod:`~repro.shard.client` — :class:`ShardHandle` (pipelined
+  remote driving), :class:`LocalShardHandle` (in-process reference)
+  and :class:`ShardPortEndpoint` (a shard port as a
+  :class:`~repro.core.contract.DutContract`).
+* :mod:`~repro.shard.topology` — :class:`TopologySpec` (TOML/JSON),
+  :class:`ShardedTopology` (the process fleet) and
+  :func:`run_topology` (the mode-agnostic windowed driver).
+* :mod:`~repro.shard.service` — :class:`JobService` /
+  :class:`ServeClient`, the persistent job service.
+
+See ``docs/api/shard.md`` for the reference page and
+``docs/architecture.md`` ("Sharded topologies and the job service")
+for the design walk-through.
+"""
+
+from .client import LocalShardHandle, ShardHandle, ShardPortEndpoint
+from .group import ShardGroup
+from .protocol import ShardError
+from .service import JobService, ServeClient
+from .topology import (MODES, ShardedTopology, ShardSpec,
+                       ShardSpecError, TopologySpec, TRANSPORTS,
+                       run_topology)
+from .transport import (PipeTransport, SocketTransport, Transport,
+                        TransportClosed, TransportError)
+from .worker import shard_worker_main, shard_worker_socket_main
+
+__all__ = [
+    "ShardHandle", "LocalShardHandle", "ShardPortEndpoint",
+    "ShardGroup", "ShardError",
+    "JobService", "ServeClient",
+    "ShardSpec", "TopologySpec", "ShardSpecError", "ShardedTopology",
+    "run_topology", "TRANSPORTS", "MODES",
+    "Transport", "PipeTransport", "SocketTransport",
+    "TransportError", "TransportClosed",
+    "shard_worker_main", "shard_worker_socket_main",
+]

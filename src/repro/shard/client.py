@@ -1,0 +1,353 @@
+"""Coordinator-side handles for driving one shard.
+
+Two handle flavours share one public surface (queue ops → flush →
+finish → result), so topology drivers are written once:
+
+* :class:`ShardHandle` — the real thing: ships op batches over a
+  :class:`~repro.shard.transport.Transport` to a worker process,
+  pipelining up to ``max_inflight`` unacknowledged frames so shard
+  compute overlaps coordinator-side op generation (the distributed
+  analogue of PR 4's ``post_many`` batching).
+* :class:`LocalShardHandle` — the reference: applies the *identical*
+  op stream to an in-process :class:`~repro.shard.group.ShardGroup`.
+  Because both flavours funnel ops through the same ``ShardGroup``
+  replay path, a sharded run is byte-identical to its local twin by
+  construction — the equivalence tests assert exactly this.
+
+:class:`ShardPortEndpoint` adapts one (handle, port) pair to the
+:class:`~repro.core.contract.DutContract` surface, so a remote shard
+port can stand wherever a :class:`CosimulationEntity` or behavioural
+entity does — taps, comparators and drivers stay level- *and*
+process-agnostic (mixed-level sharded topologies fall out of this).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..atm.cell import AtmCell
+from ..core.contract import DutContract
+from . import protocol
+from .group import ShardGroup
+from .transport import Transport, TransportClosed
+
+__all__ = ["ShardHandle", "LocalShardHandle", "ShardPortEndpoint"]
+
+#: default op-batch size per FRAME_OPS frame
+DEFAULT_MAX_BATCH = 512
+#: default number of unacknowledged frames kept in flight
+DEFAULT_MAX_INFLIGHT = 4
+
+
+class _HandleBase:
+    """Shared queueing/bookkeeping of both handle flavours."""
+
+    def __init__(self, shard_id: str, num_ports: int = 4) -> None:
+        self.shard_id = shard_id
+        self.num_ports = num_ports
+        #: queued, not yet flushed ops
+        self._ops: List[protocol.Op] = []
+        #: collected output cells per port, as (seconds, octets)
+        self.outputs: List[List[Tuple[float, bytes]]] = [
+            [] for _ in range(num_ports)]
+        self.result: Optional[Dict[str, Any]] = None
+        self.ops_sent = 0
+        self._last_null = float("-inf")
+        self._closed = False
+
+    # -- op queueing ---------------------------------------------------
+    def queue_cell(self, time: float, port: int, cell) -> None:
+        """Queue one ingress cell for switch *port* at netsim *time*
+        (an :class:`AtmCell` or a ready-made 53-octet ``bytes``)."""
+        if not isinstance(cell, (bytes, bytearray)):
+            cell = bytes(cell.to_octets())
+        self._ops.append((protocol.OP_CELL, time, port, bytes(cell)))
+
+    def queue_null(self, time: float) -> None:
+        """Queue a null message (time horizon announcement).
+
+        Deduplicated per handle: several endpoints announcing the same
+        horizon collapse to one op, so per-port fan-out cannot inflate
+        the wire stream (nor change replay semantics — nulls are
+        idempotent at equal time).
+        """
+        if time <= self._last_null:
+            return
+        self._last_null = time
+        self._ops.append((protocol.OP_NULL, time))
+
+    def queue_tick(self, time: float) -> None:
+        """Queue a tariff tick for the shard's accounting unit."""
+        self._ops.append((protocol.OP_TICK, time))
+
+    def _take_ops(self) -> List[protocol.Op]:
+        ops, self._ops = self._ops, []
+        self.ops_sent += len(ops)
+        return ops
+
+    def _store_outputs(self,
+                       fresh: List[Tuple[int, float, bytes]]) -> None:
+        for port, when, octets in fresh:
+            self.outputs[port].append((when, octets))
+
+    # -- views ---------------------------------------------------------
+    def output_cells(self, port: int) -> List[Tuple[float, AtmCell]]:
+        """The collected output stream of *port* as
+        ``(seconds, AtmCell)`` tuples (parsed on demand)."""
+        return [(when, AtmCell.from_octets(octets, verify_hec=False))
+                for when, octets in self.outputs[port]]
+
+    def output_octets(self, port: int) -> List[bytes]:
+        """The raw 53-octet images of *port*'s output stream — the
+        byte-identical comparison basis of the equivalence tests."""
+        return [octets for _, octets in self.outputs[port]]
+
+
+class ShardHandle(_HandleBase):
+    """Drives one shard worker process over a transport.
+
+    Args:
+        shard_id: shard name (error attribution).
+        transport: the coordinator end of the worker coupling.
+        num_ports: switch port count (shapes the output collectors).
+        max_batch: max ops per ``FRAME_OPS`` frame.
+        max_inflight: unacknowledged frames to keep in flight; 1
+            degenerates to strict request/reply, larger values
+            pipeline shard compute behind coordinator op generation.
+        process: optional :class:`multiprocessing.Process` backing the
+            shard — lets transport deaths report the exit code.
+    """
+
+    def __init__(self, shard_id: str, transport: Transport,
+                 num_ports: int = 4,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 max_inflight: int = DEFAULT_MAX_INFLIGHT,
+                 process=None) -> None:
+        super().__init__(shard_id, num_ports)
+        self.transport = transport
+        self.max_batch = max(1, max_batch)
+        self.max_inflight = max(1, max_inflight)
+        self.process = process
+        self._seq = 0
+        self._inflight = 0
+
+    # -- failure shaping ----------------------------------------------
+    def _died(self, exc: TransportClosed) -> protocol.ShardError:
+        detail = f"shard process died mid-exchange: {exc}"
+        if self.process is not None:
+            self.process.join(timeout=2.0)
+            detail += (f" (exitcode={self.process.exitcode})")
+        return protocol.ShardError(
+            self.shard_id, {"type": "TransportClosed",
+                            "message": str(exc), "traceback": detail})
+
+    def _recv(self) -> Tuple[str, Any]:
+        try:
+            return self.transport.recv()
+        except TransportClosed as exc:
+            raise self._died(exc) from exc
+
+    def _send(self, frame: protocol.Frame) -> None:
+        try:
+            self.transport.send(frame)
+        except TransportClosed as exc:
+            raise self._died(exc) from exc
+
+    def _drain_ack(self) -> None:
+        kind, payload = self._recv()
+        if kind == protocol.FRAME_ERROR:
+            self._inflight = 0
+            protocol.raise_remote(self.shard_id, payload)
+        if kind != protocol.FRAME_ACK:
+            raise protocol.ShardError(
+                self.shard_id,
+                {"type": "ProtocolError",
+                 "message": f"expected ack, got {kind!r}",
+                 "traceback": ""})
+        _, packed = payload
+        self._store_outputs(protocol.unpack_outputs(packed))
+        self._inflight -= 1
+
+    # -- exchange ------------------------------------------------------
+    def flush(self) -> None:
+        """Ship all queued ops, draining acks only when the pipeline
+        window is full — the coordinator keeps generating ops while
+        the shard computes."""
+        for batch in protocol.split_ops(self._take_ops(),
+                                        self.max_batch):
+            while self._inflight >= self.max_inflight:
+                self._drain_ack()
+            self._seq += 1
+            self._send((protocol.FRAME_OPS,
+                        (self._seq, protocol.pack_ops(batch))))
+            self._inflight += 1
+
+    def barrier(self) -> None:
+        """Flush and wait until every in-flight frame is acknowledged
+        (all queued ops replayed, all outputs so far collected)."""
+        self.flush()
+        while self._inflight > 0:
+            self._drain_ack()
+
+    def finish(self, time: float) -> Dict[str, Any]:
+        """Barrier, then drain/settle the shard at *time*; returns and
+        stores the shard's result report."""
+        self.barrier()
+        self._send((protocol.FRAME_FINISH, time))
+        kind, payload = self._recv()
+        if kind == protocol.FRAME_ERROR:
+            protocol.raise_remote(self.shard_id, payload)
+        self._store_outputs(payload.pop("residual_outputs", []))
+        self.result = payload
+        return payload
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A live result report without finishing the shard."""
+        self.barrier()
+        self._send((protocol.FRAME_SNAPSHOT, None))
+        kind, payload = self._recv()
+        if kind == protocol.FRAME_ERROR:
+            protocol.raise_remote(self.shard_id, payload)
+        return payload
+
+    def close(self) -> None:
+        """Ask the worker to exit and close the transport
+        (best-effort, idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.transport.send((protocol.FRAME_CLOSE, None))
+        except TransportClosed:
+            pass
+        self.transport.close()
+
+    def stats(self) -> Dict[str, int]:
+        """Exchange counters: ops shipped and transport frames both
+        ways (the per-shard sync/exchange metrics of the report)."""
+        stats = self.transport.stats()
+        stats["ops_sent"] = self.ops_sent
+        return stats
+
+
+class LocalShardHandle(_HandleBase):
+    """The in-process reference twin of :class:`ShardHandle`.
+
+    Applies the identical op stream to a local
+    :class:`~repro.shard.group.ShardGroup` — no processes, no
+    transport — so a "sharded" topology can run single-process for
+    debugging, CI determinism checks, and the byte-identical
+    equivalence comparison.
+    """
+
+    def __init__(self, shard_id: str, num_ports: int = 4,
+                 level: str = "auto", accounting: bool = True,
+                 clocking: str = "cycle") -> None:
+        super().__init__(shard_id, num_ports)
+        self.group = ShardGroup(shard_id, level=level,
+                                num_ports=num_ports,
+                                accounting=accounting,
+                                clocking=clocking)
+
+    def flush(self) -> None:
+        """Replay all queued ops into the local group and collect the
+        outputs they produced."""
+        ops = self._take_ops()
+        if ops:
+            self.group.apply_ops(ops)
+            self._store_outputs(self.group.new_outputs())
+
+    def barrier(self) -> None:
+        """Same as :meth:`flush` — nothing is ever in flight
+        locally."""
+        self.flush()
+
+    def finish(self, time: float) -> Dict[str, Any]:
+        """Flush, drain/settle the local group at *time*, store and
+        return its result report."""
+        self.flush()
+        self.group.finish(time)
+        self._store_outputs(self.group.new_outputs())
+        self.result = self.group.result()
+        return self.result
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A live result report of the local group."""
+        self.flush()
+        return self.group.result()
+
+    def close(self) -> None:
+        """Flush the group's trace sink (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self.group.close()
+
+    def stats(self) -> Dict[str, int]:
+        """Exchange counters (zero frames — everything is local)."""
+        return {"frames_sent": 0, "frames_received": 0,
+                "ops_sent": self.ops_sent}
+
+
+class ShardPortEndpoint(DutContract):
+    """One shard switch port presented as a
+    :class:`~repro.core.contract.DutContract`.
+
+    ``send_cell``/``advance_time``/``send_tariff_tick`` queue ops on
+    the backing handle (nulls deduplicate per handle, so the per-port
+    fan-out of an environment's time listener cannot inflate the wire
+    stream); ``finish`` finishes the *handle* once — subsequent port
+    endpoints of the same shard see it already settled.  Output cells
+    are parsed lazily from the handle's collected octet stream.
+
+    This is what makes mixed-level sharded topologies compose: a
+    driver written against ``DutContract`` cannot tell a remote RTL
+    shard from a local behavioural twin.
+    """
+
+    def __init__(self, handle, port: int) -> None:
+        self.handle = handle
+        self.port = port
+        self.level = "rtl"
+        self.on_output: Optional[Callable[[float, AtmCell],
+                                          None]] = None
+        self.cells_in = 0
+        self.ticks_in = 0
+
+    @property
+    def output_cells(self) -> List[Tuple[float, AtmCell]]:
+        """Collected output cells of this port (parsed on demand from
+        the handle's octet stream)."""
+        return self.handle.output_cells(self.port)
+
+    def send_cell(self, time: float, cell) -> None:
+        """Queue one cell for this shard port at netsim *time*."""
+        self.cells_in += 1
+        self.handle.queue_cell(time, self.port, cell)
+
+    def send_tariff_tick(self, time: float) -> None:
+        """Queue a tariff tick for the shard's accounting unit."""
+        self.ticks_in += 1
+        self.handle.queue_tick(time)
+
+    def advance_time(self, time: float) -> None:
+        """Queue a null message (deduplicated per handle)."""
+        self.handle.queue_null(time)
+
+    def finish(self, time: Optional[float] = None) -> None:
+        """Finish the backing handle once (idempotent across the
+        shard's port endpoints)."""
+        if self.handle.result is None:
+            self.handle.finish(time if time is not None else 0.0)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Per-endpoint snapshot: identity, stimulus counters and the
+        handle's exchange stats."""
+        return {
+            "level": self.level,
+            "shard": self.handle.shard_id,
+            "port": self.port,
+            "cells_in": self.cells_in,
+            "ticks_in": self.ticks_in,
+            "output_cells": len(self.handle.outputs[self.port]),
+            "exchange": self.handle.stats(),
+        }

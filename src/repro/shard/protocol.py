@@ -1,0 +1,195 @@
+"""Wire protocol between the shard coordinator and shard workers.
+
+The protocol is an *op-log replay* discipline.  The coordinator never
+talks to the worker's DUT objects directly; it records the exact
+sequence of co-simulation operations it would have applied locally —
+cells, null messages (timing windows), tariff ticks — and ships them
+in batched ``FRAME_OPS`` frames.  The worker replays the ops verbatim
+into its :class:`~repro.shard.group.ShardGroup`.  Because the local
+reference mode (:class:`~repro.shard.client.LocalShardHandle`) applies
+the *identical* op stream through the *same* ``ShardGroup`` code path,
+a sharded topology is byte-identical to a single-process run by
+construction — batching only changes how many frames carry the ops,
+never which ops arrive.
+
+Ops (compact tuples, first element is the op code):
+
+* ``(OP_CELL, t, port, payload)`` — deliver an ATM cell (53 octets,
+  ``bytes``) to the switch ingress *port* at netsim time *t*.
+* ``(OP_NULL, t)`` — a null message: the conservative protocol's
+  promise that no event earlier than *t* is still coming; advances
+  every entity's time horizon (PR 4's coalescing already minimised
+  how many of these exist before they ever reach the transport).
+* ``(OP_TICK, t)`` — a tariff period tick for the accounting unit.
+
+Frames (``(kind, payload)`` tuples):
+
+* ``(FRAME_OPS, (seq, packed_ops))`` → worker; *packed_ops* is the
+  columnar image of the op batch (:func:`pack_ops` — one code string,
+  one time list, one port list, one concatenated cell blob; the
+  worker's :func:`unpack_ops` rebuilds the identical tuples).  The
+  worker answers ``(FRAME_ACK, (seq, packed_outputs))`` where the
+  payload flattens (:func:`pack_outputs`) the new ``(port, t,
+  octets)`` output cells observed since the last ack — the
+  piggy-backed reverse stream that makes one exchange per window
+  suffice (the transaction-pipe pattern from SCE-MI).
+* ``(FRAME_FINISH, t)`` → worker; drains/settles the group and
+  answers ``(FRAME_RESULT, report)`` with counters, records, sync
+  stats and any residual outputs.
+* ``(FRAME_SNAPSHOT, None)`` → worker; answers
+  ``(FRAME_RESULT, snapshot)`` without finishing.
+* ``(FRAME_CLOSE, None)`` → worker exits its loop (no reply).
+* ``(FRAME_ERROR, info)`` ← worker when replay raised; *info* carries
+  ``type``/``message``/``traceback`` strings so the coordinator can
+  re-raise with the full remote traceback (the PR 7 sweep-report
+  policy applied to shards).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["OP_CELL", "OP_NULL", "OP_TICK",
+           "FRAME_OPS", "FRAME_ACK", "FRAME_FINISH", "FRAME_RESULT",
+           "FRAME_SNAPSHOT", "FRAME_ERROR", "FRAME_CLOSE",
+           "FRAME_HELLO", "ShardError", "error_info", "raise_remote",
+           "pack_ops", "unpack_ops", "pack_outputs",
+           "unpack_outputs"]
+
+#: op codes (single chars keep frames compact on the wire)
+OP_CELL = "c"
+OP_NULL = "n"
+OP_TICK = "k"
+
+#: every cell payload on the wire is one whole ATM cell
+CELL_OCTETS = 53
+
+#: frame kinds
+FRAME_OPS = "ops"
+FRAME_ACK = "ack"
+FRAME_FINISH = "finish"
+FRAME_RESULT = "result"
+FRAME_SNAPSHOT = "snapshot"
+FRAME_ERROR = "error"
+FRAME_CLOSE = "close"
+#: first frame of a socket-coupled worker: ("hello", shard_id) — lets
+#: the coordinator map accepted connections back to shards regardless
+#: of connect order
+FRAME_HELLO = "hello"
+
+Op = Tuple[Any, ...]
+Frame = Tuple[str, Any]
+
+
+class ShardError(RuntimeError):
+    """A shard worker failed; carries the remote traceback.
+
+    ``shard`` names the shard, ``info`` is the raw
+    ``{"type", "message", "traceback"}`` payload from the worker (or a
+    synthesised one for transport-level deaths such as a crash
+    mid-window).
+    """
+
+    def __init__(self, shard: str, info: Dict[str, str]) -> None:
+        self.shard = shard
+        self.info = dict(info)
+        detail = info.get("traceback") or info.get("message") or "?"
+        super().__init__(
+            f"shard {shard!r} failed: {info.get('type', 'Error')}: "
+            f"{info.get('message', '')}\n--- remote traceback ---\n"
+            f"{detail}")
+
+
+def error_info(exc: BaseException) -> Dict[str, str]:
+    """Serialise an exception into the wire error payload
+    (``type``/``message``/``traceback``), full traceback included."""
+    import traceback as _tb
+    return {"type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": "".join(_tb.format_exception(
+                type(exc), exc, exc.__traceback__))}
+
+
+def raise_remote(shard: str, frame_payload: Dict[str, str]) -> None:
+    """Raise :class:`ShardError` for a worker ``FRAME_ERROR`` payload."""
+    raise ShardError(shard, frame_payload)
+
+
+def pack_ops(ops: List[Op]) -> Tuple[str, List[float], List[int],
+                                     bytes]:
+    """Flatten an op batch into four columns for the wire.
+
+    Pickling thousands of small heterogeneous tuples costs more
+    coordinator CPU than the shards spend replaying them — enough to
+    serialise the whole topology on the coordinator.  Columns (one
+    code string, one time list, one port list, one concatenated cell
+    blob) pickle as four large objects instead, and
+    :func:`unpack_ops` reproduces the *identical* op tuples on the
+    worker, so replay semantics — and byte-identity — are untouched.
+    """
+    codes: List[str] = []
+    times: List[float] = []
+    ports: List[int] = []
+    blobs: List[bytes] = []
+    for op in ops:
+        code = op[0]
+        codes.append(code)
+        times.append(op[1])
+        if code == OP_CELL:
+            octets = op[3]
+            if len(octets) != CELL_OCTETS:
+                raise ValueError(
+                    f"cell op carries {len(octets)} octets, "
+                    f"expected {CELL_OCTETS}")
+            ports.append(op[2])
+            blobs.append(octets)
+        else:
+            ports.append(-1)
+    return "".join(codes), times, ports, b"".join(blobs)
+
+
+def unpack_ops(packed: Tuple[str, List[float], List[int],
+                             bytes]) -> List[Op]:
+    """Rebuild the exact op batch :func:`pack_ops` flattened."""
+    codes, times, ports, blob = packed
+    ops: List[Op] = []
+    offset = 0
+    for index, code in enumerate(codes):
+        if code == OP_CELL:
+            octets = blob[offset:offset + CELL_OCTETS]
+            offset += CELL_OCTETS
+            ops.append((code, times[index], ports[index], octets))
+        else:
+            ops.append((code, times[index]))
+    return ops
+
+
+def pack_outputs(outputs: List[Tuple[int, float, bytes]]
+                 ) -> Tuple[List[int], List[float], bytes]:
+    """Flatten an output-cell list (same rationale as
+    :func:`pack_ops`, applied to the piggy-backed ack stream)."""
+    ports = [port for port, _, _ in outputs]
+    times = [when for _, when, _ in outputs]
+    blob = b"".join(octets for _, _, octets in outputs)
+    return ports, times, blob
+
+
+def unpack_outputs(packed: Tuple[List[int], List[float], bytes]
+                   ) -> List[Tuple[int, float, bytes]]:
+    """Rebuild the output-cell list :func:`pack_outputs` flattened."""
+    ports, times, blob = packed
+    return [(port, when,
+             blob[i * CELL_OCTETS:(i + 1) * CELL_OCTETS])
+            for i, (port, when) in enumerate(zip(ports, times))]
+
+
+def split_ops(ops: List[Op], max_batch: int) -> List[List[Op]]:
+    """Chunk an op list into batches of at most *max_batch* ops.
+
+    Batching is purely a transport optimisation: the op order inside
+    and across batches is preserved, so replay semantics are
+    unchanged.
+    """
+    if max_batch <= 0 or len(ops) <= max_batch:
+        return [ops] if ops else []
+    return [ops[i:i + max_batch] for i in range(0, len(ops), max_batch)]

@@ -1,0 +1,248 @@
+"""Frame transports between the coordinator and shard processes.
+
+The sharded co-simulation couples one coordinator process to N shard
+worker processes; every coupling is a sequence of *frames* (picklable
+``(kind, payload)`` tuples, see :mod:`repro.shard.protocol`) flowing
+over a :class:`Transport`.  Two concrete transports exist:
+
+* :class:`PipeTransport` — a :func:`multiprocessing.Pipe` connection;
+  the default, fastest on a single host (frames are pickled by the
+  connection itself, no extra framing layer).
+* :class:`SocketTransport` — length-prefixed pickle frames over a TCP
+  socket; the same wire discipline SCE-MI-style transaction pipes use,
+  and the transport a future multi-host deployment would keep.
+
+Both raise :class:`TransportClosed` on EOF — a shard process dying
+mid-exchange (or a socket closing mid-frame) surfaces as a precise,
+catchable signal rather than a hung ``recv``.  The synchronisation
+protocol itself never notices which transport carries it: the
+coordinator's :class:`~repro.shard.client.ShardHandle` and the worker
+loop exchange the same frames either way.
+"""
+
+from __future__ import annotations
+
+import abc
+import pickle
+import socket
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["Transport", "PipeTransport", "SocketTransport",
+           "TransportError", "TransportClosed", "open_listener",
+           "accept_transport", "connect_transport"]
+
+#: length-prefix format of a socket frame (payload byte count, big-endian)
+_LEN = struct.Struct(">I")
+
+
+class TransportError(RuntimeError):
+    """Base error for transport-level failures."""
+
+
+class TransportClosed(TransportError):
+    """The peer end closed (EOF) — raised by ``recv``/``send`` when the
+    other side of the coupling is gone.
+
+    A socket EOF that lands *mid-frame* (the length prefix or payload
+    was cut short) is reported with the partial byte count, which is
+    the signature of a shard process dying inside an exchange.
+    """
+
+
+class Transport(abc.ABC):
+    """One bidirectional frame stream to a peer process.
+
+    Counts every frame in :attr:`frames_sent` / :attr:`frames_received`
+    — the per-shard exchange metrics the coordinator aggregates into
+    its report.
+    """
+
+    def __init__(self) -> None:
+        self.frames_sent = 0
+        self.frames_received = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran."""
+        return self._closed
+
+    def stats(self) -> Dict[str, int]:
+        """Frame counters as a plain dict (for snapshots)."""
+        return {"frames_sent": self.frames_sent,
+                "frames_received": self.frames_received}
+
+    @abc.abstractmethod
+    def send(self, frame: Any) -> None:
+        """Ship one picklable frame to the peer."""
+
+    @abc.abstractmethod
+    def recv(self) -> Any:
+        """Block for the next frame; :class:`TransportClosed` on EOF."""
+
+    @abc.abstractmethod
+    def poll(self, timeout: float = 0.0) -> bool:
+        """True when a frame is ready within *timeout* seconds."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Close this end (idempotent)."""
+
+
+class PipeTransport(Transport):
+    """Frames over a :func:`multiprocessing.Pipe` connection.
+
+    The connection pickles frames natively, so this is the cheapest
+    transport on one host; it is also the only one whose endpoints can
+    be inherited by a forked/spawned child directly (the topology
+    passes the child connection as a process argument).
+    """
+
+    def __init__(self, conn) -> None:
+        super().__init__()
+        self.conn = conn
+
+    def send(self, frame: Any) -> None:
+        """Ship one frame; :class:`TransportClosed` on a broken pipe."""
+        try:
+            self.conn.send(frame)
+        except (BrokenPipeError, OSError) as exc:
+            raise TransportClosed(f"pipe peer is gone: {exc}") from exc
+        self.frames_sent += 1
+
+    def recv(self) -> Any:
+        """Block for the next frame; :class:`TransportClosed` on EOF."""
+        try:
+            frame = self.conn.recv()
+        except EOFError as exc:
+            raise TransportClosed("pipe closed by peer (EOF)") from exc
+        except OSError as exc:
+            raise TransportClosed(f"pipe error: {exc}") from exc
+        self.frames_received += 1
+        return frame
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """True when a frame is ready within *timeout* seconds."""
+        return self.conn.poll(timeout)
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self.conn.close()
+
+
+class SocketTransport(Transport):
+    """Length-prefixed pickle frames over a connected TCP socket.
+
+    Wire format: a 4-octet big-endian payload length followed by the
+    pickled frame — the classic transaction-pipe framing.  ``recv``
+    reads exactly one frame; an EOF inside the prefix or payload raises
+    :class:`TransportClosed` naming how many bytes of the frame
+    arrived.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        super().__init__()
+        self.sock = sock
+        # Latency matters more than throughput for sync exchanges.
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP sockets
+            pass
+
+    def send(self, frame: Any) -> None:
+        """Ship one frame; :class:`TransportClosed` on a dead socket."""
+        payload = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            self.sock.sendall(_LEN.pack(len(payload)) + payload)
+        except (BrokenPipeError, ConnectionError, OSError) as exc:
+            raise TransportClosed(f"socket peer is gone: {exc}") from exc
+        self.frames_sent += 1
+
+    def _recv_exact(self, count: int, context: str) -> bytes:
+        """Read exactly *count* bytes or raise :class:`TransportClosed`
+        reporting the partial read (*context* names the frame part)."""
+        chunks = []
+        got = 0
+        while got < count:
+            try:
+                chunk = self.sock.recv(count - got)
+            except (ConnectionError, OSError) as exc:
+                raise TransportClosed(
+                    f"socket error reading {context}: {exc}") from exc
+            if not chunk:
+                raise TransportClosed(
+                    f"socket EOF mid-frame: got {got}/{count} bytes of "
+                    f"the {context}")
+            chunks.append(chunk)
+            got += len(chunk)
+        return b"".join(chunks)
+
+    def recv(self) -> Any:
+        """Block for one whole frame; :class:`TransportClosed` on EOF
+        (including an EOF that truncates the frame)."""
+        prefix = self._recv_exact(_LEN.size, "length prefix")
+        (length,) = _LEN.unpack(prefix)
+        payload = self._recv_exact(length, "payload")
+        self.frames_received += 1
+        return pickle.loads(payload)
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """True when at least the length prefix is readable."""
+        import select
+        ready, _, _ = select.select([self.sock], [], [], timeout)
+        return bool(ready)
+
+    def close(self) -> None:
+        """Shut down and close the socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+
+def open_listener(host: str = "127.0.0.1",
+                  port: int = 0) -> Tuple[socket.socket,
+                                          Tuple[str, int]]:
+    """Open a listening TCP socket; returns ``(listener, address)``.
+
+    ``port=0`` binds an ephemeral port — the returned address is what
+    shard workers (or :class:`~repro.shard.service.ServeClient`)
+    connect to.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((host, port))
+    listener.listen()
+    return listener, listener.getsockname()[:2]
+
+
+def accept_transport(listener: socket.socket,
+                     timeout: Optional[float] = 30.0) -> SocketTransport:
+    """Accept one peer connection as a :class:`SocketTransport`."""
+    listener.settimeout(timeout)
+    try:
+        sock, _ = listener.accept()
+    except socket.timeout as exc:
+        raise TransportError(
+            f"no shard connected within {timeout} s") from exc
+    sock.settimeout(None)
+    return SocketTransport(sock)
+
+
+def connect_transport(address: Tuple[str, int],
+                      timeout: Optional[float] = 30.0) -> SocketTransport:
+    """Connect to *address* and wrap the socket as a transport."""
+    try:
+        sock = socket.create_connection(address, timeout=timeout)
+    except OSError as exc:
+        raise TransportError(
+            f"cannot reach coordinator at {address}: {exc}") from exc
+    sock.settimeout(None)
+    return SocketTransport(sock)

@@ -280,6 +280,37 @@ class TestNullCoalescing:
         assert delivered == ["A"]
         assert sync.queues.pending() == 0
 
+    def test_post_registers_stamp_before_flushing_stale_bound(self):
+        """Several synchronisers can share one HDL kernel (a shard's
+        switch ports + accounting unit live in one environment).  A
+        sibling's post may legitimately run the shared clock to a new
+        cell's stamp before this synchroniser hears about it; ``post``
+        must register the incoming message's timestamp *before*
+        flushing its stale coalesced bound, or the flush's window
+        grant trips the lag check against outdated knowledge."""
+        tb = TimeBase(tick_seconds=1e-9, clock_period_ticks=10)
+        hdl = Simulator()
+        clk = hdl.signal("clk", init="0")
+        hdl.add_clock(clk, period=tb.clock_period_ticks)
+        delivered = []
+        sibling = ConservativeSynchronizer(hdl, tb, {"cell": 55})
+        acct = ConservativeSynchronizer(
+            hdl, tb, {"cell": 55, "tick": 2},
+            handlers={"cell": lambda m: delivered.append(m.payload),
+                      "tick": lambda m: None},
+            coalesce_nulls=True)
+        cell_s = tb.cell_time_seconds
+        acct.advance_time(1.0 * cell_s)       # applied: sets the flush
+        acct.post("cell", 1.5 * cell_s, "A")  # held (tick uncovered)
+        acct.advance_time(1.8 * cell_s)       # below boundary: deferred
+        assert acct.stats.null_messages_coalesced == 1
+        # the sibling runs the SHARED clock to 2.0 cell times
+        sibling.post("cell", 2.0 * cell_s, "X")
+        assert tb.to_seconds(hdl.now) > 1.8 * cell_s
+        # must not raise: the 2.0 stamp is proof the originator got there
+        acct.post("cell", 2.0 * cell_s, "B")
+        assert delivered == ["A"]
+
     def test_coalesced_deliveries_match_uncoalesced(self):
         """Horizon batching must not change what is delivered or when
         (in HDL ticks) — only how many queue sweeps it costs."""

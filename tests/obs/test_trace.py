@@ -88,3 +88,18 @@ def test_in_memory_writer_close_and_reject():
     with pytest.raises(ValueError):
         trace.emit("null", t=1e-6)
     assert trace.records[0]["ev"] == "post"
+
+
+def test_defaults_stamped_on_every_record():
+    trace = TraceWriter(defaults={"shard": "shard7"})
+    trace.emit("post", t=1e-6)
+    trace.emit("window", t_cur=2e-6)
+    assert all(r["shard"] == "shard7" for r in trace.records)
+    assert trace.records[0]["ev"] == "post"
+
+
+def test_event_fields_win_over_defaults():
+    trace = TraceWriter(defaults={"shard": "shard7", "mode": "rtl"})
+    trace.emit("post", t=1e-6, shard="override")
+    assert trace.records[0]["shard"] == "override"
+    assert trace.records[0]["mode"] == "rtl"

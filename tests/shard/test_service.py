@@ -1,0 +1,147 @@
+"""The persistent job service: pool reuse, failure policy, wire API."""
+
+import threading
+
+import pytest
+
+from repro.shard import JobService, ServeClient
+
+
+def run_payload(name, level="behav", cells=8, inject=None):
+    payload = {"name": name, "traffic": "cbr", "ports": 2, "seed": 0,
+               "sync": "conservative", "level": level, "cells": cells,
+               "load": 0.25}
+    if inject is not None:
+        payload["inject"] = inject
+    return payload
+
+
+def test_submit_validates_before_queueing():
+    with JobService(jobs=1) as service:
+        with pytest.raises(Exception):
+            service.submit({"name": "bad"})  # missing matrix fields
+        assert service.status()["stats"]["submitted"] == 0
+
+
+def test_jobs_complete_and_results_are_stored():
+    with JobService(jobs=2) as service:
+        ids = [service.submit(run_payload(f"job{i}"))
+               for i in range(3)]
+        records = [service.result(job_id, wait=True, timeout=60)
+                   for job_id in ids]
+        assert [r["status"] for r in records] == ["done"] * 3
+        assert all(r["result"]["passed"] for r in records)
+        status = service.status()
+        assert status["census"] == {"done": 3}
+        assert status["stats"]["completed"] == 3
+    # shutdown reaped the pool
+    assert service._workers == []
+
+
+def test_unknown_job_id_raises():
+    with JobService(jobs=1) as service:
+        with pytest.raises(KeyError, match="unknown job id"):
+            service.result("job-999", wait=False)
+
+
+def test_error_job_keeps_full_traceback_and_no_retry():
+    with JobService(jobs=1) as service:
+        job_id = service.submit(run_payload("boom", inject="error"))
+        record = service.result(job_id, wait=True, timeout=60)
+        assert record["status"] == "error"
+        assert record["attempts"] == 1  # deterministic — not retried
+        detail = record["result"]["detail"]
+        assert detail["type"] == "RuntimeError"
+        assert "injected error" in detail["message"]
+        assert "Traceback (most recent call last)" in \
+            detail["traceback"]
+        # the pool survives a job error: the next job still runs
+        ok = service.submit(run_payload("after"))
+        assert service.result(ok, wait=True,
+                              timeout=60)["status"] == "done"
+
+
+def test_crash_once_is_retried_to_success():
+    with JobService(jobs=1) as service:
+        job_id = service.submit(run_payload("flaky",
+                                            inject="crash_once"))
+        record = service.result(job_id, wait=True, timeout=60)
+        assert record["status"] == "done"
+        assert record["attempts"] == 2
+        stats = service.status()["stats"]
+        assert stats["crashes"] == 1
+        assert stats["retries"] == 1
+        assert stats["workers_spawned"] == 2  # original + respawn
+
+
+def test_persistent_crash_becomes_terminal():
+    with JobService(jobs=1) as service:
+        job_id = service.submit(run_payload("dead", inject="crash"))
+        record = service.result(job_id, wait=True, timeout=60)
+        assert record["status"] == "crash"
+        assert record["attempts"] == 2
+        assert record["result"]["detail"]["exitcode"] == 23
+
+
+def test_rtl_templates_shared_across_jobs():
+    """The point of the persistent pool: job 2 reuses the compiled
+    cell templates job 1 published in the same worker process."""
+    with JobService(jobs=1) as service:
+        first = service.result(
+            service.submit(run_payload("rtl1", level="rtl")),
+            wait=True, timeout=120)
+        second = service.result(
+            service.submit(run_payload("rtl2", level="rtl")),
+            wait=True, timeout=120)
+        t1 = first["result"]["templates"]
+        t2 = second["result"]["templates"]
+        assert t1["enabled"] and t2["enabled"]
+        assert t1["misses"] > 0  # job 1 compiled and published
+        assert t2["hits"] > t1["hits"]  # job 2 adopted shared entries
+        assert t2["entries"] == t1["entries"]  # nothing recompiled
+
+
+def test_serve_smoke_over_socket():
+    """The CI serve smoke: 3 jobs over the local socket, results
+    collected, clean shutdown on request."""
+    service = JobService(jobs=2)
+    service.start()
+    thread = threading.Thread(target=service.serve_forever,
+                              daemon=True)
+    thread.start()
+    try:
+        with ServeClient(service.address) as client:
+            ids = [client.submit(run_payload(f"wire{i}"))
+                   for i in range(3)]
+            for job_id in ids:
+                record = client.result(job_id, wait=True, timeout=60)
+                assert record["status"] == "done"
+                assert record["result"]["passed"]
+            status = client.status()
+            assert status["stats"]["completed"] == 3
+            client.shutdown()
+    finally:
+        thread.join(timeout=30)
+        service.shutdown()
+    assert not thread.is_alive()
+    assert service._workers == []  # pool reaped
+
+
+def test_wire_protocol_rejects_garbage():
+    service = JobService(jobs=1)
+    service.start()
+    thread = threading.Thread(target=service.serve_forever,
+                              daemon=True)
+    thread.start()
+    try:
+        with ServeClient(service.address) as client:
+            with pytest.raises(RuntimeError, match="unknown op"):
+                client._call({"op": "dance"})
+            with pytest.raises(RuntimeError):
+                client._call({"op": "submit", "run": {"name": "x"}})
+            with pytest.raises(RuntimeError, match="unknown job id"):
+                client.result("job-404", wait=False)
+            client.shutdown()
+    finally:
+        thread.join(timeout=30)
+        service.shutdown()

@@ -1,0 +1,135 @@
+"""Transport edge cases: framing, EOF signatures, batching."""
+
+import multiprocessing
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.shard.protocol import split_ops
+from repro.shard.transport import (PipeTransport, SocketTransport,
+                                   TransportClosed, TransportError,
+                                   accept_transport, connect_transport,
+                                   open_listener)
+
+
+def _socket_pair():
+    listener, address = open_listener()
+    result = {}
+
+    def dial():
+        result["client"] = connect_transport(address)
+
+    thread = threading.Thread(target=dial)
+    thread.start()
+    server = accept_transport(listener, timeout=5.0)
+    thread.join()
+    listener.close()
+    return server, result["client"]
+
+
+def test_socket_roundtrip_counts_frames():
+    server, client = _socket_pair()
+    try:
+        client.send(("ops", (1, [("n", 1e-6)])))
+        kind, payload = server.recv()
+        assert kind == "ops"
+        assert payload == (1, [("n", 1e-6)])
+        server.send(("ack", (1, [])))
+        assert client.recv() == ("ack", (1, []))
+        assert client.stats() == {"frames_sent": 1,
+                                  "frames_received": 1}
+        assert server.stats() == {"frames_sent": 1,
+                                  "frames_received": 1}
+    finally:
+        server.close()
+        client.close()
+
+
+def test_socket_eof_mid_payload_reports_partial_bytes():
+    """A peer dying inside a frame (the crash-mid-window signature)
+    must name exactly how much of the frame arrived."""
+    listener, address = open_listener()
+    raw = socket.create_connection(address)
+    server = accept_transport(listener, timeout=5.0)
+    listener.close()
+    try:
+        # claim a 100-byte payload, deliver 10, die
+        raw.sendall(struct.pack(">I", 100) + b"x" * 10)
+        raw.close()
+        with pytest.raises(TransportClosed,
+                           match=r"got 10/100 bytes of the payload"):
+            server.recv()
+    finally:
+        server.close()
+
+
+def test_socket_eof_before_any_frame_is_clean():
+    listener, address = open_listener()
+    raw = socket.create_connection(address)
+    server = accept_transport(listener, timeout=5.0)
+    listener.close()
+    try:
+        raw.close()
+        with pytest.raises(TransportClosed,
+                           match=r"got 0/4 bytes of the length prefix"):
+            server.recv()
+    finally:
+        server.close()
+
+
+def test_socket_send_after_peer_close_raises():
+    server, client = _socket_pair()
+    client.close()
+    with pytest.raises(TransportClosed):
+        # the first send may land in the kernel buffer; the second
+        # must observe the reset either way
+        server.send(("ops", (1, [])))
+        server.send(("ops", (2, [])))
+    server.close()
+
+
+def test_accept_timeout_raises_transport_error():
+    listener, _ = open_listener()
+    try:
+        with pytest.raises(TransportError, match="no shard connected"):
+            accept_transport(listener, timeout=0.05)
+    finally:
+        listener.close()
+
+
+def test_pipe_eof_raises_transport_closed():
+    parent, child = multiprocessing.Pipe(duplex=True)
+    transport = PipeTransport(parent)
+    child.close()
+    with pytest.raises(TransportClosed, match="pipe"):
+        transport.recv()
+    transport.close()
+
+
+def test_pipe_roundtrip_in_process():
+    parent, child = multiprocessing.Pipe(duplex=True)
+    a, b = PipeTransport(parent), PipeTransport(child)
+    a.send(("finish", 1.5e-3))
+    assert b.recv() == ("finish", 1.5e-3)
+    assert a.frames_sent == 1 and b.frames_received == 1
+    a.close()
+    b.close()
+
+
+def test_transport_close_is_idempotent():
+    server, client = _socket_pair()
+    for _ in range(2):
+        server.close()
+        client.close()
+    assert server.closed and client.closed
+
+
+def test_split_ops_preserves_order():
+    ops = [("n", float(i)) for i in range(10)]
+    batches = split_ops(ops, 4)
+    assert [len(b) for b in batches] == [4, 4, 2]
+    assert [op for batch in batches for op in batch] == ops
+    assert split_ops(ops, 0) == [ops]
+    assert split_ops([], 4) == []

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 from repro.cli import main
 
@@ -9,7 +10,7 @@ def test_inventory_lists_all_subpackages(capsys):
     assert main(["inventory"]) == 0
     out = capsys.readouterr().out
     for name in ("netsim", "traffic", "atm", "hdl", "rtl", "board",
-                 "core", "analysis"):
+                 "core", "sweep", "shard", "analysis"):
         assert f"repro.{name}" in out
 
 
@@ -179,3 +180,73 @@ def test_sweep_from_spec_file(capsys, tmp_path):
 def test_sweep_rejects_bad_matrix(capsys):
     assert main(["sweep", "--traffic", "warp", "--json", ""]) == 2
     assert "invalid sweep" in capsys.readouterr().err
+
+
+def test_shard_both_modes_digests_match(capsys):
+    assert main(["shard", "--shards", "2", "--levels", "behav",
+                 "--cells", "12", "--chain", "--mode", "both"]) == 0
+    out = capsys.readouterr().out
+    assert "mode local" in out and "mode sharded" in out
+    assert "byte-identical across modes" in out
+
+
+def test_shard_from_spec_file_writes_report(capsys, tmp_path):
+    spec_path = tmp_path / "topo.json"
+    spec_path.write_text(json.dumps(
+        {"topology": {"count": 2, "level": "behav", "chain": True},
+         "run": {"cells": 8}}))
+    report_path = tmp_path / "shard.json"
+    assert main(["shard", "--spec", str(spec_path),
+                 "--mode", "local", "--json", str(report_path)]) == 0
+    assert "2 shard(s)" in capsys.readouterr().out
+    payload = json.loads(report_path.read_text())
+    assert payload["benchmark"] == "shard_topology"
+    assert payload["mode"] == "local"
+    assert len(payload["shards"]) == 2
+
+
+def test_shard_rejects_bad_topology(capsys):
+    assert main(["shard", "--shards", "2",
+                 "--levels", "behav,rtl,auto"]) == 2
+    assert "invalid topology" in capsys.readouterr().err
+    assert main(["shard", "--shards", "0"]) == 2
+
+
+def test_serve_cli_end_to_end():
+    """The serve subcommand over a real subprocess: parse the bound
+    address from the banner, run one job, request shutdown."""
+    import os
+    import re
+    import subprocess
+    import sys as _sys
+
+    from repro.shard import ServeClient
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [_sys.executable, "-m", "repro", "serve", "--jobs", "1"],
+        stdout=subprocess.PIPE, text=True, env=env)
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+        assert match, f"no address in banner: {banner!r}"
+        address = (match.group(1), int(match.group(2)))
+        with ServeClient(address) as client:
+            job_id = client.submit(
+                {"name": "cli-smoke", "traffic": "cbr", "ports": 2,
+                 "seed": 0, "sync": "conservative", "level": "behav",
+                 "cells": 8, "load": 0.25})
+            record = client.result(job_id, wait=True, timeout=60)
+            assert record["status"] == "done"
+            assert record["result"]["passed"]
+            client.shutdown()
+        out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0
+        assert "shut down after 1 job(s)" in out
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()

@@ -19,6 +19,27 @@ def test_examples_directory_is_populated():
     assert "quickstart" in EXAMPLES
 
 
+def test_topology_example_spec_loads_and_runs():
+    """examples/topology_two_switch.toml is live documentation: it
+    must parse into a valid TopologySpec and run to matching digests
+    in the in-process reference mode."""
+    from repro.shard import TopologySpec, run_topology
+    from repro.shard.topology import _toml
+
+    path = EXAMPLES_DIR / "topology_two_switch.toml"
+    assert path.is_file()
+    if _toml is None:
+        pytest.skip("no TOML reader on this interpreter")
+    spec = TopologySpec.from_file(path)
+    assert [s.id for s in spec.shards] == ["edge", "core"]
+    assert spec.chain
+    spec.cells = 8  # keep the smoke fast; the shape is what matters
+    report = run_topology(spec, mode="local")
+    assert report["totals"]["output_cells"] > 0
+    assert report["digest"] == run_topology(spec,
+                                            mode="local")["digest"]
+
+
 @pytest.mark.parametrize("name", EXAMPLES)
 def test_example_runs_clean(name, capsys):
     path = EXAMPLES_DIR / f"{name}.py"

@@ -7,6 +7,16 @@ getattr the remaining attribute chain.  Any name that fails to resolve
 is reported and the script exits non-zero, so the API reference cannot
 silently drift from the code.
 
+Pages may additionally declare themselves *complete* for a package
+with an HTML-comment marker::
+
+    <!-- api:complete repro.shard -->
+
+For every marker the checker imports the named module and requires
+each entry of its ``__all__`` to appear as a backticked dotted name on
+that page — so adding a public name without documenting it fails the
+same gate that catches stale names.
+
 Usage::
 
     PYTHONPATH=src python tools/check_api_docs.py [docs/api]
@@ -20,6 +30,7 @@ import sys
 from pathlib import Path
 
 NAME_RE = re.compile(r"`(repro(?:\.\w+)+)`")
+COMPLETE_RE = re.compile(r"<!--\s*api:complete\s+(repro(?:\.\w+)*)\s*-->")
 
 
 def iter_documented_names(docs_dir: Path):
@@ -27,6 +38,25 @@ def iter_documented_names(docs_dir: Path):
     for page in sorted(docs_dir.glob("*.md")):
         for match in NAME_RE.finditer(page.read_text(encoding="utf-8")):
             yield page.name, match.group(1)
+
+
+def iter_completeness_claims(docs_dir: Path):
+    """Yield ``(page, module_name)`` for every ``api:complete`` marker."""
+    for page in sorted(docs_dir.glob("*.md")):
+        for match in COMPLETE_RE.finditer(page.read_text(encoding="utf-8")):
+            yield page.name, match.group(1)
+
+
+def missing_public_names(docs_dir: Path, page: str, module_name: str) -> list[str]:
+    """Public names of ``module_name`` (its ``__all__``) that *page* never
+    mentions as a backticked ``module_name.X``."""
+    module = importlib.import_module(module_name)
+    public = getattr(module, "__all__", None)
+    if public is None:
+        raise AttributeError(f"{module_name} defines no __all__ to check against")
+    documented = {dotted for p, dotted in iter_documented_names(docs_dir) if p == page}
+    return sorted(name for name in public
+                  if f"{module_name}.{name}" not in documented)
 
 
 def resolve(dotted: str) -> None:
@@ -63,15 +93,33 @@ def main(argv: list[str]) -> int:
             resolve(dotted)
         except Exception as exc:  # noqa: BLE001 - report every resolution failure
             failures.append((page, dotted, exc))
-    if failures:
+    claims = 0
+    incomplete = []
+    for page, module_name in iter_completeness_claims(docs_dir):
+        claims += 1
+        try:
+            missing = missing_public_names(docs_dir, page, module_name)
+        except Exception as exc:  # noqa: BLE001 - report every claim failure
+            incomplete.append((page, module_name, str(exc)))
+            continue
+        if missing:
+            incomplete.append(
+                (page, module_name,
+                 "undocumented public names: " + ", ".join(missing)))
+    if failures or incomplete:
         for page, dotted, exc in failures:
             print(f"FAIL {page}: `{dotted}` does not resolve: {exc}", file=sys.stderr)
+        for page, module_name, detail in incomplete:
+            print(f"FAIL {page}: api:complete {module_name}: {detail}",
+                  file=sys.stderr)
         print(
-            f"check_api_docs: {len(failures)}/{checked} documented names broken",
+            f"check_api_docs: {len(failures)}/{checked} documented names broken, "
+            f"{len(incomplete)}/{claims} completeness claims unmet",
             file=sys.stderr,
         )
         return 1
-    print(f"check_api_docs: OK ({checked} documented names resolve)")
+    print(f"check_api_docs: OK ({checked} documented names resolve, "
+          f"{claims} completeness claim(s) hold)")
     return 0
 
 
