@@ -16,7 +16,10 @@ clock cycles per wall second):
   host-aware 2-vs-1 shard scaling gate (``REPRO_SHARD_SCALING_MIN``,
   default 1.5, on hosts with >= 3 usable cores;
   ``REPRO_SHARD_SCALING_MIN_SERIAL``, default 0.8, elsewhere — see
-  ``benchmarks/bench_shard.py`` for why the bar is host-aware).
+  ``benchmarks/bench_shard.py`` for why the bar is host-aware) and,
+  at full scale, the transport-overhead ceiling
+  (``REPRO_SHARD_OVERHEAD_MAX``, default 0.25: the one-worker run may
+  cost at most 25 % over the in-process reference).
 
 A metric more than ``REPRO_BENCH_TOLERANCE`` (default 0.30, i.e. 30 %)
 below its baseline fails the run with exit code 1.  The generous
@@ -133,6 +136,10 @@ def main() -> int:
     # workers can truly run in parallel, >= the serial floor (0.8,
     # catches protocol serialisation bugs) on smaller hosts.
     shard = fresh["shard"]
+    if not shard.get("digests_match", True):
+        print("FAIL: sharded output digests diverge from the local "
+              "reference across transports")
+        return 1
     floor = shard["scaling_floor"]
     kind = ("parallel" if shard["parallel_capable"]
             else f"serial, {shard['cpus']} cpu(s)")
@@ -142,6 +149,25 @@ def main() -> int:
         return 1
     print(f"2-shard scaling {shard['scaling']:.2f}x meets the "
           f"{floor:g}x floor ({kind} host)")
+    # transport-overhead guard: shipping the op stream to one worker
+    # process must stay cheap relative to the in-process reference.
+    # The ratio is scale-dependent (fewer cells amortise the same
+    # fixed per-frame cost), so like the transport throughput rows it
+    # is enforced at full scale only.
+    overhead_max = float(os.environ.get("REPRO_SHARD_OVERHEAD_MAX",
+                                        "0.25"))
+    overhead = shard["transport_overhead"]
+    if scale() >= 1.0:
+        if overhead > overhead_max:
+            print(f"FAIL: shard transport overhead {overhead:+.1%} "
+                  f"above the {overhead_max:.0%} ceiling "
+                  f"(REPRO_SHARD_OVERHEAD_MAX)")
+            return 1
+        print(f"shard transport overhead {overhead:+.1%} within the "
+              f"{overhead_max:.0%} ceiling")
+    else:
+        print(f"  (smoke scale: transport overhead {overhead:+.1%} "
+              f"recorded, ceiling not enforced)")
 
     if not baselines:
         print("no committed baselines found — artifacts written, "

@@ -43,11 +43,6 @@ class CellFormatError(ValueError):
     """Raised for out-of-range header fields or malformed octet streams."""
 
 
-#: memo of payload tuples that already passed octet validation
-_VALID_PAYLOADS: set = set()
-_VALID_PAYLOAD_LIMIT = 4096
-
-
 @dataclass
 class AtmCell:
     """One ATM cell at the abstract (network-simulator) level.
@@ -97,19 +92,21 @@ class AtmCell:
             raise CellFormatError(
                 f"payload must be {PAYLOAD_OCTETS} octets, "
                 f"got {len(payload)}")
-        # Payload images recur heavily (CBR fills, idle cells); memoise
-        # validated tuples so re-parsing the same payload is one set
-        # lookup instead of 48 range checks.
+        # bytes() validates all 48 octets at C speed (TypeError for a
+        # non-int, ValueError out of 0..255); the per-octet loop reruns
+        # only on failure to raise the precise CellFormatError.  This
+        # replaced a bounded global memo of validated payload tuples:
+        # with random traffic the memo's capacity went to whichever
+        # stream filled it first, silently making every *other* shard's
+        # replay pay the Python loop — a 2x per-shard apply skew in
+        # multi-shard topologies.
         try:
-            if payload in _VALID_PAYLOADS:
-                return
-            cacheable = True
-        except TypeError:        # unhashable octet — fails below anyway
-            cacheable = False
-        for octet in payload:
-            self._check_range("payload octet", octet, 0xFF)
-        if cacheable and len(_VALID_PAYLOADS) < _VALID_PAYLOAD_LIMIT:
-            _VALID_PAYLOADS.add(payload)
+            bytes(payload)
+        except (TypeError, ValueError):
+            for octet in payload:
+                self._check_range("payload octet", octet, 0xFF)
+            raise CellFormatError(    # pragma: no cover - non-int 0..255
+                f"payload octets invalid: {payload!r}")
 
     @staticmethod
     def _check_range(label: str, value: int, maximum: int) -> None:

@@ -444,15 +444,22 @@ def _print_topology_report(report: Dict[str, object]) -> None:
         exchange = shard["exchange"]
         frames = (exchange["frames_sent"]
                   + exchange["frames_received"])
+        octets = (exchange["bytes_sent"]
+                  + exchange["bytes_received"])
         print(f"    {shard['id']:<10} {shard['level']:<6} "
               f"{result['cells_in']:>4} in  "
               f"{result['output_cells']:>4} out  "
               f"{len(result['records']):>3} rec  "
-              f"{frames:>4} frame(s)")
+              f"{frames:>4} frame(s)  "
+              f"{octets:>8,} B")
     print(f"  sync: {sync['messages_posted']} posts, "
           f"{sync['null_messages']} nulls "
           f"({sync['null_messages_coalesced']} coalesced), "
           f"{sync['windows_granted']} windows")
+    if totals["frames"]:
+        print(f"  wire: {totals['bytes']:,} octets in "
+              f"{totals['frames']} frame(s) "
+              f"({totals['bytes'] / totals['frames']:,.0f} B/frame)")
     print(f"  digest {report['digest'][:16]}…")
 
 
@@ -464,6 +471,8 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     try:
         if args.spec:
             spec = TopologySpec.from_file(args.spec)
+            if args.transport:
+                spec.transport = args.transport
         else:
             levels = _csv(args.levels)
             if len(levels) == 1:
@@ -477,7 +486,7 @@ def _cmd_shard(args: argparse.Namespace) -> int:
                                   num_ports=args.ports)
                         for i in range(args.shards)],
                 cells=args.cells, seed=args.seed, chain=args.chain,
-                transport=args.transport,
+                transport=args.transport or "pipe",
                 window_slots=args.window_slots)
         if args.trace_dir:
             spec.trace_dir = args.trace_dir
@@ -731,9 +740,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     shard.add_argument("--chain", action="store_true",
                        help="forward shard k's output cells into "
                             "shard k+1 (two-switch cell flows)")
-    shard.add_argument("--transport", default="pipe",
-                       choices=("pipe", "socket"),
-                       help="shard coupling transport (default pipe)")
+    shard.add_argument("--transport", default=None,
+                       choices=("pipe", "socket", "shm"),
+                       help="shard coupling transport (default pipe; "
+                            "shm is the same-host shared-memory ring; "
+                            "overrides the spec file's choice)")
     shard.add_argument("--window-slots", type=int, default=64,
                        help="cell slots per conservative driving "
                             "window (default 64)")

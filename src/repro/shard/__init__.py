@@ -8,9 +8,15 @@ a long-lived scenario server.
 
 Layers (bottom up):
 
+* :mod:`~repro.shard.codec` — the binary zero-copy frame codec
+  (struct-packed headers, columnar :class:`OpBatch`/:class:`PackedOps`
+  op payloads, a safe tag codec for control values; nothing on the
+  wire is ever pickled — foreign bytes raise :class:`CodecError`).
 * :mod:`~repro.shard.transport` — frame transports
-  (:class:`PipeTransport`, :class:`SocketTransport`) with precise EOF
-  reporting (:class:`TransportClosed`).
+  (:class:`PipeTransport`, :class:`SocketTransport`, the same-host
+  shared-memory :class:`ShmRingTransport` built via
+  :func:`shm_ring_pair`) with precise EOF reporting
+  (:class:`TransportClosed`) and frame/octet counters.
 * :mod:`~repro.shard.protocol` — the op-log replay wire protocol:
   cells/nulls/ticks as compact ops, batched into frames, with full
   remote tracebacks on failure (:class:`ShardError`).
@@ -35,23 +41,32 @@ for the design walk-through.
 """
 
 from .client import LocalShardHandle, ShardHandle, ShardPortEndpoint
+from .codec import (CodecError, OpBatch, OutputBatch, PackedOps,
+                    PackedOutputs, decode_frame, encode_frame)
 from .group import ShardGroup
 from .protocol import ShardError
 from .service import JobService, ServeClient
 from .topology import (MODES, ShardedTopology, ShardSpec,
                        ShardSpecError, TopologySpec, TRANSPORTS,
                        run_topology)
-from .transport import (PipeTransport, SocketTransport, Transport,
-                        TransportClosed, TransportError)
-from .worker import shard_worker_main, shard_worker_socket_main
+from .transport import (PipeTransport, ShmRingTransport,
+                        SocketTransport, Transport, TransportClosed,
+                        TransportError, shm_ring_pair)
+from .worker import (shard_worker_main, shard_worker_shm_main,
+                     shard_worker_socket_main)
 
 __all__ = [
     "ShardHandle", "LocalShardHandle", "ShardPortEndpoint",
     "ShardGroup", "ShardError",
+    "CodecError", "OpBatch", "PackedOps",
+    "OutputBatch", "PackedOutputs",
+    "encode_frame", "decode_frame",
     "JobService", "ServeClient",
     "ShardSpec", "TopologySpec", "ShardSpecError", "ShardedTopology",
     "run_topology", "TRANSPORTS", "MODES",
     "Transport", "PipeTransport", "SocketTransport",
+    "ShmRingTransport", "shm_ring_pair",
     "TransportError", "TransportClosed",
     "shard_worker_main", "shard_worker_socket_main",
+    "shard_worker_shm_main",
 ]

@@ -3,16 +3,23 @@
 Two handle flavours share one public surface (queue ops → flush →
 finish → result), so topology drivers are written once:
 
-* :class:`ShardHandle` — the real thing: ships op batches over a
+* :class:`ShardHandle` — the real thing: ships columnar op batches
+  (:class:`~repro.shard.codec.OpBatch`) over a
   :class:`~repro.shard.transport.Transport` to a worker process,
   pipelining up to ``max_inflight`` unacknowledged frames so shard
   compute overlaps coordinator-side op generation (the distributed
   analogue of PR 4's ``post_many`` batching).
 * :class:`LocalShardHandle` — the reference: applies the *identical*
-  op stream to an in-process :class:`~repro.shard.group.ShardGroup`.
-  Because both flavours funnel ops through the same ``ShardGroup``
-  replay path, a sharded run is byte-identical to its local twin by
+  packed batches to an in-process
+  :class:`~repro.shard.group.ShardGroup`.  Because both flavours
+  funnel ops through the same ``ShardGroup.apply_packed`` replay
+  path, a sharded run is byte-identical to its local twin by
   construction — the equivalence tests assert exactly this.
+
+Ops are queued straight into the batch's columns (one f64 time
+column, one i32 port column, one op-code byte string, one contiguous
+cell blob) — no per-op tuple exists between the stimulus generator
+and the wire.
 
 :class:`ShardPortEndpoint` adapts one (handle, port) pair to the
 :class:`~repro.core.contract.DutContract` surface, so a remote shard
@@ -23,11 +30,14 @@ process-agnostic (mixed-level sharded topologies fall out of this).
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_left
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..atm.cell import AtmCell
 from ..core.contract import DutContract
 from . import protocol
+from .codec import CELL_OCTETS, OpBatch
 from .group import ShardGroup
 from .transport import Transport, TransportClosed
 
@@ -45,11 +55,14 @@ class _HandleBase:
     def __init__(self, shard_id: str, num_ports: int = 4) -> None:
         self.shard_id = shard_id
         self.num_ports = num_ports
-        #: queued, not yet flushed ops
-        self._ops: List[protocol.Op] = []
-        #: collected output cells per port, as (seconds, octets)
-        self.outputs: List[List[Tuple[float, bytes]]] = [
-            [] for _ in range(num_ports)]
+        #: queued, not yet flushed ops (columnar)
+        self._batch = OpBatch()
+        #: collected output cells per port, columnar: one f64 time
+        #: column plus one contiguous 53-octet-multiple blob each
+        self._out_times: List[array] = [array("d")
+                                        for _ in range(num_ports)]
+        self._out_blobs: List[bytearray] = [bytearray()
+                                            for _ in range(num_ports)]
         self.result: Optional[Dict[str, Any]] = None
         self.ops_sent = 0
         self._last_null = float("-inf")
@@ -58,10 +71,11 @@ class _HandleBase:
     # -- op queueing ---------------------------------------------------
     def queue_cell(self, time: float, port: int, cell) -> None:
         """Queue one ingress cell for switch *port* at netsim *time*
-        (an :class:`AtmCell` or a ready-made 53-octet ``bytes``)."""
-        if not isinstance(cell, (bytes, bytearray)):
+        (an :class:`AtmCell` or ready-made 53 octets — ``bytes``,
+        ``bytearray`` or a ``memoryview`` slice)."""
+        if not isinstance(cell, (bytes, bytearray, memoryview)):
             cell = bytes(cell.to_octets())
-        self._ops.append((protocol.OP_CELL, time, port, bytes(cell)))
+        self._batch.add_cell(time, port, cell)
 
     def queue_null(self, time: float) -> None:
         """Queue a null message (time horizon announcement).
@@ -74,33 +88,105 @@ class _HandleBase:
         if time <= self._last_null:
             return
         self._last_null = time
-        self._ops.append((protocol.OP_NULL, time))
+        self._batch.add_null(time)
 
     def queue_tick(self, time: float) -> None:
         """Queue a tariff tick for the shard's accounting unit."""
-        self._ops.append((protocol.OP_TICK, time))
+        self._batch.add_tick(time)
 
-    def _take_ops(self) -> List[protocol.Op]:
-        ops, self._ops = self._ops, []
-        self.ops_sent += len(ops)
-        return ops
+    def _take_batch(self) -> OpBatch:
+        batch, self._batch = self._batch, OpBatch()
+        self.ops_sent += len(batch)
+        return batch
+
+    def _store_packed(self, packed) -> None:
+        """File one ack's output columns into the per-port collectors
+        (an :class:`~repro.shard.codec.PackedOutputs` view or an
+        :class:`~repro.shard.codec.OutputBatch` — the octets are
+        copied here, because wire views die with the next recv).
+
+        ``new_outputs_packed`` emits cells grouped by ascending port,
+        so each port's run is located with two bisects and copied as
+        one column slice — no per-cell Python loop.  A batch that is
+        *not* port-grouped (hand-built in tests) falls back to the
+        per-cell walk.
+        """
+        n = len(packed)
+        if n == 0:
+            return
+        times, ports, blob = packed.times, packed.ports, packed.blob
+        out_times, out_blobs = self._out_times, self._out_blobs
+        covered = 0
+        spans = []
+        for port in range(self.num_ports):
+            lo = bisect_left(ports, port)
+            hi = bisect_left(ports, port + 1, lo)
+            spans.append((port, lo, hi))
+            covered += hi - lo
+        if covered == n:
+            for port, lo, hi in spans:
+                if lo == hi:
+                    continue
+                chunk = times[lo:hi]
+                if not hasattr(chunk, "tobytes"):
+                    chunk = array("d", chunk)  # pragma: no cover
+                out_times[port].frombytes(chunk.tobytes())
+                out_blobs[port] += blob[lo * CELL_OCTETS:
+                                        hi * CELL_OCTETS]
+            return
+        for i in range(n):
+            port = ports[i]
+            out_times[port].append(times[i])
+            out_blobs[port] += blob[i * CELL_OCTETS:
+                                    (i + 1) * CELL_OCTETS]
 
     def _store_outputs(self,
                        fresh: List[Tuple[int, float, bytes]]) -> None:
+        """Tuple-list twin of :meth:`_store_packed` (the residual
+        outputs a ``FRAME_RESULT`` carries)."""
         for port, when, octets in fresh:
-            self.outputs[port].append((when, octets))
+            self._out_times[port].append(when)
+            self._out_blobs[port] += octets
 
     # -- views ---------------------------------------------------------
+    def output_count(self, port: int) -> int:
+        """Collected output cells of *port* so far."""
+        return len(self._out_times[port])
+
     def output_cells(self, port: int) -> List[Tuple[float, AtmCell]]:
         """The collected output stream of *port* as
         ``(seconds, AtmCell)`` tuples (parsed on demand)."""
-        return [(when, AtmCell.from_octets(octets, verify_hec=False))
-                for when, octets in self.outputs[port]]
+        times, blob = self._out_times[port], self._out_blobs[port]
+        return [(times[i],
+                 AtmCell.from_octets(
+                     blob[i * CELL_OCTETS:(i + 1) * CELL_OCTETS],
+                     verify_hec=False))
+                for i in range(len(times))]
 
     def output_octets(self, port: int) -> List[bytes]:
         """The raw 53-octet images of *port*'s output stream — the
         byte-identical comparison basis of the equivalence tests."""
-        return [octets for _, octets in self.outputs[port]]
+        blob = self._out_blobs[port]
+        return [bytes(blob[i * CELL_OCTETS:(i + 1) * CELL_OCTETS])
+                for i in range(len(self._out_times[port]))]
+
+    def output_blob(self, port: int) -> bytes:
+        """*port*'s whole output stream as one contiguous octet blob
+        (53 octets per cell, stream order) — the per-port digests
+        hash this in a single update."""
+        return bytes(self._out_blobs[port])
+
+    def drain_outputs(self, port: int,
+                      start: int) -> List[Tuple[float, memoryview]]:
+        """``(seconds, octets)`` pairs of *port*'s stream from index
+        *start* on — the chain-forwarding feed.  The octets are
+        memoryview slices into the collector; consume them before the
+        handle stores more outputs."""
+        times = self._out_times[port]
+        blob = memoryview(self._out_blobs[port])
+        return [(times[i],
+                 blob[i * CELL_OCTETS:(i + 1) * CELL_OCTETS])
+                for i in range(start, len(times))]
 
 
 class ShardHandle(_HandleBase):
@@ -164,8 +250,8 @@ class ShardHandle(_HandleBase):
                 {"type": "ProtocolError",
                  "message": f"expected ack, got {kind!r}",
                  "traceback": ""})
-        _, packed = payload
-        self._store_outputs(protocol.unpack_outputs(packed))
+        _, outputs = payload
+        self._store_packed(outputs)
         self._inflight -= 1
 
     # -- exchange ------------------------------------------------------
@@ -173,13 +259,11 @@ class ShardHandle(_HandleBase):
         """Ship all queued ops, draining acks only when the pipeline
         window is full — the coordinator keeps generating ops while
         the shard computes."""
-        for batch in protocol.split_ops(self._take_ops(),
-                                        self.max_batch):
+        for batch in self._take_batch().split(self.max_batch):
             while self._inflight >= self.max_inflight:
                 self._drain_ack()
             self._seq += 1
-            self._send((protocol.FRAME_OPS,
-                        (self._seq, protocol.pack_ops(batch))))
+            self._send((protocol.FRAME_OPS, (self._seq, batch)))
             self._inflight += 1
 
     def barrier(self) -> None:
@@ -223,8 +307,9 @@ class ShardHandle(_HandleBase):
         self.transport.close()
 
     def stats(self) -> Dict[str, int]:
-        """Exchange counters: ops shipped and transport frames both
-        ways (the per-shard sync/exchange metrics of the report)."""
+        """Exchange counters: ops shipped plus transport frames *and
+        octets* both ways (the per-shard sync/exchange metrics of the
+        report — octets measure the codec's framing efficiency)."""
         stats = self.transport.stats()
         stats["ops_sent"] = self.ops_sent
         return stats
@@ -233,7 +318,7 @@ class ShardHandle(_HandleBase):
 class LocalShardHandle(_HandleBase):
     """The in-process reference twin of :class:`ShardHandle`.
 
-    Applies the identical op stream to a local
+    Applies the identical packed op batches to a local
     :class:`~repro.shard.group.ShardGroup` — no processes, no
     transport — so a "sharded" topology can run single-process for
     debugging, CI determinism checks, and the byte-identical
@@ -250,12 +335,13 @@ class LocalShardHandle(_HandleBase):
                                 clocking=clocking)
 
     def flush(self) -> None:
-        """Replay all queued ops into the local group and collect the
-        outputs they produced."""
-        ops = self._take_ops()
-        if ops:
-            self.group.apply_ops(ops)
-            self._store_outputs(self.group.new_outputs())
+        """Replay all queued ops into the local group (through the
+        same packed surface the worker uses) and collect the outputs
+        they produced."""
+        batch = self._take_batch()
+        if len(batch):
+            self.group.apply_packed(batch.packed())
+            self._store_packed(self.group.new_outputs_packed())
 
     def barrier(self) -> None:
         """Same as :meth:`flush` — nothing is ever in flight
@@ -267,7 +353,7 @@ class LocalShardHandle(_HandleBase):
         return its result report."""
         self.flush()
         self.group.finish(time)
-        self._store_outputs(self.group.new_outputs())
+        self._store_packed(self.group.new_outputs_packed())
         self.result = self.group.result()
         return self.result
 
@@ -283,8 +369,10 @@ class LocalShardHandle(_HandleBase):
             self.group.close()
 
     def stats(self) -> Dict[str, int]:
-        """Exchange counters (zero frames — everything is local)."""
+        """Exchange counters (zero frames/octets — everything is
+        local)."""
         return {"frames_sent": 0, "frames_received": 0,
+                "bytes_sent": 0, "bytes_received": 0,
                 "ops_sent": self.ops_sent}
 
 
@@ -348,6 +436,6 @@ class ShardPortEndpoint(DutContract):
             "port": self.port,
             "cells_in": self.cells_in,
             "ticks_in": self.ticks_in,
-            "output_cells": len(self.handle.outputs[self.port]),
+            "output_cells": self.handle.output_count(self.port),
             "exchange": self.handle.stats(),
         }

@@ -1,0 +1,655 @@
+"""Binary zero-copy frame codec for the shard wire path.
+
+PR 8 shipped frames as pickled tuples (columnar, but still pickle):
+measured against the local reference that wire cost 41.5 % of the
+one-shard run — the op-log transport, not the DUTs, had become the
+hot path.  SCE-MI's transaction pipes (PAPERS.md) only win when
+marshalling is a *fixed-format, copy-minimal* discipline; this module
+is that discipline for every frame kind the shard protocol speaks:
+
+* **struct-packed headers** — every frame opens with an 8-octet
+  ``<HBBI`` header (magic, version, kind code, payload length).  A
+  pickle stream can never carry the magic, so the transports reject
+  foreign bytes with :class:`CodecError` *before* any byte is
+  interpreted — the wire no longer unpickles anything.
+* **columnar op frames** — ``FRAME_OPS``/``FRAME_ACK`` payloads are
+  four contiguous columns (one f64 time column, one i32 port column,
+  one op-code byte string, one 53-octet-multiple cell blob), built
+  incrementally by :class:`OpBatch` and decoded *without copying* by
+  :class:`PackedOps`: ``memoryview.cast`` lends typed views straight
+  into the receive buffer — no chunk-list joins, no per-op tuples on
+  the wire, and the replay side can slice cells directly out of the
+  blob (:meth:`repro.shard.group.ShardGroup.apply_packed`).
+* **a safe recursive value codec** — the rare control frames
+  (``HELLO``/``FINISH``/``RESULT``/``SNAPSHOT``/``ERROR``/``CLOSE``)
+  carry plain data (None/bool/int/float/str/bytes/list/tuple/dict),
+  tag-encoded so the exact Python shapes round-trip (tuples stay
+  tuples, bytes stay bytes) with **zero code execution** on decode.
+
+Every malformed buffer — truncated, corrupt, wrong magic, interior
+inconsistency — raises :class:`CodecError` with a precise message;
+the seeded fuzz tests assert no other exception type can escape.
+
+Decoded ``FRAME_OPS``/``FRAME_ACK`` payloads alias the transport's
+reusable receive buffer and stay valid only until the next ``recv``
+on that transport — consume (or copy) before receiving again, which
+the worker loop and coordinator handle do by construction.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from array import array
+from typing import Any, List, Tuple
+
+__all__ = ["CodecError", "OpBatch", "PackedOps",
+           "OutputBatch", "PackedOutputs",
+           "encode_frame", "decode_frame",
+           "frame_header", "parse_header",
+           "HEADER_OCTETS", "MAGIC", "VERSION"]
+
+#: every cell on the wire is one whole ATM cell
+CELL_OCTETS = 53
+
+#: frame header: magic, version, kind code, payload octet count
+_HEADER = struct.Struct("<HBBI")
+HEADER_OCTETS = _HEADER.size  # 8
+MAGIC = 0xAC53  # "ATM Cell 53" — never the opening bytes of a pickle
+VERSION = 1
+
+#: fixed sub-header of an ops/ack payload: seq, n_ops, n_cells —
+#: 16 octets, so the f64 time column lands 8-aligned when the payload
+#: itself starts at an aligned address (it does: transports decode at
+#: offset 0 of their receive buffer)
+_OPS_HEAD = struct.Struct("<QII")
+
+#: op codes as single octets ("c"/"n"/"k", matching protocol.py)
+CODE_CELL = ord("c")
+CODE_NULL = ord("n")
+CODE_TICK = ord("k")
+_VALID_CODES = frozenset((CODE_CELL, CODE_NULL, CODE_TICK))
+
+#: frame kinds <-> wire codes (strings stay the in-process currency;
+#: only the single code octet travels)
+_KIND_TO_CODE = {"hello": 1, "ops": 2, "ack": 3, "finish": 4,
+                 "result": 5, "snapshot": 6, "error": 7, "close": 8}
+_CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
+_OPS_CODE = _KIND_TO_CODE["ops"]
+_ACK_CODE = _KIND_TO_CODE["ack"]
+
+#: the wire is little-endian; on little-endian hosts (everything this
+#: runs on in practice) the typed columns decode as zero-copy
+#: memoryview casts, elsewhere through a struct-based copy fallback
+_LITTLE = sys.byteorder == "little"
+#: array type code with a 4-octet signed item (the port column)
+_INT4 = "i" if array("i").itemsize == 4 else "l"
+assert array(_INT4).itemsize == 4 or not _LITTLE
+
+
+class CodecError(ValueError):
+    """A buffer is not a valid codec frame (truncated, corrupt, wrong
+    magic — including anything pickled) or a value cannot be encoded."""
+
+
+# ----------------------------------------------------------------------
+# Op batches (encode side) and packed views (decode side)
+# ----------------------------------------------------------------------
+class OpBatch:
+    """Columnar builder of one op batch — the coordinator-side twin of
+    :class:`PackedOps`.
+
+    Ops are appended straight into four growing columns (op-code
+    bytes, f64 times, i32 ports, one contiguous cell blob); no per-op
+    tuple ever exists.  ``ports`` and ``blob`` carry one entry per
+    *cell* op only — nulls and ticks contribute just a code and a
+    time.
+    """
+
+    __slots__ = ("codes", "times", "ports", "blob")
+
+    def __init__(self) -> None:
+        self.codes = bytearray()
+        self.times = array("d")
+        self.ports = array(_INT4)
+        self.blob = bytearray()
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    @property
+    def n_cells(self) -> int:
+        """Cell ops in the batch (the blob holds 53 octets each)."""
+        return len(self.ports)
+
+    def add_cell(self, time: float, port: int, octets) -> None:
+        """Append one cell-delivery op (*octets* must be 53 octets)."""
+        if len(octets) != CELL_OCTETS:
+            raise ValueError(
+                f"cell op carries {len(octets)} octets, expected "
+                f"{CELL_OCTETS}")
+        self.codes.append(CODE_CELL)
+        self.times.append(time)
+        self.ports.append(port)
+        self.blob += octets
+
+    def add_null(self, time: float) -> None:
+        """Append one null-message (time horizon) op."""
+        self.codes.append(CODE_NULL)
+        self.times.append(time)
+
+    def add_tick(self, time: float) -> None:
+        """Append one tariff-tick op."""
+        self.codes.append(CODE_TICK)
+        self.times.append(time)
+
+    def packed(self) -> "PackedOps":
+        """A :class:`PackedOps` view over this batch's own columns —
+        the local reference mode replays through the identical packed
+        surface the worker decodes from the wire."""
+        return PackedOps(len(self.codes), len(self.ports), self.codes,
+                         self.times, self.ports, memoryview(self.blob))
+
+    def split(self, max_batch: int) -> List["OpBatch"]:
+        """Chunk into batches of at most *max_batch* ops (column
+        slices; op order is preserved so replay semantics are
+        unchanged)."""
+        n = len(self.codes)
+        if max_batch <= 0 or n <= max_batch:
+            return [self] if n else []
+        out: List[OpBatch] = []
+        cell_at = 0
+        for start in range(0, n, max_batch):
+            stop = min(start + max_batch, n)
+            cells = self.codes.count(CODE_CELL, start, stop)
+            sub = OpBatch()
+            sub.codes = self.codes[start:stop]
+            sub.times = self.times[start:stop]
+            sub.ports = self.ports[cell_at:cell_at + cells]
+            sub.blob = self.blob[cell_at * CELL_OCTETS:
+                                 (cell_at + cells) * CELL_OCTETS]
+            cell_at += cells
+            out.append(sub)
+        return out
+
+
+class PackedOps:
+    """Zero-copy view of one decoded op batch.
+
+    ``codes``/``times``/``ports``/``blob`` are typed views
+    (``memoryview.cast`` on the wire path, the builder's own arrays on
+    the local path) — indexing yields plain ints/floats, slicing the
+    blob yields 53-octet cell images without copying.  The views alias
+    the transport's receive buffer: valid until the next ``recv``.
+    """
+
+    __slots__ = ("n_ops", "n_cells", "codes", "times", "ports", "blob")
+
+    def __init__(self, n_ops: int, n_cells: int, codes, times, ports,
+                 blob) -> None:
+        self.n_ops = n_ops
+        self.n_cells = n_cells
+        self.codes = codes
+        self.times = times
+        self.ports = ports
+        self.blob = blob
+
+    def __len__(self) -> int:
+        return self.n_ops
+
+    def ops(self) -> List[Tuple[Any, ...]]:
+        """Materialise the batch as the classic op tuples (see
+        :mod:`repro.shard.protocol`) — tests and tooling only; the
+        replay path never builds these."""
+        out: List[Tuple[Any, ...]] = []
+        codes, times, ports, blob = (self.codes, self.times,
+                                     self.ports, self.blob)
+        cell = 0
+        for i in range(self.n_ops):
+            code = codes[i]
+            if code == CODE_CELL:
+                out.append(("c", times[i], ports[cell],
+                            bytes(blob[cell * CELL_OCTETS:
+                                       (cell + 1) * CELL_OCTETS])))
+                cell += 1
+            elif code == CODE_NULL:
+                out.append(("n", times[i]))
+            else:
+                out.append(("k", times[i]))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Typed-column helpers (zero-copy on little-endian hosts)
+# ----------------------------------------------------------------------
+def _column_f64(view: memoryview, count: int):
+    if _LITTLE:
+        return view.cast("d")
+    return struct.unpack(f"<{count}d", view)  # pragma: no cover
+
+
+def _column_i32(view: memoryview, count: int):
+    if _LITTLE:
+        return view.cast(_INT4)
+    return struct.unpack(f"<{count}i", view)  # pragma: no cover
+
+
+def _f64_bytes(column: array) -> bytes:
+    if _LITTLE:
+        return column.tobytes()
+    swapped = array("d", column)  # pragma: no cover
+    swapped.byteswap()  # pragma: no cover
+    return swapped.tobytes()  # pragma: no cover
+
+
+def _i32_bytes(column: array) -> bytes:
+    if _LITTLE:
+        return column.tobytes()
+    return struct.pack(f"<{len(column)}i", *column)  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# OPS / ACK payloads
+# ----------------------------------------------------------------------
+def _encode_ops(seq: int, batch) -> bytes:
+    """Payload image of ``(seq, OpBatch)`` (also accepts a
+    :class:`PackedOps`, re-encoding a decoded batch verbatim)."""
+    n_ops = len(batch.codes)
+    n_cells = len(batch.ports)
+    return b"".join((
+        _OPS_HEAD.pack(seq, n_ops, n_cells),
+        _f64_bytes(batch.times) if isinstance(batch.times, array)
+        else bytes(batch.times),
+        _i32_bytes(batch.ports) if isinstance(batch.ports, array)
+        else bytes(batch.ports),
+        bytes(batch.codes),
+        bytes(batch.blob),
+    ))
+
+
+def _decode_ops(view: memoryview) -> Tuple[int, PackedOps]:
+    if len(view) < _OPS_HEAD.size:
+        raise CodecError(
+            f"ops payload truncated: {len(view)} octets, need at "
+            f"least {_OPS_HEAD.size} for the seq/count header")
+    seq, n_ops, n_cells = _OPS_HEAD.unpack_from(view, 0)
+    if n_cells > n_ops:
+        raise CodecError(
+            f"ops payload corrupt: {n_cells} cells > {n_ops} ops")
+    expected = (_OPS_HEAD.size + 8 * n_ops + 4 * n_cells + n_ops
+                + CELL_OCTETS * n_cells)
+    if len(view) != expected:
+        raise CodecError(
+            f"ops payload length mismatch: {len(view)} octets for "
+            f"{n_ops} ops / {n_cells} cells (expected {expected})")
+    at = _OPS_HEAD.size
+    times = _column_f64(view[at:at + 8 * n_ops], n_ops)
+    at += 8 * n_ops
+    ports = _column_i32(view[at:at + 4 * n_cells], n_cells)
+    at += 4 * n_cells
+    codes = view[at:at + n_ops]
+    at += n_ops
+    blob = view[at:at + CELL_OCTETS * n_cells]
+    code_bytes = bytes(codes)
+    if not _VALID_CODES.issuperset(code_bytes):
+        bad = sorted(set(code_bytes) - _VALID_CODES)
+        raise CodecError(f"ops payload carries unknown op code(s) "
+                         f"{bad}")
+    if code_bytes.count(CODE_CELL) != n_cells:
+        raise CodecError(
+            f"ops payload corrupt: code column has "
+            f"{code_bytes.count(CODE_CELL)} cell op(s) but the "
+            f"header claims {n_cells}")
+    return seq, PackedOps(n_ops, n_cells, codes, times, ports, blob)
+
+
+#: ack sub-header: seq, n_cells (+ 4 pad octets keeping times aligned)
+_ACK_HEAD = struct.Struct("<QII")
+
+
+class OutputBatch:
+    """Columnar builder of one ack's piggy-backed output cells — the
+    worker-side twin of :class:`PackedOutputs`.
+
+    :meth:`repro.shard.group.ShardGroup.new_outputs_packed` appends
+    each fresh output cell straight into three growing columns (f64
+    times, i32 ports, one contiguous 53-octet-multiple blob), and the
+    encoder ships those columns verbatim — no per-cell tuple or bytes
+    object ever exists between the DUT and the wire.
+    """
+
+    __slots__ = ("times", "ports", "blob")
+
+    def __init__(self) -> None:
+        self.times = array("d")
+        self.ports = array(_INT4)
+        self.blob = bytearray()
+
+    def __len__(self) -> int:
+        return len(self.ports)
+
+    def add(self, port: int, time: float, octets) -> None:
+        """Append one output cell (*octets* must be 53 octets)."""
+        if len(octets) != CELL_OCTETS:
+            raise CodecError(
+                f"output cell carries {len(octets)} octets, expected "
+                f"{CELL_OCTETS}")
+        self.ports.append(port)
+        self.times.append(time)
+        # extend, not +=: accepts bytes-likes and plain octet lists
+        # (AtmCell.to_octets) alike
+        self.blob.extend(octets)
+
+
+class PackedOutputs:
+    """Zero-copy view of one decoded ack's output columns.
+
+    ``times``/``ports``/``blob`` are typed views aliasing the
+    transport's receive buffer (valid until the next ``recv``) — the
+    coordinator copies them into its per-port collectors without ever
+    materialising per-cell tuples.
+    """
+
+    __slots__ = ("n_cells", "times", "ports", "blob")
+
+    def __init__(self, n_cells: int, times, ports, blob) -> None:
+        self.n_cells = n_cells
+        self.times = times
+        self.ports = ports
+        self.blob = blob
+
+    def __len__(self) -> int:
+        return self.n_cells
+
+    def outputs(self) -> List[Tuple[int, float, bytes]]:
+        """Materialise as classic ``(port, seconds, octets)`` tuples —
+        tests and tooling only; the ack path never builds these."""
+        times, ports, blob = self.times, self.ports, self.blob
+        return [(ports[i], times[i],
+                 bytes(blob[i * CELL_OCTETS:(i + 1) * CELL_OCTETS]))
+                for i in range(self.n_cells)]
+
+
+def _encode_ack(seq: int, outputs) -> bytes:
+    """Payload image of ``(seq, outputs)``.
+
+    *outputs* is an :class:`OutputBatch`/:class:`PackedOutputs` (the
+    hot path — columns pass straight to the wire) or a legacy list of
+    ``(port, t, octets)`` tuples (tests and tooling).
+    """
+    if isinstance(outputs, (OutputBatch, PackedOutputs)):
+        n_cells = len(outputs)
+        if len(outputs.blob) != n_cells * CELL_OCTETS:
+            raise CodecError(
+                f"output blob carries {len(outputs.blob)} octets for "
+                f"{n_cells} cell(s)")
+        return b"".join((
+            _ACK_HEAD.pack(seq, n_cells, 0),
+            _f64_bytes(outputs.times)
+            if isinstance(outputs.times, array)
+            else bytes(outputs.times),
+            _i32_bytes(outputs.ports)
+            if isinstance(outputs.ports, array)
+            else bytes(outputs.ports),
+            bytes(outputs.blob),
+        ))
+    times = array("d")
+    ports = array(_INT4)
+    chunks = [b""]
+    for port, when, octets in outputs:
+        if len(octets) != CELL_OCTETS:
+            raise CodecError(
+                f"output cell carries {len(octets)} octets, expected "
+                f"{CELL_OCTETS}")
+        ports.append(port)
+        times.append(when)
+        chunks.append(bytes(octets))
+    chunks[0] = (_ACK_HEAD.pack(seq, len(ports), 0)
+                 + _f64_bytes(times) + _i32_bytes(ports))
+    return b"".join(chunks)
+
+
+def _decode_ack(view: memoryview) -> Tuple[int, PackedOutputs]:
+    if len(view) < _ACK_HEAD.size:
+        raise CodecError(
+            f"ack payload truncated: {len(view)} octets, need at "
+            f"least {_ACK_HEAD.size} for the seq/count header")
+    seq, n_cells, _pad = _ACK_HEAD.unpack_from(view, 0)
+    expected = _ACK_HEAD.size + (8 + 4 + CELL_OCTETS) * n_cells
+    if len(view) != expected:
+        raise CodecError(
+            f"ack payload length mismatch: {len(view)} octets for "
+            f"{n_cells} cell(s) (expected {expected})")
+    at = _ACK_HEAD.size
+    times = _column_f64(view[at:at + 8 * n_cells], n_cells)
+    at += 8 * n_cells
+    ports = _column_i32(view[at:at + 4 * n_cells], n_cells)
+    at += 4 * n_cells
+    return seq, PackedOutputs(n_cells, times, ports, view[at:])
+
+
+# ----------------------------------------------------------------------
+# The safe recursive value codec (control frames)
+# ----------------------------------------------------------------------
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+_MAX_DEPTH = 64
+_MAX_INT_OCTETS = 1 << 20
+
+
+def _encode_value(value: Any, out: bytearray, depth: int = 0) -> None:
+    if depth > _MAX_DEPTH:
+        raise CodecError(f"value nesting deeper than {_MAX_DEPTH}")
+    if value is None:
+        out.append(0x4E)  # N
+    elif value is True:
+        out.append(0x54)  # T
+    elif value is False:
+        out.append(0x46)  # F
+    elif type(value) is int:
+        raw = value.to_bytes((value.bit_length() + 8) // 8,
+                             "big", signed=True) if value else b""
+        out.append(0x69)  # i
+        out += _U32.pack(len(raw))
+        out += raw
+    elif type(value) is float:
+        out.append(0x66)  # f
+        out += _F64.pack(value)
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out.append(0x73)  # s
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out.append(0x62)  # b
+        out += _U32.pack(len(raw))
+        out += raw
+    elif type(value) is list:
+        out.append(0x6C)  # l
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_value(item, out, depth + 1)
+    elif type(value) is tuple:
+        out.append(0x74)  # t
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_value(item, out, depth + 1)
+    elif type(value) is dict:
+        out.append(0x64)  # d
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            _encode_value(key, out, depth + 1)
+            _encode_value(item, out, depth + 1)
+    else:
+        raise CodecError(
+            f"cannot encode {type(value).__name__!r} on the shard "
+            "wire (supported: None/bool/int/float/str/bytes/"
+            "list/tuple/dict)")
+
+
+def _decode_value(view: memoryview, at: int,
+                  depth: int = 0) -> Tuple[Any, int]:
+    if depth > _MAX_DEPTH:
+        raise CodecError(f"value nesting deeper than {_MAX_DEPTH}")
+    if at >= len(view):
+        raise CodecError(
+            f"value truncated: no tag at octet {at}/{len(view)}")
+    tag = view[at]
+    at += 1
+    if tag == 0x4E:
+        return None, at
+    if tag == 0x54:
+        return True, at
+    if tag == 0x46:
+        return False, at
+    if tag == 0x66:
+        if at + 8 > len(view):
+            raise CodecError(
+                f"value truncated inside a float at octet {at}")
+        return _F64.unpack_from(view, at)[0], at + 8
+    if tag in (0x69, 0x73, 0x62, 0x6C, 0x74, 0x64):
+        if at + 4 > len(view):
+            raise CodecError(
+                f"value truncated inside a length at octet {at}")
+        (count,) = _U32.unpack_from(view, at)
+        at += 4
+        if tag == 0x69:
+            if count > _MAX_INT_OCTETS:
+                raise CodecError(f"int wider than {_MAX_INT_OCTETS} "
+                                 "octets")
+            if at + count > len(view):
+                raise CodecError(
+                    f"value truncated inside an int at octet {at}")
+            raw = bytes(view[at:at + count])
+            return int.from_bytes(raw, "big", signed=True), at + count
+        if tag == 0x73:
+            if at + count > len(view):
+                raise CodecError(
+                    f"value truncated inside a string at octet {at}")
+            try:
+                return (bytes(view[at:at + count]).decode("utf-8"),
+                        at + count)
+            except UnicodeDecodeError as exc:
+                raise CodecError(f"corrupt utf-8 string: {exc}")
+        if tag == 0x62:
+            if at + count > len(view):
+                raise CodecError(
+                    f"value truncated inside bytes at octet {at}")
+            return bytes(view[at:at + count]), at + count
+        if count > len(view) - at:
+            raise CodecError(
+                f"container claims {count} item(s) but only "
+                f"{len(view) - at} octet(s) remain")
+        if tag in (0x6C, 0x74):
+            items = []
+            for _ in range(count):
+                item, at = _decode_value(view, at, depth + 1)
+                items.append(item)
+            return (items if tag == 0x6C else tuple(items)), at
+        mapping = {}
+        for _ in range(count):
+            key, at = _decode_value(view, at, depth + 1)
+            item, at = _decode_value(view, at, depth + 1)
+            try:
+                mapping[key] = item
+            except TypeError as exc:
+                raise CodecError(f"unhashable dict key: {exc}")
+        return mapping, at
+    raise CodecError(f"unknown value tag 0x{tag:02X} at octet "
+                     f"{at - 1}")
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+def frame_header(kind: str, payload_len: int) -> bytes:
+    """The 8-octet header for *kind* and a *payload_len*-octet body."""
+    code = _KIND_TO_CODE.get(kind)
+    if code is None:
+        raise CodecError(f"unknown frame kind {kind!r}")
+    return _HEADER.pack(MAGIC, VERSION, code, payload_len)
+
+
+def parse_header(view) -> Tuple[int, int]:
+    """Validate an 8-octet frame header; returns ``(kind_code,
+    payload_len)``.
+
+    A buffer that opens with a pickle opcode (0x80 PROTO) gets the
+    explicit refusal message — the security property the transports
+    inherit: nothing on the shard wire is ever unpickled.
+    """
+    if len(view) < HEADER_OCTETS:
+        raise CodecError(
+            f"frame header truncated: {len(view)}/{HEADER_OCTETS} "
+            "octets")
+    magic, version, kind_code, payload_len = _HEADER.unpack_from(
+        view, 0)
+    if magic != MAGIC:
+        if view[0] == 0x80:
+            raise CodecError(
+                "refusing pickled frame (opens with pickle PROTO "
+                "opcode 0x80) — the shard wire is codec-only")
+        raise CodecError(
+            f"bad frame magic 0x{magic:04X} (expected 0x{MAGIC:04X})")
+    if version != VERSION:
+        raise CodecError(
+            f"unsupported codec version {version} (speaking "
+            f"{VERSION})")
+    if kind_code not in _CODE_TO_KIND:
+        raise CodecError(f"unknown frame kind code {kind_code}")
+    return kind_code, payload_len
+
+
+def encode_frame(frame: Tuple[str, Any]) -> bytes:
+    """One ``(kind, payload)`` frame as contiguous wire bytes
+    (header + payload, ready for a single ``sendall``)."""
+    try:
+        kind, payload = frame
+    except (TypeError, ValueError):
+        raise CodecError(
+            f"a frame is a (kind, payload) pair, got {frame!r}")
+    code = _KIND_TO_CODE.get(kind)
+    if code is None:
+        raise CodecError(f"unknown frame kind {kind!r}")
+    if code == _OPS_CODE:
+        body = _encode_ops(*payload)
+    elif code == _ACK_CODE:
+        body = _encode_ack(*payload)
+    else:
+        out = bytearray()
+        _encode_value(payload, out)
+        body = bytes(out)
+    return _HEADER.pack(MAGIC, VERSION, code, len(body)) + body
+
+
+def decode_payload(kind_code: int, view: memoryview
+                   ) -> Tuple[str, Any]:
+    """Decode one payload given its already-validated header fields;
+    returns the ``(kind, payload)`` frame."""
+    if kind_code == _OPS_CODE:
+        return "ops", _decode_ops(view)
+    if kind_code == _ACK_CODE:
+        return "ack", _decode_ack(view)
+    value, at = _decode_value(view, 0)
+    if at != len(view):
+        raise CodecError(
+            f"{len(view) - at} trailing octet(s) after the payload "
+            "value")
+    return _CODE_TO_KIND[kind_code], value
+
+
+def decode_frame(data) -> Tuple[str, Any]:
+    """Decode one whole frame (header + payload) from *data*.
+
+    For ``ops``/``ack`` frames the payload views alias *data* — keep
+    the buffer alive (and unmodified) while the frame is in use.
+    """
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    kind_code, payload_len = parse_header(view)
+    if len(view) != HEADER_OCTETS + payload_len:
+        raise CodecError(
+            f"frame length mismatch: header claims {payload_len} "
+            f"payload octet(s), buffer carries "
+            f"{len(view) - HEADER_OCTETS}")
+    return decode_payload(kind_code, view[HEADER_OCTETS:])

@@ -3,9 +3,11 @@
 :class:`ShardGroup` owns one
 :class:`~repro.core.CoVerificationEnvironment` hosting the shard's
 swappable DUTs (built through :func:`repro.behav.factory.build_dut`,
-so ``level="rtl"|"behav"|"auto"`` works per shard) and exposes exactly
-one way to drive them: :meth:`apply_ops`, replaying the coordinator's
-op log in order.
+so ``level="rtl"|"behav"|"auto"`` works per shard) and exposes one
+way to drive them: replaying the coordinator's op log in order —
+:meth:`apply_packed` for the columnar batches the binary codec
+produces (the hot path, decode-free: cells are sliced straight out of
+the received blob) and :meth:`apply_ops` for classic op-tuple lists.
 
 This is the linchpin of the sharded-equals-local guarantee: the shard
 *worker process* replays ops it received over a transport, and the
@@ -31,7 +33,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..atm.cell import AtmCell
 from ..behav.factory import DutHandle, build_dut
 from ..core.environment import CoVerificationEnvironment
-from . import protocol
+from . import codec, protocol
 
 __all__ = ["ShardGroup"]
 
@@ -139,18 +141,74 @@ class ShardGroup:
                 raise ValueError(f"unknown op code {code!r}")
             self.ops_applied += 1
 
-    def new_outputs(self) -> List[Tuple[int, float, bytes]]:
-        """Output cells that appeared since the previous call, as
-        ``(port, seconds, octets)`` tuples in per-port stream order —
-        the piggy-back payload of each ``FRAME_ACK``."""
-        fresh: List[Tuple[int, float, bytes]] = []
+    def apply_packed(self, packed) -> None:
+        """Replay one :class:`~repro.shard.codec.PackedOps` batch.
+
+        The decode-free twin of :meth:`apply_ops`: cells are sliced
+        straight out of the received blob (``memoryview`` slices into
+        the transport's receive buffer — :meth:`AtmCell.from_octets`
+        copies the 53 octets immediately, so nothing outlives the
+        buffer) and no per-op tuple is ever built.  Both the worker
+        process and the local reference mode replay through this one
+        method, preserving the byte-identity-by-construction argument
+        of :meth:`apply_ops`.
+        """
+        switch_entities = self.switch.entities
+        acct = self.accounting.entity if self.accounting else None
+        codes, times, ports, blob = (packed.codes, packed.times,
+                                     packed.ports, packed.blob)
+        cell_at = 0
+        for i in range(packed.n_ops):
+            code = codes[i]
+            if code == codec.CODE_CELL:
+                t = times[i]
+                cell = AtmCell.from_octets(
+                    blob[cell_at * codec.CELL_OCTETS:
+                         (cell_at + 1) * codec.CELL_OCTETS],
+                    verify_hec=False)
+                switch_entities[ports[cell_at]].send_cell(t, cell)
+                if acct is not None:
+                    acct.send_cell(t, cell)
+                cell_at += 1
+            elif code == codec.CODE_NULL:
+                t = times[i]
+                for entity in switch_entities:
+                    entity.advance_time(t)
+                if acct is not None:
+                    acct.advance_time(t)
+            elif code == codec.CODE_TICK:
+                if acct is None:
+                    raise ValueError(
+                        f"shard {self.shard_id!r} has no accounting "
+                        "unit to tick")
+                acct.send_tariff_tick(times[i])
+            else:
+                raise ValueError(f"unknown op code {chr(code)!r}")
+        self.ops_applied += packed.n_ops
+
+    def new_outputs_packed(self) -> codec.OutputBatch:
+        """Output cells that appeared since the previous call, as one
+        columnar :class:`~repro.shard.codec.OutputBatch` in per-port
+        stream order — the piggy-back payload of each ``FRAME_ACK``
+        (encoded column-for-column, no per-cell tuples)."""
+        batch = codec.OutputBatch()
         for port, entity in enumerate(self.switch.entities):
             cells = entity.output_cells
             cursor = self._out_cursor[port]
             for when, cell in cells[cursor:]:
-                fresh.append((port, when, bytes(cell.to_octets())))
+                batch.add(port, when, cell.to_octets())
             self._out_cursor[port] = len(cells)
-        return fresh
+        return batch
+
+    def new_outputs(self) -> List[Tuple[int, float, bytes]]:
+        """Tuple-list form of :meth:`new_outputs_packed` (same cursor)
+        — the residual-output field of ``FRAME_RESULT`` and tooling."""
+        packed = self.new_outputs_packed()
+        blob = packed.blob
+        return [(packed.ports[i], packed.times[i],
+                 bytes(blob[i * codec.CELL_OCTETS:
+                            (i + 1) * codec.CELL_OCTETS]))
+                for i in range(len(packed))]
 
     # ------------------------------------------------------------------
     # Lifecycle

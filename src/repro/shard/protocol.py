@@ -24,15 +24,17 @@ Ops (compact tuples, first element is the op code):
 
 Frames (``(kind, payload)`` tuples):
 
-* ``(FRAME_OPS, (seq, packed_ops))`` → worker; *packed_ops* is the
-  columnar image of the op batch (:func:`pack_ops` — one code string,
-  one time list, one port list, one concatenated cell blob; the
-  worker's :func:`unpack_ops` rebuilds the identical tuples).  The
-  worker answers ``(FRAME_ACK, (seq, packed_outputs))`` where the
-  payload flattens (:func:`pack_outputs`) the new ``(port, t,
-  octets)`` output cells observed since the last ack — the
-  piggy-backed reverse stream that makes one exchange per window
-  suffice (the transaction-pipe pattern from SCE-MI).
+* ``(FRAME_OPS, (seq, batch))`` → worker; *batch* is the columnar op
+  batch (an :class:`~repro.shard.codec.OpBatch` on the send side,
+  decoded as a zero-copy :class:`~repro.shard.codec.PackedOps` on the
+  receive side — one code string, one f64 time column, one i32 port
+  column, one concatenated cell blob; the worker replays it without
+  ever rebuilding op tuples via
+  :meth:`~repro.shard.group.ShardGroup.apply_packed`).  The worker
+  answers ``(FRAME_ACK, (seq, outputs))`` where *outputs* is the list
+  of new ``(port, t, octets)`` output cells observed since the last
+  ack — the piggy-backed reverse stream that makes one exchange per
+  window suffice (the transaction-pipe pattern from SCE-MI).
 * ``(FRAME_FINISH, t)`` → worker; drains/settles the group and
   answers ``(FRAME_RESULT, report)`` with counters, records, sync
   stats and any residual outputs.
@@ -43,6 +45,13 @@ Frames (``(kind, payload)`` tuples):
   ``type``/``message``/``traceback`` strings so the coordinator can
   re-raise with the full remote traceback (the PR 7 sweep-report
   policy applied to shards).
+
+On the wire every frame is binary — struct-packed header, columnar op
+payloads, a safe tag codec for control values; nothing is pickled in
+either direction (see :mod:`repro.shard.codec`).  The tuple-based
+:func:`pack_ops`/:func:`unpack_ops`/:func:`pack_outputs`/
+:func:`unpack_outputs` helpers remain for tooling that works with
+classic op-tuple lists, but no transport ships their output anymore.
 """
 
 from __future__ import annotations

@@ -45,8 +45,10 @@ from ..behav.equiv import make_events
 from ..core.timebase import TimeBase
 from . import protocol
 from .client import LocalShardHandle, ShardHandle
-from .transport import (PipeTransport, accept_transport, open_listener)
-from .worker import shard_worker_main, shard_worker_socket_main
+from .transport import (PipeTransport, accept_transport, open_listener,
+                        shm_ring_pair)
+from .worker import (shard_worker_main, shard_worker_shm_main,
+                     shard_worker_socket_main)
 
 try:
     import tomllib as _toml
@@ -60,7 +62,7 @@ __all__ = ["ShardSpec", "TopologySpec", "ShardSpecError",
            "ShardedTopology", "run_topology", "TRANSPORTS", "MODES"]
 
 #: transports a topology can couple its shards over
-TRANSPORTS = ("pipe", "socket")
+TRANSPORTS = ("pipe", "socket", "shm")
 #: run modes of :func:`run_topology`
 MODES = ("sharded", "local")
 
@@ -111,7 +113,8 @@ class TopologySpec:
             chained forwards still in flight can surface and hop.
         chain: forward shard *k*'s output cells into shard *k+1*
             (two-switch cell flows; off = independent shards).
-        transport: "pipe" | "socket" shard coupling.
+        transport: "pipe" | "socket" | "shm" shard coupling ("shm" is
+            the same-host shared-memory ring).
         max_batch: max ops per frame (see
             :class:`~repro.shard.client.ShardHandle`).
         max_inflight: pipelined unacknowledged frames per shard.
@@ -322,9 +325,11 @@ class ShardedTopology:
     """The worker-process fleet of one topology.
 
     Spawns one process per shard on :meth:`start` (pipe transports
-    are inherited; socket transports dial back to an ephemeral
-    listener and identify with a hello frame) and tears everything
-    down on :meth:`close` — use as a context manager.
+    are inherited; shm workers attach to the coordinator's shared-
+    memory rings via a picklable descriptor; socket transports dial
+    back to an ephemeral listener and identify with a hello frame)
+    and tears everything down on :meth:`close` — use as a context
+    manager.
     """
 
     def __init__(self, spec: TopologySpec) -> None:
@@ -369,6 +374,23 @@ class ShardedTopology:
                     num_ports=shard.num_ports,
                     max_batch=spec.max_batch,
                     max_inflight=spec.max_inflight, process=process))
+        elif spec.transport == "shm":
+            for shard in spec.shards:
+                transport, descriptor = shm_ring_pair(ctx)
+                process = ctx.Process(
+                    target=shard_worker_shm_main,
+                    args=(descriptor, self._shard_config(shard)),
+                    name=f"shard-{shard.id}", daemon=True)
+                process.start()
+                # Blocking ring waits watch the worker's liveness so
+                # a hard crash mid-window surfaces as TransportClosed.
+                transport.peer_alive = process.is_alive
+                self._processes.append(process)
+                self.handles.append(ShardHandle(
+                    shard.id, transport,
+                    num_ports=shard.num_ports,
+                    max_batch=spec.max_batch,
+                    max_inflight=spec.max_inflight, process=process))
         else:
             self._listener, address = open_listener()
             for shard in spec.shards:
@@ -397,6 +419,23 @@ class ShardedTopology:
                     num_ports=shard.num_ports,
                     max_batch=spec.max_batch,
                     max_inflight=spec.max_inflight, process=process))
+        if spec.transport != "socket":
+            # Pipe/shm couplings know their shard a priori; the hello
+            # is purely the ready signal — wait for it here so group
+            # construction and the worker's first-touch page faults
+            # count as startup, not driving time (the accept loop
+            # above already did this implicitly for sockets).
+            for handle in self.handles:
+                kind, shard_id = handle._recv()
+                if kind != protocol.FRAME_HELLO or \
+                        shard_id != handle.shard_id:
+                    raise protocol.ShardError(
+                        handle.shard_id,
+                        {"type": "ProtocolError",
+                         "message": f"expected hello from "
+                                    f"{handle.shard_id!r}, got "
+                                    f"{(kind, shard_id)!r}",
+                         "traceback": ""})
         return self.handles
 
     def close(self) -> None:
@@ -453,21 +492,21 @@ def _forward(src, dst, cursors: List[int], not_before: float) -> None:
     ingress ports, re-stamped ``max(output_time, not_before)`` so the
     post can never land behind the downstream horizon."""
     for port in range(src.num_ports):
-        stream = src.outputs[port]
-        for when, octets in stream[cursors[port]:]:
+        count = src.output_count(port)
+        for when, octets in src.drain_outputs(port, cursors[port]):
             dst.queue_cell(max(when, not_before), port, octets)
-        cursors[port] = len(stream)
+        cursors[port] = count
 
 
 def _digest(handle) -> Dict[str, str]:
     """Per-port SHA-256 digests over the raw output octet streams —
-    the byte-identity witness the equivalence tests compare."""
+    the byte-identity witness the equivalence tests compare (one
+    update over each port's contiguous blob; hashing the
+    concatenation is byte-for-byte the cell-at-a-time digest)."""
     digests: Dict[str, str] = {}
     for port in range(handle.num_ports):
-        acc = hashlib.sha256()
-        for octets in handle.output_octets(port):
-            acc.update(octets)
-        digests[str(port)] = acc.hexdigest()
+        digests[str(port)] = hashlib.sha256(
+            handle.output_blob(port)).hexdigest()
     return digests
 
 
@@ -570,6 +609,9 @@ def run_topology(spec: TopologySpec,
     total_frames = sum(s["exchange"]["frames_sent"]
                        + s["exchange"]["frames_received"]
                        for s in shards)
+    total_bytes = sum(s["exchange"]["bytes_sent"]
+                      + s["exchange"]["bytes_received"]
+                      for s in shards)
     return {
         "benchmark": "shard_topology",
         "mode": mode,
@@ -582,6 +624,7 @@ def run_topology(spec: TopologySpec,
             "records": sum(len(r["records"]) for r in results),
             "clocks": total_clocks,
             "frames": total_frames,
+            "bytes": total_bytes,
             "sync": {
                 key: sum(r["sync"][key] for r in results)
                 for key in ("messages_posted", "null_messages",

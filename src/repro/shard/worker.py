@@ -5,7 +5,9 @@ socket mode wraps it after dialling the coordinator).  It builds one
 :class:`~repro.shard.group.ShardGroup` from the shipped config and
 then serves frames until ``FRAME_CLOSE`` or transport EOF:
 
-* ``FRAME_OPS (seq, ops)`` → replay, answer ``FRAME_ACK (seq,
+* ``FRAME_OPS (seq, packed)`` → decode-free replay
+  (:meth:`~repro.shard.group.ShardGroup.apply_packed` slices cells
+  straight out of the received blob), answer ``FRAME_ACK (seq,
   new_outputs)`` — the ack piggy-backs every output cell the replay
   produced, so one exchange per timing window suffices in the common
   case (the SCE-MI transaction-pipe discipline).
@@ -30,11 +32,11 @@ from typing import Any, Dict, Optional, Tuple
 from ..obs.trace import TraceWriter
 from . import protocol
 from .group import ShardGroup
-from .transport import (PipeTransport, Transport, TransportClosed,
-                        connect_transport)
+from .transport import (PipeTransport, ShmRingTransport, Transport,
+                        TransportClosed, connect_transport)
 
 __all__ = ["shard_worker_main", "shard_worker_socket_main",
-           "build_group"]
+           "shard_worker_shm_main", "build_group"]
 
 
 def build_group(config: Dict[str, Any]) -> ShardGroup:
@@ -79,9 +81,50 @@ def _check_injection(config: Dict[str, Any], group: ShardGroup,
         os._exit(23)
 
 
+def _warm_replay(config: Dict[str, Any]) -> None:
+    """Pre-fault the replay working set before the worker reports
+    ready.
+
+    A freshly forked child pays copy-on-write page faults the first
+    time it touches the interpreter heap it inherited — measured at
+    ~1.5-2x on the first replay, which used to land inside the
+    coordinator's timed region.  Replaying a few throwaway ops on a
+    scratch group walks the cell-parse/replay/report code paths once,
+    so the faults are taken during process startup (setup, like
+    spawning itself) instead of during the measured exchange.  The
+    scratch group is discarded; the real group starts clean, so
+    byte-identity is untouched.
+    """
+    from .codec import OpBatch
+    scratch = ShardGroup(
+        "warmup", level=config.get("level", "auto"),
+        num_ports=int(config.get("num_ports", 4)),
+        accounting=bool(config.get("accounting", True)),
+        clocking=config.get("clocking", "cycle"))
+    batch = OpBatch()
+    cell = bytes(53)
+    for i in range(32):
+        batch.add_cell(i * 1e-6, i % scratch.num_ports, cell)
+        batch.add_null(i * 1e-6 + 5e-7)
+    scratch.apply_packed(batch.packed())
+    scratch.new_outputs_packed()
+    scratch.result()
+    scratch.close()
+
+
 def _serve(transport: Transport, config: Dict[str, Any]) -> None:
-    """The frame loop shared by pipe and socket workers."""
+    """The frame loop shared by all worker flavours.
+
+    Builds (and warm-faults) the shard group first, *then* announces
+    readiness with ``FRAME_HELLO`` — the coordinator's
+    :meth:`~repro.shard.topology.ShardedTopology.start` waits for the
+    hello, so group construction and first-touch costs stay out of
+    the timed driving region (exactly like the local reference mode,
+    whose groups are built before the clock starts).
+    """
+    _warm_replay(config)
     group = build_group(config)
+    transport.send((protocol.FRAME_HELLO, config.get("id", "shard0")))
     try:
         while True:
             try:
@@ -92,12 +135,10 @@ def _serve(transport: Transport, config: Dict[str, Any]) -> None:
                 reply: Optional[Tuple[str, Any]] = None
                 if kind == protocol.FRAME_OPS:
                     seq, packed = payload
-                    ops = protocol.unpack_ops(packed)
-                    _check_injection(config, group, len(ops))
-                    group.apply_ops(ops)
+                    _check_injection(config, group, len(packed))
+                    group.apply_packed(packed)
                     reply = (protocol.FRAME_ACK,
-                             (seq, protocol.pack_outputs(
-                                 group.new_outputs())))
+                             (seq, group.new_outputs_packed()))
                 elif kind == protocol.FRAME_FINISH:
                     group.finish(payload)
                     result = group.result()
@@ -133,9 +174,15 @@ def shard_worker_main(conn, config: Dict[str, Any]) -> None:
 def shard_worker_socket_main(address: Tuple[str, int],
                              config: Dict[str, Any]) -> None:
     """Process target for socket-coupled shards: dial the coordinator
-    at *address*, identify with a hello frame (accept order is not
-    connect order), then serve the same frame loop."""
-    transport = connect_transport(address)
-    transport.send((protocol.FRAME_HELLO,
-                    config.get("id", "shard0")))
-    _serve(transport, config)
+    at *address*, then serve the shared frame loop (whose hello both
+    identifies this shard — accept order is not connect order — and
+    reports it ready)."""
+    _serve(connect_transport(address), config)
+
+
+def shard_worker_shm_main(descriptor: Dict[str, Any],
+                          config: Dict[str, Any]) -> None:
+    """Process target for shared-memory-coupled shards (*descriptor*
+    comes from :func:`repro.shard.transport.shm_ring_pair`); the
+    attach wires the default coordinator-death watchdog."""
+    _serve(ShmRingTransport.attach(descriptor), config)

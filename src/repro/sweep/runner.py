@@ -232,6 +232,10 @@ class SweepRunner:
             try:
                 kind, payload = worker.conn.recv()
             except (EOFError, OSError):
+                # reap before reading the exit code — right after the
+                # pipe EOF the child may not be waitable yet, and an
+                # unjoined process reads exitcode None
+                worker.process.join(timeout=5.0)
                 return ("crash", {"exitcode": worker.process.exitcode})
             worker.process.join()
             return (kind, payload)

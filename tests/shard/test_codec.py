@@ -1,0 +1,288 @@
+"""Codec round-trips, seeded fuzzing, and malformed-buffer refusal.
+
+The binary wire codec carries every shard frame; these tests pin three
+properties the transports and the byte-identity guarantee build on:
+
+1. **round-trip fidelity** — any op mix, output batch, or control
+   value encodes and decodes back to the same data, including the
+   empty and maximum-size corners;
+2. **precise refusal** — every malformed buffer (truncated anywhere,
+   corrupt counts, foreign bytes, pickled frames) raises
+   :class:`CodecError` and nothing else;
+3. **zero-copy decode** — ops/ack payload columns alias the receive
+   buffer rather than copying it.
+"""
+
+import pickle
+import random
+import struct
+
+import pytest
+
+from repro.shard.codec import (CELL_OCTETS, CodecError, HEADER_OCTETS,
+                               MAGIC, OpBatch, OutputBatch,
+                               PackedOutputs, VERSION, decode_frame,
+                               encode_frame, frame_header,
+                               parse_header)
+
+# ----------------------------------------------------------------------
+# Seeded generators
+# ----------------------------------------------------------------------
+
+
+def _random_ops(rng, n_ops):
+    """A random op mix as (OpBatch, expected classic tuples)."""
+    batch = OpBatch()
+    expected = []
+    for i in range(n_ops):
+        t = rng.random() * 1e-3
+        kind = rng.choice("ccnk")  # cells twice as likely
+        if kind == "c":
+            port = rng.randrange(16)
+            octets = bytes(rng.randrange(256)
+                           for _ in range(CELL_OCTETS))
+            batch.add_cell(t, port, octets)
+            expected.append(("c", t, port, octets))
+        elif kind == "n":
+            batch.add_null(t)
+            expected.append(("n", t))
+        else:
+            batch.add_tick(t)
+            expected.append(("k", t))
+    return batch, expected
+
+
+def _random_outputs(rng, n_cells):
+    """A random output batch as (OutputBatch, expected tuples)."""
+    batch = OutputBatch()
+    expected = []
+    for _ in range(n_cells):
+        port = rng.randrange(8)
+        t = rng.random() * 1e-3
+        octets = bytes(rng.randrange(256) for _ in range(CELL_OCTETS))
+        batch.add(port, t, octets)
+        expected.append((port, t, octets))
+    return batch, expected
+
+
+def _random_value(rng, depth=0):
+    """A random control-frame value within the codec's type universe."""
+    leaf = depth >= 3 or rng.random() < 0.6
+    if leaf:
+        return rng.choice([
+            None, True, False,
+            rng.randrange(-(1 << 80), 1 << 80),
+            rng.random() * rng.choice([1.0, 1e300, -1e-300]),
+            "".join(chr(rng.randrange(32, 0x2FA0))
+                    for _ in range(rng.randrange(8))),
+            bytes(rng.randrange(256) for _ in range(rng.randrange(8))),
+        ])
+    kind = rng.choice("ltd")
+    n = rng.randrange(4)
+    if kind == "l":
+        return [_random_value(rng, depth + 1) for _ in range(n)]
+    if kind == "t":
+        return tuple(_random_value(rng, depth + 1) for _ in range(n))
+    return {str(i): _random_value(rng, depth + 1) for i in range(n)}
+
+
+# ----------------------------------------------------------------------
+# Round-trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_ops_roundtrip(seed):
+    rng = random.Random(seed)
+    batch, expected = _random_ops(rng, rng.randrange(200))
+    kind, (seq, packed) = decode_frame(
+        encode_frame(("ops", (seed, batch))))
+    assert (kind, seq) == ("ops", seed)
+    assert packed.ops() == expected
+    assert packed.ops() == batch.packed().ops()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_ack_roundtrip(seed):
+    rng = random.Random(1000 + seed)
+    batch, expected = _random_outputs(rng, rng.randrange(100))
+    kind, (seq, outputs) = decode_frame(
+        encode_frame(("ack", (seed, batch))))
+    assert (kind, seq) == ("ack", seed)
+    assert isinstance(outputs, PackedOutputs)
+    assert outputs.outputs() == expected
+    # a decoded view re-encodes to the identical wire image
+    assert encode_frame(("ack", (seed, outputs))) == \
+        encode_frame(("ack", (seed, batch)))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_control_value_roundtrip(seed):
+    rng = random.Random(2000 + seed)
+    value = _random_value(rng)
+    assert decode_frame(encode_frame(("result", value))) == \
+        ("result", value)
+
+
+def test_empty_corners_roundtrip():
+    assert decode_frame(encode_frame(("ops", (0, OpBatch())))
+                        )[1][1].ops() == []
+    assert decode_frame(encode_frame(("ack", (0, OutputBatch())))
+                        )[1][1].outputs() == []
+    assert decode_frame(encode_frame(("ack", (0, []))))[1][1] \
+        .outputs() == []
+    for value in (None, [], (), {}, "", b"", 0, 0.0, -0.0, False):
+        assert decode_frame(encode_frame(("close", value))) == \
+            ("close", value)
+
+
+def test_large_batch_roundtrip():
+    batch = OpBatch()
+    for i in range(5000):
+        batch.add_cell(i * 1e-6, i % 32, bytes([i % 256]) * CELL_OCTETS)
+    frame = encode_frame(("ops", (7, batch)))
+    _, (seq, packed) = decode_frame(frame)
+    assert (seq, packed.n_ops, packed.n_cells) == (7, 5000, 5000)
+    assert bytes(packed.blob[-CELL_OCTETS:]) == \
+        bytes([4999 % 256]) * CELL_OCTETS
+
+
+def test_decoded_columns_alias_the_buffer():
+    """Zero-copy: the decoded blob is a view into the frame bytes."""
+    batch = OpBatch()
+    batch.add_cell(1e-6, 3, bytes(range(53)))
+    buf = bytearray(encode_frame(("ops", (1, batch))))
+    _, (_, packed) = decode_frame(memoryview(buf))
+    assert bytes(packed.blob[:53]) == bytes(range(53))
+    buf[-1] ^= 0xFF  # mutate the buffer through the back door
+    assert packed.blob[52] == 52 ^ 0xFF
+
+
+def test_split_preserves_columns():
+    rng = random.Random(42)
+    batch, expected = _random_ops(rng, 97)
+    parts = batch.split(10)
+    assert [len(p) for p in parts] == [10] * 9 + [7]
+    merged = [op for part in parts for op in part.packed().ops()]
+    assert merged == expected
+
+
+# ----------------------------------------------------------------------
+# Refusal: every malformed buffer raises CodecError, nothing else
+# ----------------------------------------------------------------------
+def test_rejects_pickle_and_garbage():
+    with pytest.raises(CodecError, match="refusing pickled frame"):
+        decode_frame(pickle.dumps(("ops", (1, [("n", 1e-6)]))))
+    with pytest.raises(CodecError, match="bad frame magic"):
+        decode_frame(b"GET / HTTP/1.1\r\n")
+    with pytest.raises(CodecError, match="header truncated"):
+        decode_frame(b"\x53")
+    with pytest.raises(CodecError, match="unsupported codec version"):
+        decode_frame(struct.pack("<HBBI", MAGIC, VERSION + 1, 2, 0))
+    with pytest.raises(CodecError, match="unknown frame kind code"):
+        decode_frame(struct.pack("<HBBI", MAGIC, VERSION, 200, 0))
+    with pytest.raises(CodecError, match="frame length mismatch"):
+        decode_frame(frame_header("close", 10) + b"N")
+
+
+def test_rejects_corrupt_ops_interior():
+    batch = OpBatch()
+    batch.add_cell(1e-6, 0, bytes(53))
+    batch.add_null(2e-6)
+    frame = bytearray(encode_frame(("ops", (1, batch))))
+    # claim more cells than ops
+    struct.pack_into("<I", frame, HEADER_OCTETS + 12, 9)
+    with pytest.raises(CodecError, match="cells > .* ops"):
+        decode_frame(bytes(frame))
+    # an unknown op code in the code column
+    frame2 = bytearray(encode_frame(("ops", (1, batch))))
+    frame2[-CELL_OCTETS - 1] = ord("z")  # the null's code octet
+    with pytest.raises(CodecError, match="unknown op code"):
+        decode_frame(bytes(frame2))
+    # code column disagreeing with the cell count
+    frame3 = bytearray(encode_frame(("ops", (1, batch))))
+    frame3[-CELL_OCTETS - 2] = ord("n")  # cell -> null, count stays 1
+    with pytest.raises(CodecError, match="code column has"):
+        decode_frame(bytes(frame3))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_fuzz_truncation_always_codec_error(seed):
+    """Any prefix of any valid frame fails with CodecError — never an
+    IndexError/struct.error/UnicodeDecodeError leaking through."""
+    rng = random.Random(3000 + seed)
+    frames = [
+        encode_frame(("ops", (5, _random_ops(rng, 20)[0]))),
+        encode_frame(("ack", (5, _random_outputs(rng, 10)[0]))),
+        encode_frame(("result", _random_value(rng))),
+        encode_frame(("hello", "shard0")),
+    ]
+    for frame in frames:
+        cuts = rng.sample(range(len(frame)), min(len(frame), 25))
+        for cut in cuts:
+            with pytest.raises(CodecError):
+                decode_frame(frame[:cut])
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_fuzz_random_corruption_never_escapes(seed):
+    """Random single-octet corruption either still decodes (the flip
+    landed in a don't-care position or payload data) or raises exactly
+    CodecError."""
+    rng = random.Random(4000 + seed)
+    batch, _ = _random_ops(rng, 30)
+    frame = bytearray(encode_frame(("ops", (9, batch))))
+    value_frame = bytearray(encode_frame(("result", _random_value(rng))))
+    for target in (frame, value_frame):
+        for _ in range(200):
+            at = rng.randrange(len(target))
+            old = target[at]
+            target[at] = rng.randrange(256)
+            try:
+                decode_frame(bytes(target))
+            except CodecError:
+                pass
+            finally:
+                target[at] = old
+
+
+def test_oversized_cell_and_output_refused():
+    batch = OpBatch()
+    with pytest.raises(ValueError, match="53"):
+        batch.add_cell(0.0, 0, bytes(52))
+    out = OutputBatch()
+    with pytest.raises(CodecError, match="53"):
+        out.add(0, 0.0, bytes(54))
+    with pytest.raises(CodecError, match="octets for"):
+        bad = OutputBatch()
+        bad.add(0, 0.0, bytes(53))
+        del bad.blob[-1:]  # columns out of sync
+        encode_frame(("ack", (1, bad)))
+
+
+def test_unencodable_values_refused():
+    with pytest.raises(CodecError, match="cannot encode"):
+        encode_frame(("result", {"bad": object()}))
+    with pytest.raises(CodecError, match="cannot encode"):
+        encode_frame(("result", {1, 2}))
+    with pytest.raises(CodecError, match="a frame is a"):
+        encode_frame("not-a-pair")
+    with pytest.raises(CodecError, match="unknown frame kind"):
+        encode_frame(("telnet", None))
+
+
+def test_output_batch_accepts_octet_lists():
+    """AtmCell.to_octets() returns a plain int list — the builder must
+    take it without an intermediate bytes() copy at the call site."""
+    batch = OutputBatch()
+    batch.add(2, 1e-6, list(range(53)))
+    _, (_, outputs) = decode_frame(encode_frame(("ack", (3, batch))))
+    assert outputs.outputs() == [(2, 1e-6, bytes(range(53)))]
+
+
+def test_parse_header_reports_kind_and_length():
+    header = frame_header("ops", 123)
+    assert len(header) == HEADER_OCTETS
+    kind_code, payload_len = parse_header(memoryview(header))
+    assert payload_len == 123
+    assert decode_frame(frame_header("close", 1) + b"N") == \
+        ("close", None)
+    assert kind_code == 2

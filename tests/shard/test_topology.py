@@ -111,7 +111,7 @@ def test_from_file_toml(tmp_path):
 # ----------------------------------------------------------------------
 # The acceptance property: sharded == local, byte for byte
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("transport", ["pipe", "socket"])
+@pytest.mark.parametrize("transport", ["pipe", "socket", "shm"])
 def test_two_shard_chain_byte_identical_to_local(transport):
     """Seeded two-switch topology: the output cell streams of the
     worker-process run must be byte-identical (per-port SHA-256) to
