@@ -10,8 +10,10 @@ clock cycles per wall second):
   bench;
 * e1: co-simulation and pure-RTL throughput of the headline workload;
 * obs: the same workload with metrics + sampled cell provenance +
-  profiling on (``benchmarks/bench_obs.py`` additionally gates the
-  observability overhead against ``REPRO_OBS_BUDGET``);
+  profiling on, plus the chained two-shard topology with distributed
+  telemetry on/off — both overhead gates (``REPRO_OBS_BUDGET``,
+  ``REPRO_OBS_SHARD_BUDGET``) and the telemetry-on digest check are
+  enforced here too, not just by ``benchmarks/bench_obs.py``;
 * shard: local vs one- vs two-process sharded topologies, plus the
   host-aware 2-vs-1 shard scaling gate (``REPRO_SHARD_SCALING_MIN``,
   default 1.5, on hosts with >= 3 usable cores;
@@ -80,6 +82,8 @@ CHECKS = [
 FULL_SCALE_CHECKS = [
     ("shard", "shard 1-process", ("one_shard", "cycles_per_s")),
     ("shard", "shard 2-process", ("two_shard", "cycles_per_s")),
+    ("obs", "obs sharded observed", ("sharded_observed",
+                                     "cycles_per_s")),
 ]
 
 
@@ -168,6 +172,27 @@ def main() -> int:
     else:
         print(f"  (smoke scale: transport overhead {overhead:+.1%} "
               f"recorded, ceiling not enforced)")
+    # observability overhead guards (independent of committed
+    # baselines): calling bench_obs() directly bypasses its __main__
+    # gating, so the budgets are re-enforced here — the local observed
+    # arm and, alongside it, the sharded observed arm introduced with
+    # distributed telemetry.
+    obs = fresh["obs"]
+    if not obs.get("sharded_digests_match", True):
+        print("FAIL: telemetry-on sharded digest diverges from the "
+              "telemetry-off run")
+        return 1
+    for overhead_key, budget_key, label in (
+            ("observed_overhead", "budget", "e1 observed"),
+            ("sharded_overhead", "shard_budget", "sharded observed")):
+        overhead = obs[overhead_key]
+        budget = obs[budget_key]
+        if overhead > budget:
+            print(f"FAIL: {label} overhead {overhead:+.1%} exceeds "
+                  f"the {budget:.0%} observability budget")
+            return 1
+        print(f"{label} overhead {overhead:+.1%} within the "
+              f"{budget:.0%} budget")
 
     if not baselines:
         print("no committed baselines found — artifacts written, "

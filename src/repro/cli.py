@@ -9,7 +9,10 @@ Small operational conveniences for exploring the reproduction:
 * ``stats`` — run the observed E1 scenario and report the
   co-simulation metrics (sync windows, null messages, lag histogram,
   kernel counters, per-cell and per-hop latency), exporting JSON
-  alongside the ``BENCH_*.json`` artifacts;
+  alongside the ``BENCH_*.json`` artifacts; ``stats --service
+  HOST:PORT`` instead dials a running job service and prints its live
+  STATS introspection (queue depth, per-worker counters, merged
+  completed-job telemetry);
 * ``trace run`` — run the observed E1 scenario with full causal
   tracing and write the JSONL decision trace (optionally a
   Chrome/Perfetto trace too);
@@ -26,11 +29,15 @@ Small operational conveniences for exploring the reproduction:
 * ``shard`` — run a sharded multi-switch topology (one worker process
   per DUT shard, coupled over pipes or sockets by the conservative
   protocol); ``--mode both`` additionally replays the identical op
-  stream in-process and diffs the output digests (see
+  stream in-process and diffs the output digests; ``--observe`` and
+  ``--trace-dir`` turn on distributed telemetry — coordinator-stamped
+  trace ids, per-shard span streams, merged coverage counters (see
   ``docs/api/shard.md``);
 * ``serve`` — start the persistent scenario job service: a worker
   pool that outlives individual jobs (sharing compiled cell
-  templates across them) behind a JSON-lines TCP endpoint.
+  templates across them) behind a JSON-lines TCP endpoint;
+  ``serve --status HOST:PORT`` dials a running service and prints
+  its live STATS introspection instead of binding.
 """
 
 from __future__ import annotations
@@ -190,7 +197,76 @@ def _print_hop_table(histograms: Dict[str, Dict[str, object]]) -> None:
               f"{_format_seconds(hist['max']):>9}")
 
 
+def _parse_endpoint(value: str) -> tuple:
+    """Parse a ``HOST:PORT`` CLI value (host defaults to loopback)."""
+    host, _, port = value.rpartition(":")
+    return (host or "127.0.0.1", int(port))
+
+
+def _print_service_stats(stats: Dict[str, object]) -> None:
+    """Render one STATS introspection payload from a running job
+    service (the ``{"op": "stats"}`` reply)."""
+    running = stats["running"]
+    suffix = f" ({', '.join(running)})" if running else ""
+    print(f"service: queue depth {stats['queue_depth']}, "
+          f"{len(running)} running job(s){suffix}")
+    service = stats["service"]
+    print(f"  jobs: {service['submitted']} submitted, "
+          f"{service['completed']} done, "
+          f"{service['errors']} error(s), "
+          f"{service['crashes']} crash(es), "
+          f"{service['timeouts']} timeout(s), "
+          f"{service['retries']} retried")
+    for worker in stats["workers"]:
+        counters = worker["counters"]
+        state = ("busy" if worker["busy"]
+                 else "idle" if worker["alive"] else "dead")
+        job = f" on {worker['job']}" if worker["job"] else ""
+        print(f"  {worker['name']:<10} {state}{job} — "
+              f"{counters['jobs']} job(s) ({counters['ok']} ok, "
+              f"{counters['errors']} error(s)), "
+              f"{counters['crashes']} crash(es), "
+              f"{counters['timeouts']} timeout(s), "
+              f"{counters['retries']} retried")
+    telemetry = stats["telemetry"]
+    print(f"  telemetry: {telemetry['jobs']} completed job(s), "
+          f"{telemetry['trace_records']} trace record(s)")
+    if telemetry.get("latency"):
+        _print_histogram("ingress latency (merged)",
+                         telemetry["latency"])
+    sync = telemetry.get("sync") or {}
+    if sync:
+        print(f"  sync (merged): {sync.get('messages_posted', 0)} "
+              f"posts, {sync.get('null_messages', 0)} nulls, "
+              f"{sync.get('windows_granted', 0)} windows")
+    provenance = telemetry.get("provenance")
+    if provenance:
+        print(f"  provenance (merged): "
+              f"{provenance.get('cells_sampled', 0)}"
+              f"/{provenance.get('cells_seen', 0)} cells, "
+              f"{provenance.get('spans_recorded', 0)} spans")
+
+
+def _service_stats(endpoint: str) -> int:
+    """Dial a running job service and print its STATS payload."""
+    from repro.shard import ServeClient
+
+    try:
+        with ServeClient(_parse_endpoint(endpoint)) as client:
+            payload = client.stats()
+    except (OSError, ValueError, RuntimeError) as exc:
+        print(f"cannot reach service at {endpoint}: {exc}",
+              file=sys.stderr)
+        return 2
+    _print_service_stats(payload)
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.service:
+        # Live introspection of a running job service — no scenario
+        # run, no BENCH artifact.
+        return _service_stats(args.service)
     # Lazy import: the scenario pulls in the whole stack, and
     # repro.obs deliberately does not import it (repro.core imports
     # repro.obs — the reverse edge would be circular).
@@ -460,6 +536,19 @@ def _print_topology_report(report: Dict[str, object]) -> None:
         print(f"  wire: {totals['bytes']:,} octets in "
               f"{totals['frames']} frame(s) "
               f"({totals['bytes'] / totals['frames']:,.0f} B/frame)")
+    telemetry = report.get("telemetry")
+    if telemetry:
+        spans = telemetry["spans"]
+        shards_by_cell: Dict[object, set] = {}
+        for span in spans:
+            shards_by_cell.setdefault(span.get("cell"), set()).add(
+                span.get("shard"))
+        cross = sum(1 for shards_seen in shards_by_cell.values()
+                    if len(shards_seen) > 1)
+        print(f"  telemetry: {len(spans)} span(s) over "
+              f"{len(shards_by_cell)} cell(s), "
+              f"{cross} cross-shard chain(s), "
+              f"{telemetry['trace_records']} trace record(s)")
     print(f"  digest {report['digest'][:16]}…")
 
 
@@ -490,6 +579,8 @@ def _cmd_shard(args: argparse.Namespace) -> int:
                 window_slots=args.window_slots)
         if args.trace_dir:
             spec.trace_dir = args.trace_dir
+        if args.observe:
+            spec.observe = True
     except ShardSpecError as exc:
         print(f"invalid topology: {exc}", file=sys.stderr)
         return 2
@@ -537,6 +628,9 @@ def _cmd_shard(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.status:
+        # Dial a running service instead of binding one.
+        return _service_stats(args.status)
     # Lazy import — the service spawns the sweep scenario workers.
     from repro.shard import JobService
 
@@ -611,6 +705,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     stats.add_argument("--profile", action="store_true",
                        help="attach wall-clock profiling spans to "
                             "the kernel hot paths")
+    stats.add_argument("--service", default=None, metavar="HOST:PORT",
+                       help="dial a running 'serve' job service and "
+                            "print its live STATS introspection "
+                            "instead of running the scenario")
     stats.set_defaults(fn=_cmd_stats)
     trace = commands.add_parser(
         "trace",
@@ -755,6 +853,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     shard.add_argument("--trace-dir", default=None,
                        help="write one JSONL decision trace per "
                             "shard to this directory")
+    shard.add_argument("--observe", action="store_true",
+                       help="enable metrics/provenance instruments "
+                            "in every shard and merge the per-shard "
+                            "telemetry into the report (trace ids "
+                            "stamped into the op stream)")
     shard.add_argument("--json", default=None,
                        help="report JSON output path (default: none; "
                             "the committed BENCH_shard.json baseline "
@@ -775,6 +878,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--port", type=int, default=0,
                        help="bind port (default 0 = ephemeral, "
                             "printed on startup)")
+    serve.add_argument("--status", default=None, metavar="HOST:PORT",
+                       help="dial a running service and print its "
+                            "live STATS introspection instead of "
+                            "binding")
     serve.set_defaults(fn=_cmd_serve)
     args = parser.parse_args(argv)
     if not getattr(args, "fn", None):

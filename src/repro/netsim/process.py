@@ -83,6 +83,10 @@ class ProcessModel:
         self._current: Optional[str] = None
         self._last_interrupt: Optional[Interrupt] = None
         self._pending_self: List[Event] = []
+        #: names of every state entered at least once — the FSM
+        #: coverage signal consumed by repro.obs (distributed
+        #: telemetry / the future coverage-driven scenario generator)
+        self.states_visited: set = set()
 
     # ------------------------------------------------------------------
     # FSM construction
@@ -206,8 +210,13 @@ class ProcessModel:
                 f"forced state {state.name!r} has no enabled transition")
         return None
 
+    def state_names(self) -> List[str]:
+        """All registered state names (FSM coverage denominator)."""
+        return list(self._states)
+
     def _enter(self, name: str) -> None:
         self._current = name
+        self.states_visited.add(name)
         state = self._states[name]
         if state.enter is not None:
             state.enter(self)

@@ -26,6 +26,15 @@ which is exactly the source→sink causality the tentpole asks to make
 visible.  Timestamps are microseconds (the trace_event convention);
 each track is clamped monotone so tick rounding can never produce a
 backwards step that Perfetto would reject.
+
+**Distributed traces**: records carrying a ``shard`` label (worker
+trace files, merged span streams — see :mod:`repro.obs.merge`) are
+grouped into one Perfetto *process* per shard — pid 2, 3, … in sorted
+label order, each with its own four named tracks; unlabelled records
+keep the classic single-process pid 1.  Flow chains are keyed by the
+cell's trace id, which survives the shard boundary (PR 10), so a cell
+hopping shard0 → shard1 draws one arrow chain *across* process groups
+— the cross-process causality view, checked by :func:`flow_processes`.
 """
 
 from __future__ import annotations
@@ -35,10 +44,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Union
 
 __all__ = ["export_chrome_trace", "load_trace_jsonl",
-           "validate_chrome_trace", "flow_tracks", "ChromeTraceError",
+           "validate_chrome_trace", "flow_tracks", "flow_processes",
+           "ChromeTraceError",
            "NETSIM_TID", "HDL_TID", "SYNC_TID", "NULL_TID", "PID"]
 
-#: the single process id used for all tracks
+#: process id of unlabelled (single-process) records; shard-labelled
+#: records get pid ``PID + 1 + index`` in sorted shard-label order
 PID = 1
 #: track (thread) ids
 NETSIM_TID = 1
@@ -61,6 +72,10 @@ _HOP_TRACKS = {
     "ingress": (HDL_TID, "hdl_s"),
     "dut_out": (HDL_TID, "hdl_s"),
     "sink": (NETSIM_TID, "t"),
+    # shard-boundary hops (PR 10): the cell crossing its process's
+    # edge, netsim-time stamped by the coordinator's op stream
+    "shard_in": (NETSIM_TID, "t"),
+    "shard_out": (NETSIM_TID, "t"),
 }
 
 #: rendered duration of a hop slice (µs) — wide enough to click,
@@ -89,38 +104,44 @@ def load_trace_jsonl(path: Union[str, Path]) -> List[Dict[str, object]]:
 
 
 class _Emitter:
-    """Accumulates trace events with per-track monotone clamping."""
+    """Accumulates trace events with per-track monotone clamping
+    (tracks are per *process*: the frontier is keyed on (pid, tid))."""
 
     def __init__(self) -> None:
         self.events: List[Dict[str, object]] = []
-        self._last_ts: Dict[int, float] = {}
+        self._last_ts: Dict[tuple, float] = {}
 
-    def ts(self, tid: int, seconds: Optional[float]) -> float:
+    def ts(self, pid: int, tid: int,
+           seconds: Optional[float]) -> float:
         """Clamp *seconds* (→ µs) to the track's monotone frontier."""
         us = 0.0 if seconds is None else seconds * 1e6
-        last = self._last_ts.get(tid, 0.0)
+        last = self._last_ts.get((pid, tid), 0.0)
         if us < last:
             us = last
-        self._last_ts[tid] = us
+        self._last_ts[(pid, tid)] = us
         return us
 
-    def add(self, ph: str, name: str, tid: int, ts: float,
+    def add(self, ph: str, name: str, pid: int, tid: int, ts: float,
             **extra) -> None:
         """Append one event (timestamps already clamped via :meth:`ts`)."""
-        event: Dict[str, object] = {"ph": ph, "name": name, "pid": PID,
+        event: Dict[str, object] = {"ph": ph, "name": name, "pid": pid,
                                     "tid": tid, "ts": ts}
         event.update(extra)
         self.events.append(event)
 
-    def meta(self) -> None:
-        """Prepend process/thread-name metadata events."""
-        header: List[Dict[str, object]] = [{
-            "ph": "M", "name": "process_name", "pid": PID, "tid": 0,
-            "args": {"name": "castanet co-simulation"},
-        }]
-        for tid, label in _TRACK_NAMES.items():
-            header.append({"ph": "M", "name": "thread_name", "pid": PID,
-                           "tid": tid, "args": {"name": label}})
+    def meta(self, process_names: Dict[int, str]) -> None:
+        """Prepend process/thread-name metadata events — one process
+        group per pid, four named tracks each."""
+        header: List[Dict[str, object]] = []
+        for pid in sorted(process_names):
+            header.append({
+                "ph": "M", "name": "process_name", "pid": pid,
+                "tid": 0, "args": {"name": process_names[pid]},
+            })
+            for tid, label in _TRACK_NAMES.items():
+                header.append({"ph": "M", "name": "thread_name",
+                               "pid": pid, "tid": tid,
+                               "args": {"name": label}})
         self.events = header + self.events
 
 
@@ -144,50 +165,58 @@ def export_chrome_trace(records: Sequence[Dict[str, object]],
         *path* when given.
     """
     emitter = _Emitter()
+    pids = _assign_pids(records)
     flow_chains: Dict[int, List[Dict[str, object]]] = {}
     for record in records:
         kind = record.get("ev")
+        shard = record.get("shard")
+        pid = pids[str(shard)] if shard is not None else PID
         if kind == "span":
-            _emit_span(emitter, record, flow_chains)
+            _emit_span(emitter, record, flow_chains, pid)
         elif kind == "window":
-            _emit_window(emitter, record)
+            _emit_window(emitter, record, pid)
         elif kind == "null":
             stale = bool(record.get("stale"))
             coalesced = bool(record.get("coalesced"))
             name = ("null (coalesced)" if coalesced
                     else "null (stale)" if stale else "null")
-            ts = emitter.ts(NULL_TID, _as_float(record.get("t")))
-            emitter.add("i", name, NULL_TID, ts, s="t",
+            ts = emitter.ts(pid, NULL_TID, _as_float(record.get("t")))
+            emitter.add("i", name, pid, NULL_TID, ts, s="t",
                         args={"t": record.get("t")})
         elif kind == "post":
-            ts = emitter.ts(NETSIM_TID, _as_float(record.get("t")))
+            ts = emitter.ts(pid, NETSIM_TID,
+                            _as_float(record.get("t")))
             emitter.add("i", f"post {record.get('type', '?')}",
-                        NETSIM_TID, ts, s="t",
+                        pid, NETSIM_TID, ts, s="t",
                         args=_args(record, "t", "hdl_s", "cell"))
         elif kind == "release":
-            ts = emitter.ts(HDL_TID, _as_float(record.get("hdl_s")))
+            ts = emitter.ts(pid, HDL_TID,
+                            _as_float(record.get("hdl_s")))
             emitter.add("i", f"release {record.get('type', '?')}",
-                        HDL_TID, ts, s="t",
+                        pid, HDL_TID, ts, s="t",
                         args=_args(record, "t", "hdl_s", "wait_s",
                                    "cell"))
         elif kind == "cell_out":
-            ts = emitter.ts(HDL_TID, _as_float(record.get("hdl_s")))
-            emitter.add("i", "cell_out", HDL_TID, ts, s="t",
+            ts = emitter.ts(pid, HDL_TID,
+                            _as_float(record.get("hdl_s")))
+            emitter.add("i", "cell_out", pid, HDL_TID, ts, s="t",
                         args=_args(record, "hdl_s", "latency_s"))
         elif kind == "tick_pulse":
             tick = record.get("hdl_tick")
             seconds = (float(tick) * time_unit
                        if isinstance(tick, (int, float)) else None)
-            ts = emitter.ts(HDL_TID, seconds)
-            emitter.add("i", "tick_pulse", HDL_TID, ts, s="t",
+            ts = emitter.ts(pid, HDL_TID, seconds)
+            emitter.add("i", "tick_pulse", pid, HDL_TID, ts, s="t",
                         args=_args(record, "hdl_tick", "deferred_ticks"))
         elif kind == "drain":
-            ts = emitter.ts(NETSIM_TID, _as_float(record.get("t")))
-            emitter.add("i", "drain", NETSIM_TID, ts, s="p",
+            ts = emitter.ts(pid, NETSIM_TID,
+                            _as_float(record.get("t")))
+            emitter.add("i", "drain", pid, NETSIM_TID, ts, s="p",
                         args=_args(record, "t"))
         elif kind == "finish":
-            ts = emitter.ts(HDL_TID, _as_float(record.get("hdl_s")))
-            emitter.add("i", "finish", HDL_TID, ts, s="p",
+            ts = emitter.ts(pid, HDL_TID,
+                            _as_float(record.get("hdl_s")))
+            emitter.add("i", "finish", pid, HDL_TID, ts, s="p",
                         args=_args(record, "hdl_s", "residual"))
         # unknown kinds are skipped: forward compatibility with new
         # TraceWriter event types
@@ -202,7 +231,14 @@ def export_chrome_trace(records: Sequence[Dict[str, object]],
         # terminator so every chain ends with "f"
         chain[-1]["ph"] = "f"
         chain[-1]["bp"] = "e"
-    emitter.meta()
+    process_names = {PID: "castanet co-simulation"}
+    for label, pid in pids.items():
+        process_names[pid] = f"shard {label}"
+    # only name processes that actually own events — a fully
+    # shard-labelled trace has nothing on the default pid
+    used = {event["pid"] for event in emitter.events}
+    emitter.meta({pid: name for pid, name in process_names.items()
+                  if pid in used})
     payload: Dict[str, object] = {
         "traceEvents": emitter.events,
         "displayTimeUnit": "ms",
@@ -220,6 +256,17 @@ def export_chrome_trace(records: Sequence[Dict[str, object]],
     return payload
 
 
+def _assign_pids(records: Sequence[Dict[str, object]]
+                 ) -> Dict[str, int]:
+    """Deterministic shard-label → pid map: sorted labels get
+    ``PID + 1``, ``PID + 2``, … (pid :data:`PID` stays reserved for
+    unlabelled single-process records)."""
+    labels = sorted({str(record["shard"]) for record in records
+                     if record.get("shard") is not None})
+    return {label: PID + 1 + index
+            for index, label in enumerate(labels)}
+
+
 def _as_float(value: object) -> Optional[float]:
     return float(value) if isinstance(value, (int, float)) else None
 
@@ -229,7 +276,8 @@ def _args(record: Dict[str, object], *keys: str) -> Dict[str, object]:
 
 
 def _emit_span(emitter: _Emitter, record: Dict[str, object],
-               flow_chains: Dict[int, List[Dict[str, object]]]) -> None:
+               flow_chains: Dict[int, List[Dict[str, object]]],
+               pid: int = PID) -> None:
     hop = str(record.get("hop"))
     cell = record.get("cell")
     track, domain = _HOP_TRACKS.get(hop, (NETSIM_TID, "t"))
@@ -237,23 +285,26 @@ def _emit_span(emitter: _Emitter, record: Dict[str, object],
     if seconds is None:  # fall back to the other domain's stamp
         other = "hdl_s" if domain == "t" else "t"
         seconds = _as_float(record.get(other))
-    ts = emitter.ts(track, seconds)
-    args = _args(record, "t", "hdl_s", "cell", "src", "dst")
-    emitter.add("X", hop, track, ts, dur=_HOP_DUR_US, args=args)
+    ts = emitter.ts(pid, track, seconds)
+    args = _args(record, "t", "hdl_s", "cell", "src", "dst", "shard")
+    emitter.add("X", hop, pid, track, ts, dur=_HOP_DUR_US, args=args)
     if not isinstance(cell, int):
         return
     # flow chain: "s" opens the journey at the source, "t" steps it
-    # across tracks, the final step is promoted to "f" at the end
+    # across tracks — and across *processes*, the flow id (the cell's
+    # trace id) being pid-agnostic — the final step is promoted to
+    # "f" at the end
     chain = flow_chains.setdefault(cell, [])
     event: Dict[str, object] = {"ph": "s" if not chain else "t",
                                 "name": f"cell {cell}",
-                                "cat": "cell", "id": cell, "pid": PID,
+                                "cat": "cell", "id": cell, "pid": pid,
                                 "tid": track, "ts": ts}
     emitter.events.append(event)
     chain.append(event)
 
 
-def _emit_window(emitter: _Emitter, record: Dict[str, object]) -> None:
+def _emit_window(emitter: _Emitter, record: Dict[str, object],
+                 pid: int = PID) -> None:
     """One sync-window slice: HDL time at grant → the t_cur horizon.
 
     Consecutive windows are forced non-overlapping (the B of window
@@ -261,12 +312,12 @@ def _emit_window(emitter: _Emitter, record: Dict[str, object]) -> None:
     increasing across grants, so the horizon edge is faithful and only
     the left edge can be nudged right by clamping.
     """
-    begin = emitter.ts(SYNC_TID, _as_float(record.get("hdl_s")))
+    begin = emitter.ts(pid, SYNC_TID, _as_float(record.get("hdl_s")))
     end_s = _as_float(record.get("t_cur"))
-    end = emitter.ts(SYNC_TID, end_s)
-    emitter.add("B", "window", SYNC_TID, begin,
+    end = emitter.ts(pid, SYNC_TID, end_s)
+    emitter.add("B", "window", pid, SYNC_TID, begin,
                 args=_args(record, "t_cur", "hdl_s"))
-    emitter.add("E", "window", SYNC_TID, end)
+    emitter.add("E", "window", pid, SYNC_TID, end)
 
 
 def validate_chrome_trace(payload: Dict[str, object]
@@ -352,4 +403,18 @@ def flow_tracks(payload: Dict[str, object]) -> Dict[object, Set[int]]:
         if event.get("ph") in ("s", "t", "f"):
             result.setdefault(event.get("id"), set()).add(
                 event.get("tid"))
+    return result
+
+
+def flow_processes(payload: Dict[str, object]
+                   ) -> Dict[object, Set[int]]:
+    """Map each flow (cell) id to the set of *pids* it touches — a
+    flow spanning two pids is a cross-process provenance chain (the
+    distributed acceptance check: every sampled cell that hopped
+    shards must appear here with ≥ 2 pids)."""
+    result: Dict[object, Set[int]] = {}
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") in ("s", "t", "f"):
+            result.setdefault(event.get("id"), set()).add(
+                event.get("pid"))
     return result

@@ -219,6 +219,14 @@ class ProvenanceTracker:
         ``None`` for an unknown/unsampled id (debug/test aid)."""
         return self._journeys.get(trace_id)
 
+    def journeys(self) -> Dict[int, Dict[str, Tuple[Optional[float],
+                                                    Optional[float]]]]:
+        """Every recorded journey, ``{trace_id: {hop: (t, hdl_s)}}``,
+        in recording order — the span stream distributed telemetry
+        ships back from shard workers (see
+        :func:`repro.obs.distributed.spans_from_tracker`)."""
+        return self._journeys
+
     def hop_names(self) -> List[str]:
         """The ``<from>_to_<to>`` keys with recorded latency samples."""
         return [f"{a}_to_{b}" for a, b in sorted(self._hop_hists)]

@@ -37,7 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..atm.cell import AtmCell
 from ..core.contract import DutContract
 from . import protocol
-from .codec import CELL_OCTETS, OpBatch
+from .codec import CELL_OCTETS, OpBatch, _UINT8
 from .group import ShardGroup
 from .transport import Transport, TransportClosed
 
@@ -58,9 +58,12 @@ class _HandleBase:
         #: queued, not yet flushed ops (columnar)
         self._batch = OpBatch()
         #: collected output cells per port, columnar: one f64 time
-        #: column plus one contiguous 53-octet-multiple blob each
+        #: column, one u64 trace-id column (zeros when unobserved)
+        #: plus one contiguous 53-octet-multiple blob each
         self._out_times: List[array] = [array("d")
                                         for _ in range(num_ports)]
+        self._out_tids: List[array] = [array(_UINT8)
+                                       for _ in range(num_ports)]
         self._out_blobs: List[bytearray] = [bytearray()
                                             for _ in range(num_ports)]
         self.result: Optional[Dict[str, Any]] = None
@@ -69,13 +72,17 @@ class _HandleBase:
         self._closed = False
 
     # -- op queueing ---------------------------------------------------
-    def queue_cell(self, time: float, port: int, cell) -> None:
+    def queue_cell(self, time: float, port: int, cell,
+                   tid: int = 0) -> None:
         """Queue one ingress cell for switch *port* at netsim *time*
         (an :class:`AtmCell` or ready-made 53 octets — ``bytes``,
-        ``bytearray`` or a ``memoryview`` slice)."""
+        ``bytearray`` or a ``memoryview`` slice).  A non-zero *tid*
+        stamps the cell with a provenance trace id that survives the
+        shard boundary (observed topologies thread one id per cell so
+        chained shards produce one connected journey)."""
         if not isinstance(cell, (bytes, bytearray, memoryview)):
             cell = bytes(cell.to_octets())
-        self._batch.add_cell(time, port, cell)
+        self._batch.add_cell(time, port, cell, tid)
 
     def queue_null(self, time: float) -> None:
         """Queue a null message (time horizon announcement).
@@ -115,7 +122,9 @@ class _HandleBase:
         if n == 0:
             return
         times, ports, blob = packed.times, packed.ports, packed.blob
+        tids = getattr(packed, "tids", None)
         out_times, out_blobs = self._out_times, self._out_blobs
+        out_tids = self._out_tids
         covered = 0
         spans = []
         for port in range(self.num_ports):
@@ -131,21 +140,33 @@ class _HandleBase:
                 if not hasattr(chunk, "tobytes"):
                     chunk = array("d", chunk)  # pragma: no cover
                 out_times[port].frombytes(chunk.tobytes())
+                if tids is None:
+                    out_tids[port].frombytes(bytes(8 * (hi - lo)))
+                else:
+                    tid_chunk = tids[lo:hi]
+                    if not hasattr(tid_chunk, "tobytes"):
+                        tid_chunk = array(  # pragma: no cover
+                            _UINT8, tid_chunk)
+                    out_tids[port].frombytes(tid_chunk.tobytes())
                 out_blobs[port] += blob[lo * CELL_OCTETS:
                                         hi * CELL_OCTETS]
             return
         for i in range(n):
             port = ports[i]
             out_times[port].append(times[i])
+            out_tids[port].append(tids[i] if tids is not None else 0)
             out_blobs[port] += blob[i * CELL_OCTETS:
                                     (i + 1) * CELL_OCTETS]
 
-    def _store_outputs(self,
-                       fresh: List[Tuple[int, float, bytes]]) -> None:
+    def _store_outputs(self, fresh: List[Tuple]) -> None:
         """Tuple-list twin of :meth:`_store_packed` (the residual
-        outputs a ``FRAME_RESULT`` carries)."""
-        for port, when, octets in fresh:
+        outputs a ``FRAME_RESULT`` carries) — tuples are
+        ``(port, t, octets)`` or ``(port, t, octets, tid)``."""
+        for entry in fresh:
+            port, when, octets = entry[0], entry[1], entry[2]
             self._out_times[port].append(when)
+            self._out_tids[port].append(entry[3]
+                                        if len(entry) > 3 else 0)
             self._out_blobs[port] += octets
 
     # -- views ---------------------------------------------------------
@@ -177,15 +198,20 @@ class _HandleBase:
         return bytes(self._out_blobs[port])
 
     def drain_outputs(self, port: int,
-                      start: int) -> List[Tuple[float, memoryview]]:
-        """``(seconds, octets)`` pairs of *port*'s stream from index
-        *start* on — the chain-forwarding feed.  The octets are
-        memoryview slices into the collector; consume them before the
-        handle stores more outputs."""
+                      start: int) -> List[Tuple[float, memoryview,
+                                                int]]:
+        """``(seconds, octets, tid)`` triples of *port*'s stream from
+        index *start* on — the chain-forwarding feed (*tid* is 0 when
+        unobserved, so re-queueing downstream preserves provenance
+        exactly when it exists).  The octets are memoryview slices
+        into the collector; consume them before the handle stores
+        more outputs."""
         times = self._out_times[port]
+        tids = self._out_tids[port]
         blob = memoryview(self._out_blobs[port])
         return [(times[i],
-                 blob[i * CELL_OCTETS:(i + 1) * CELL_OCTETS])
+                 blob[i * CELL_OCTETS:(i + 1) * CELL_OCTETS],
+                 tids[i])
                 for i in range(start, len(times))]
 
 
@@ -294,6 +320,24 @@ class ShardHandle(_HandleBase):
             protocol.raise_remote(self.shard_id, payload)
         return payload
 
+    def telemetry(self) -> Dict[str, Any]:
+        """The worker's observability payload (instruments, spans,
+        coverage — see :meth:`ShardGroup.telemetry`), fetched over
+        the wire with a ``FRAME_TELEMETRY`` exchange.  Callable both
+        mid-run (after a barrier) and after :meth:`finish`."""
+        self.barrier()
+        self._send((protocol.FRAME_TELEMETRY, None))
+        kind, payload = self._recv()
+        if kind == protocol.FRAME_ERROR:
+            protocol.raise_remote(self.shard_id, payload)
+        if kind != protocol.FRAME_TELEMETRY:
+            raise protocol.ShardError(
+                self.shard_id,
+                {"type": "ProtocolError",
+                 "message": f"expected telemetry, got {kind!r}",
+                 "traceback": ""})
+        return payload
+
     def close(self) -> None:
         """Ask the worker to exit and close the transport
         (best-effort, idempotent)."""
@@ -327,12 +371,14 @@ class LocalShardHandle(_HandleBase):
 
     def __init__(self, shard_id: str, num_ports: int = 4,
                  level: str = "auto", accounting: bool = True,
-                 clocking: str = "cycle") -> None:
+                 clocking: str = "cycle", observe: bool = False,
+                 trace=None) -> None:
         super().__init__(shard_id, num_ports)
         self.group = ShardGroup(shard_id, level=level,
                                 num_ports=num_ports,
                                 accounting=accounting,
-                                clocking=clocking)
+                                clocking=clocking, observe=observe,
+                                trace=trace)
 
     def flush(self) -> None:
         """Replay all queued ops into the local group (through the
@@ -361,6 +407,12 @@ class LocalShardHandle(_HandleBase):
         """A live result report of the local group."""
         self.flush()
         return self.group.result()
+
+    def telemetry(self) -> Dict[str, Any]:
+        """The local group's observability payload — same shape as
+        the remote :meth:`ShardHandle.telemetry` reply."""
+        self.flush()
+        return self.group.telemetry()
 
     def close(self) -> None:
         """Flush the group's trace sink (idempotent)."""

@@ -19,7 +19,12 @@ is that discipline for every frame kind the shard protocol speaks:
   :class:`PackedOps`: ``memoryview.cast`` lends typed views straight
   into the receive buffer — no chunk-list joins, no per-op tuples on
   the wire, and the replay side can slice cells directly out of the
-  blob (:meth:`repro.shard.group.ShardGroup.apply_packed`).
+  blob (:meth:`repro.shard.group.ShardGroup.apply_packed`).  When the
+  topology is observed, both payloads append one optional u64
+  trace-id column (one id per cell, ``0`` = unstamped) so provenance
+  chains survive the shard boundary; its presence is discriminated by
+  payload length alone, so an unobserved run's wire image is
+  octet-identical to PR 9's.
 * **a safe recursive value codec** — the rare control frames
   (``HELLO``/``FINISH``/``RESULT``/``SNAPSHOT``/``ERROR``/``CLOSE``)
   carry plain data (None/bool/int/float/str/bytes/list/tuple/dict),
@@ -73,7 +78,8 @@ _VALID_CODES = frozenset((CODE_CELL, CODE_NULL, CODE_TICK))
 #: frame kinds <-> wire codes (strings stay the in-process currency;
 #: only the single code octet travels)
 _KIND_TO_CODE = {"hello": 1, "ops": 2, "ack": 3, "finish": 4,
-                 "result": 5, "snapshot": 6, "error": 7, "close": 8}
+                 "result": 5, "snapshot": 6, "error": 7, "close": 8,
+                 "telemetry": 9}
 _CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
 _OPS_CODE = _KIND_TO_CODE["ops"]
 _ACK_CODE = _KIND_TO_CODE["ack"]
@@ -85,6 +91,8 @@ _LITTLE = sys.byteorder == "little"
 #: array type code with a 4-octet signed item (the port column)
 _INT4 = "i" if array("i").itemsize == 4 else "l"
 assert array(_INT4).itemsize == 4 or not _LITTLE
+#: the trace-id column is u64 ("Q" is 8 octets on every CPython)
+_UINT8 = "Q"
 
 
 class CodecError(ValueError):
@@ -103,16 +111,20 @@ class OpBatch:
     bytes, f64 times, i32 ports, one contiguous cell blob); no per-op
     tuple ever exists.  ``ports`` and ``blob`` carry one entry per
     *cell* op only — nulls and ticks contribute just a code and a
-    time.
+    time.  ``tids`` holds one u64 provenance trace id per cell
+    (``0`` = unstamped); the column only reaches the wire when at
+    least one cell is stamped, so unobserved frames are octet-for-
+    octet what PR 9 shipped.
     """
 
-    __slots__ = ("codes", "times", "ports", "blob")
+    __slots__ = ("codes", "times", "ports", "blob", "tids")
 
     def __init__(self) -> None:
         self.codes = bytearray()
         self.times = array("d")
         self.ports = array(_INT4)
         self.blob = bytearray()
+        self.tids = array(_UINT8)
 
     def __len__(self) -> int:
         return len(self.codes)
@@ -122,8 +134,10 @@ class OpBatch:
         """Cell ops in the batch (the blob holds 53 octets each)."""
         return len(self.ports)
 
-    def add_cell(self, time: float, port: int, octets) -> None:
-        """Append one cell-delivery op (*octets* must be 53 octets)."""
+    def add_cell(self, time: float, port: int, octets,
+                 tid: int = 0) -> None:
+        """Append one cell-delivery op (*octets* must be 53 octets);
+        *tid* optionally stamps the cell with a provenance trace id."""
         if len(octets) != CELL_OCTETS:
             raise ValueError(
                 f"cell op carries {len(octets)} octets, expected "
@@ -132,6 +146,7 @@ class OpBatch:
         self.times.append(time)
         self.ports.append(port)
         self.blob += octets
+        self.tids.append(tid)
 
     def add_null(self, time: float) -> None:
         """Append one null-message (time horizon) op."""
@@ -148,7 +163,8 @@ class OpBatch:
         the local reference mode replays through the identical packed
         surface the worker decodes from the wire."""
         return PackedOps(len(self.codes), len(self.ports), self.codes,
-                         self.times, self.ports, memoryview(self.blob))
+                         self.times, self.ports, memoryview(self.blob),
+                         self.tids if any(self.tids) else None)
 
     def split(self, max_batch: int) -> List["OpBatch"]:
         """Chunk into batches of at most *max_batch* ops (column
@@ -168,6 +184,7 @@ class OpBatch:
             sub.ports = self.ports[cell_at:cell_at + cells]
             sub.blob = self.blob[cell_at * CELL_OCTETS:
                                  (cell_at + cells) * CELL_OCTETS]
+            sub.tids = self.tids[cell_at:cell_at + cells]
             cell_at += cells
             out.append(sub)
         return out
@@ -179,20 +196,24 @@ class PackedOps:
     ``codes``/``times``/``ports``/``blob`` are typed views
     (``memoryview.cast`` on the wire path, the builder's own arrays on
     the local path) — indexing yields plain ints/floats, slicing the
-    blob yields 53-octet cell images without copying.  The views alias
-    the transport's receive buffer: valid until the next ``recv``.
+    blob yields 53-octet cell images without copying.  ``tids`` is the
+    optional u64 trace-id column (one id per cell) or ``None`` when
+    the batch is unstamped.  The views alias the transport's receive
+    buffer: valid until the next ``recv``.
     """
 
-    __slots__ = ("n_ops", "n_cells", "codes", "times", "ports", "blob")
+    __slots__ = ("n_ops", "n_cells", "codes", "times", "ports", "blob",
+                 "tids")
 
     def __init__(self, n_ops: int, n_cells: int, codes, times, ports,
-                 blob) -> None:
+                 blob, tids=None) -> None:
         self.n_ops = n_ops
         self.n_cells = n_cells
         self.codes = codes
         self.times = times
         self.ports = ports
         self.blob = blob
+        self.tids = tids
 
     def __len__(self) -> int:
         return self.n_ops
@@ -248,23 +269,49 @@ def _i32_bytes(column: array) -> bytes:
     return struct.pack(f"<{len(column)}i", *column)  # pragma: no cover
 
 
+def _column_u64(view: memoryview, count: int):
+    if _LITTLE:
+        return view.cast(_UINT8)
+    return struct.unpack(f"<{count}Q", view)  # pragma: no cover
+
+
+def _u64_bytes(column) -> bytes:
+    if isinstance(column, array):
+        if _LITTLE:
+            return column.tobytes()
+        return struct.pack(  # pragma: no cover
+            f"<{len(column)}Q", *column)
+    return bytes(column)
+
+
 # ----------------------------------------------------------------------
 # OPS / ACK payloads
 # ----------------------------------------------------------------------
 def _encode_ops(seq: int, batch) -> bytes:
     """Payload image of ``(seq, OpBatch)`` (also accepts a
-    :class:`PackedOps`, re-encoding a decoded batch verbatim)."""
+    :class:`PackedOps`, re-encoding a decoded batch verbatim).
+
+    The trace-id column is emitted only when at least one cell is
+    stamped (an all-zero column is normalised away), immediately after
+    the time column so both u64 columns stay 8-aligned.
+    """
     n_ops = len(batch.codes)
     n_cells = len(batch.ports)
-    return b"".join((
+    tids = getattr(batch, "tids", None)
+    parts = [
         _OPS_HEAD.pack(seq, n_ops, n_cells),
         _f64_bytes(batch.times) if isinstance(batch.times, array)
         else bytes(batch.times),
+    ]
+    if tids is not None and len(tids) == n_cells and any(tids):
+        parts.append(_u64_bytes(tids))
+    parts += [
         _i32_bytes(batch.ports) if isinstance(batch.ports, array)
         else bytes(batch.ports),
         bytes(batch.codes),
         bytes(batch.blob),
-    ))
+    ]
+    return b"".join(parts)
 
 
 def _decode_ops(view: memoryview) -> Tuple[int, PackedOps]:
@@ -278,13 +325,22 @@ def _decode_ops(view: memoryview) -> Tuple[int, PackedOps]:
             f"ops payload corrupt: {n_cells} cells > {n_ops} ops")
     expected = (_OPS_HEAD.size + 8 * n_ops + 4 * n_cells + n_ops
                 + CELL_OCTETS * n_cells)
-    if len(view) != expected:
+    if n_cells and len(view) == expected + 8 * n_cells:
+        has_tids = True
+    elif len(view) == expected:
+        has_tids = False
+    else:
         raise CodecError(
             f"ops payload length mismatch: {len(view)} octets for "
-            f"{n_ops} ops / {n_cells} cells (expected {expected})")
+            f"{n_ops} ops / {n_cells} cells (expected {expected} or "
+            f"{expected + 8 * n_cells} with trace ids)")
     at = _OPS_HEAD.size
     times = _column_f64(view[at:at + 8 * n_ops], n_ops)
     at += 8 * n_ops
+    tids = None
+    if has_tids:
+        tids = _column_u64(view[at:at + 8 * n_cells], n_cells)
+        at += 8 * n_cells
     ports = _column_i32(view[at:at + 4 * n_cells], n_cells)
     at += 4 * n_cells
     codes = view[at:at + n_ops]
@@ -300,7 +356,8 @@ def _decode_ops(view: memoryview) -> Tuple[int, PackedOps]:
             f"ops payload corrupt: code column has "
             f"{code_bytes.count(CODE_CELL)} cell op(s) but the "
             f"header claims {n_cells}")
-    return seq, PackedOps(n_ops, n_cells, codes, times, ports, blob)
+    return seq, PackedOps(n_ops, n_cells, codes, times, ports, blob,
+                          tids)
 
 
 #: ack sub-header: seq, n_cells (+ 4 pad octets keeping times aligned)
@@ -315,21 +372,27 @@ class OutputBatch:
     each fresh output cell straight into three growing columns (f64
     times, i32 ports, one contiguous 53-octet-multiple blob), and the
     encoder ships those columns verbatim — no per-cell tuple or bytes
-    object ever exists between the DUT and the wire.
+    object ever exists between the DUT and the wire.  ``tids`` mirrors
+    :class:`OpBatch`: one u64 trace id per cell, shipped only when at
+    least one output cell carries provenance.
     """
 
-    __slots__ = ("times", "ports", "blob")
+    __slots__ = ("times", "ports", "blob", "tids")
 
     def __init__(self) -> None:
         self.times = array("d")
         self.ports = array(_INT4)
         self.blob = bytearray()
+        self.tids = array(_UINT8)
 
     def __len__(self) -> int:
         return len(self.ports)
 
-    def add(self, port: int, time: float, octets) -> None:
-        """Append one output cell (*octets* must be 53 octets)."""
+    def add(self, port: int, time: float, octets,
+            tid: int = 0) -> None:
+        """Append one output cell (*octets* must be 53 octets);
+        *tid* optionally carries the cell's provenance trace id back
+        to the coordinator."""
         if len(octets) != CELL_OCTETS:
             raise CodecError(
                 f"output cell carries {len(octets)} octets, expected "
@@ -339,6 +402,7 @@ class OutputBatch:
         # extend, not +=: accepts bytes-likes and plain octet lists
         # (AtmCell.to_octets) alike
         self.blob.extend(octets)
+        self.tids.append(tid)
 
 
 class PackedOutputs:
@@ -347,16 +411,19 @@ class PackedOutputs:
     ``times``/``ports``/``blob`` are typed views aliasing the
     transport's receive buffer (valid until the next ``recv``) — the
     coordinator copies them into its per-port collectors without ever
-    materialising per-cell tuples.
+    materialising per-cell tuples.  ``tids`` is the optional u64
+    trace-id column or ``None`` when the ack is unstamped.
     """
 
-    __slots__ = ("n_cells", "times", "ports", "blob")
+    __slots__ = ("n_cells", "times", "ports", "blob", "tids")
 
-    def __init__(self, n_cells: int, times, ports, blob) -> None:
+    def __init__(self, n_cells: int, times, ports, blob,
+                 tids=None) -> None:
         self.n_cells = n_cells
         self.times = times
         self.ports = ports
         self.blob = blob
+        self.tids = tids
 
     def __len__(self) -> int:
         return self.n_cells
@@ -383,16 +450,22 @@ def _encode_ack(seq: int, outputs) -> bytes:
             raise CodecError(
                 f"output blob carries {len(outputs.blob)} octets for "
                 f"{n_cells} cell(s)")
-        return b"".join((
+        tids = outputs.tids
+        parts = [
             _ACK_HEAD.pack(seq, n_cells, 0),
             _f64_bytes(outputs.times)
             if isinstance(outputs.times, array)
             else bytes(outputs.times),
+        ]
+        if tids is not None and len(tids) == n_cells and any(tids):
+            parts.append(_u64_bytes(tids))
+        parts += [
             _i32_bytes(outputs.ports)
             if isinstance(outputs.ports, array)
             else bytes(outputs.ports),
             bytes(outputs.blob),
-        ))
+        ]
+        return b"".join(parts)
     times = array("d")
     ports = array(_INT4)
     chunks = [b""]
@@ -416,16 +489,25 @@ def _decode_ack(view: memoryview) -> Tuple[int, PackedOutputs]:
             f"least {_ACK_HEAD.size} for the seq/count header")
     seq, n_cells, _pad = _ACK_HEAD.unpack_from(view, 0)
     expected = _ACK_HEAD.size + (8 + 4 + CELL_OCTETS) * n_cells
-    if len(view) != expected:
+    if n_cells and len(view) == expected + 8 * n_cells:
+        has_tids = True
+    elif len(view) == expected:
+        has_tids = False
+    else:
         raise CodecError(
             f"ack payload length mismatch: {len(view)} octets for "
-            f"{n_cells} cell(s) (expected {expected})")
+            f"{n_cells} cell(s) (expected {expected} or "
+            f"{expected + 8 * n_cells} with trace ids)")
     at = _ACK_HEAD.size
     times = _column_f64(view[at:at + 8 * n_cells], n_cells)
     at += 8 * n_cells
+    tids = None
+    if has_tids:
+        tids = _column_u64(view[at:at + 8 * n_cells], n_cells)
+        at += 8 * n_cells
     ports = _column_i32(view[at:at + 4 * n_cells], n_cells)
     at += 4 * n_cells
-    return seq, PackedOutputs(n_cells, times, ports, view[at:])
+    return seq, PackedOutputs(n_cells, times, ports, view[at:], tids)
 
 
 # ----------------------------------------------------------------------

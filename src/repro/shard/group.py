@@ -70,6 +70,9 @@ class ShardGroup:
         self.env = CoVerificationEnvironment(
             name=f"shard.{shard_id}", clocking=clocking,
             observe=observe, trace=trace, dut_level=level)
+        #: the environment's provenance tracker (None when neither
+        #: observe nor trace is on) — wire-stamped trace ids feed it
+        self.prov = self.env.provenance
         self.switch: DutHandle = build_dut(
             self.env, "switch", name=f"{shard_id}.switch",
             num_ports=num_ports)
@@ -157,6 +160,8 @@ class ShardGroup:
         acct = self.accounting.entity if self.accounting else None
         codes, times, ports, blob = (packed.codes, packed.times,
                                      packed.ports, packed.blob)
+        tids = getattr(packed, "tids", None)
+        prov = self.prov
         cell_at = 0
         for i in range(packed.n_ops):
             code = codes[i]
@@ -166,6 +171,19 @@ class ShardGroup:
                     blob[cell_at * codec.CELL_OCTETS:
                          (cell_at + 1) * codec.CELL_OCTETS],
                     verify_hec=False)
+                if tids is not None:
+                    # Cross-shard provenance: the coordinator stamped
+                    # this cell's trace id into the op log; restore it
+                    # (metadata only — never part of the 53 octets, so
+                    # byte-identity is untouched) and span the shard
+                    # ingress hop with this process's attribution.
+                    tid = tids[cell_at]
+                    if tid:
+                        cell.trace_id = tid
+                        if prov is not None:
+                            prov.record_hop(tid, "shard_in", t=t,
+                                            shard=self.shard_id,
+                                            port=ports[cell_at])
                 switch_entities[ports[cell_at]].send_cell(t, cell)
                 if acct is not None:
                     acct.send_cell(t, cell)
@@ -192,22 +210,34 @@ class ShardGroup:
         stream order — the piggy-back payload of each ``FRAME_ACK``
         (encoded column-for-column, no per-cell tuples)."""
         batch = codec.OutputBatch()
+        prov = self.prov
+        # Hop recording stops once the environment is closed (the
+        # trace sink is flushed then); residual outputs drained after
+        # finish() still carry their ids back on the wire.
+        record = prov is not None and not self.finished
         for port, entity in enumerate(self.switch.entities):
             cells = entity.output_cells
             cursor = self._out_cursor[port]
             for when, cell in cells[cursor:]:
-                batch.add(port, when, cell.to_octets())
+                tid = cell.trace_id or 0
+                batch.add(port, when, cell.to_octets(), tid)
+                if tid and record:
+                    prov.record_hop(tid, "shard_out", t=when,
+                                    shard=self.shard_id, port=port)
             self._out_cursor[port] = len(cells)
         return batch
 
-    def new_outputs(self) -> List[Tuple[int, float, bytes]]:
+    def new_outputs(self) -> List[Tuple[int, float, bytes, int]]:
         """Tuple-list form of :meth:`new_outputs_packed` (same cursor)
-        — the residual-output field of ``FRAME_RESULT`` and tooling."""
+        — the residual-output field of ``FRAME_RESULT`` and tooling.
+        Each tuple is ``(port, t, octets, tid)`` so residual cells
+        keep their provenance ids across the result frame too."""
         packed = self.new_outputs_packed()
         blob = packed.blob
         return [(packed.ports[i], packed.times[i],
                  bytes(blob[i * codec.CELL_OCTETS:
-                            (i + 1) * codec.CELL_OCTETS]))
+                            (i + 1) * codec.CELL_OCTETS]),
+                 packed.tids[i])
                 for i in range(len(packed))]
 
     # ------------------------------------------------------------------
@@ -265,6 +295,25 @@ class ShardGroup:
             for key in totals:
                 totals[key] += int(stats.get(key, 0))
         return totals
+
+    def telemetry(self) -> Dict[str, Any]:
+        """This shard's distributed-telemetry payload: the metrics
+        registry snapshot, the provenance span stream (shard-
+        attributed, both time domains) and the coverage counters
+        (FSM states, sync-window occupancy, hop latency tails,
+        residual backlogs).  Plain data — the worker ships it back
+        verbatim in a ``FRAME_TELEMETRY`` reply; merge N of these
+        with :func:`repro.obs.merge.merge_telemetry`.  Callable
+        mid-run and after :meth:`finish` alike."""
+        from ..obs.distributed import build_telemetry
+        entities = [entity.snapshot()
+                    for entity in self.switch.entities]
+        if self.accounting is not None:
+            entities.append(self.accounting.entity.snapshot())
+        return build_telemetry(self.shard_id, self.env,
+                               level=self.level,
+                               sync=self.sync_stats(),
+                               entities=entities)
 
     def result(self) -> Dict[str, Any]:
         """The shard's end-of-run report: identity, counters, charging

@@ -40,6 +40,13 @@ Frames (``(kind, payload)`` tuples):
   stats and any residual outputs.
 * ``(FRAME_SNAPSHOT, None)`` → worker; answers
   ``(FRAME_RESULT, snapshot)`` without finishing.
+* ``(FRAME_TELEMETRY, None)`` → worker; answers
+  ``(FRAME_TELEMETRY, telemetry)`` with the shard's observability
+  payload — metrics-registry snapshot, provenance spans, trace
+  records and coverage counters (see
+  :meth:`~repro.shard.group.ShardGroup.telemetry`).  Telemetry rides
+  the same tag codec as every other control payload; nothing new is
+  pickled.
 * ``(FRAME_CLOSE, None)`` → worker exits its loop (no reply).
 * ``(FRAME_ERROR, info)`` ← worker when replay raised; *info* carries
   ``type``/``message``/``traceback`` strings so the coordinator can
@@ -61,7 +68,8 @@ from typing import Any, Dict, List, Tuple
 __all__ = ["OP_CELL", "OP_NULL", "OP_TICK",
            "FRAME_OPS", "FRAME_ACK", "FRAME_FINISH", "FRAME_RESULT",
            "FRAME_SNAPSHOT", "FRAME_ERROR", "FRAME_CLOSE",
-           "FRAME_HELLO", "ShardError", "error_info", "raise_remote",
+           "FRAME_HELLO", "FRAME_TELEMETRY", "ShardError",
+           "error_info", "raise_remote",
            "pack_ops", "unpack_ops", "pack_outputs",
            "unpack_outputs"]
 
@@ -85,6 +93,10 @@ FRAME_CLOSE = "close"
 #: the coordinator map accepted connections back to shards regardless
 #: of connect order
 FRAME_HELLO = "hello"
+#: bidirectional telemetry exchange: the coordinator sends
+#: ``(FRAME_TELEMETRY, None)`` and the worker answers
+#: ``(FRAME_TELEMETRY, payload)`` with its observability snapshot
+FRAME_TELEMETRY = "telemetry"
 
 Op = Tuple[Any, ...]
 Frame = Tuple[str, Any]

@@ -26,7 +26,18 @@ Wire protocol (one JSON object per line, both directions)::
     {"op": "result", "job_id": "job-1",
      "wait": true, "timeout": 30}           -> {"ok": true, "job": {...}}
     {"op": "status"}                        -> {"ok": true, "status": {...}}
+    {"op": "stats"}                         -> {"ok": true, "stats": {...}}
     {"op": "shutdown"}                      -> {"ok": true}
+
+The ``stats`` op is the live-introspection STATS handshake (PR 10):
+queue depth, the per-worker job/crash/timeout/retry counters (counters
+belong to the pool *slot*, so they survive a worker respawn), and the
+merged telemetry of the jobs the service has completed — latency
+histograms bucket-merged across jobs
+(:func:`repro.obs.merge.merge_histograms`), synchroniser and
+provenance totals summed — plus the ids of the jobs running right
+now.  ``python -m repro stats --service HOST:PORT`` and ``python -m
+repro serve --status HOST:PORT`` render it.
 
 :class:`ServeClient` wraps that protocol for Python callers (and the
 tests' serve smoke).
@@ -41,6 +52,7 @@ import time
 from multiprocessing.connection import wait as _conn_wait
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.merge import merge_histograms
 from ..sweep.scenario import execute_run
 from ..sweep.spec import RunSpec, SweepSpecError
 from .topology import _mp_context
@@ -84,16 +96,27 @@ def _service_worker_main(conn) -> None:
 
 
 class _Worker:
-    """Bookkeeping for one persistent pool worker."""
+    """Bookkeeping for one persistent pool worker.
 
-    __slots__ = ("process", "conn", "job_id", "attempt", "deadline")
+    The *slot* outlives any single worker process: :meth:`JobService.
+    _replace` swaps a fresh process into the same slot, so ``name``
+    and the per-slot ``counters`` (jobs settled, errors, crashes,
+    timeouts, retries) accumulate across respawns — which is what the
+    STATS introspection wants to show.
+    """
 
-    def __init__(self, process, conn) -> None:
+    __slots__ = ("process", "conn", "job_id", "attempt", "deadline",
+                 "name", "counters")
+
+    def __init__(self, process, conn, name: str) -> None:
         self.process = process
         self.conn = conn
+        self.name = name
         self.job_id: Optional[str] = None
         self.attempt = 0
         self.deadline = 0.0
+        self.counters = {"jobs": 0, "ok": 0, "errors": 0,
+                         "crashes": 0, "timeouts": 0, "retries": 0}
 
     @property
     def busy(self) -> bool:
@@ -152,8 +175,8 @@ class JobService:
         TCP listener (``address`` becomes the dial target)."""
         if self._dispatcher is not None:
             return self
-        for _ in range(self.jobs):
-            self._workers.append(self._spawn())
+        for index in range(self.jobs):
+            self._workers.append(self._spawn(f"worker{index}"))
         self._listener = socket.socket(socket.AF_INET,
                                        socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET,
@@ -168,7 +191,7 @@ class JobService:
         self._dispatcher.start()
         return self
 
-    def _spawn(self) -> _Worker:
+    def _spawn(self, name: str) -> _Worker:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_service_worker_main, args=(child_conn,),
@@ -177,7 +200,7 @@ class JobService:
         process.start()
         child_conn.close()
         self.stats["workers_spawned"] += 1
-        return _Worker(process, parent_conn)
+        return _Worker(process, parent_conn, name)
 
     def shutdown(self) -> None:
         """Stop dispatching, cancel queued jobs, reap the pool
@@ -281,6 +304,73 @@ class JobService:
                     "census": census,
                     "stats": dict(self.stats)}
 
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """The live-introspection STATS payload: queue depth, the
+        per-worker counters, running job ids, and the merged
+        telemetry of every completed job."""
+        with self._lock:
+            workers = []
+            for worker in self._workers:
+                workers.append({
+                    "name": worker.name,
+                    "alive": worker.process.is_alive(),
+                    "busy": worker.busy,
+                    "job": worker.job_id,
+                    "attempt": worker.attempt,
+                    "counters": dict(worker.counters),
+                })
+            running = sorted(
+                record["job_id"]
+                for record in self._store.values()
+                if record["status"] == "running")
+            return {
+                "queue_depth": len(self._queue),
+                "running": running,
+                "service": dict(self.stats),
+                "workers": workers,
+                "telemetry": self._job_telemetry_locked(),
+            }
+
+    def _job_telemetry_locked(self) -> Dict[str, Any]:
+        """Merge the telemetry every completed job reported (caller
+        holds the lock): latency histograms bucket-merge across jobs,
+        sync and provenance totals sum — the same semantics
+        :func:`repro.obs.merge.merge_telemetry` applies to shard
+        payloads."""
+        latencies: List[Dict[str, Any]] = []
+        sync_totals: Dict[str, int] = {}
+        provenance: Dict[str, int] = {}
+        trace_records = 0
+        jobs = 0
+        for record in self._store.values():
+            result = record.get("result")
+            if record["status"] != "done" \
+                    or not isinstance(result, dict):
+                continue
+            jobs += 1
+            if result.get("latency"):
+                latencies.append(result["latency"])
+            for key, value in (result.get("sync") or {}).items():
+                sync_totals[key] = sync_totals.get(key, 0) \
+                    + int(value)
+            for key, value in (result.get("provenance")
+                               or {}).items():
+                if key == "sample":
+                    provenance[key] = max(provenance.get(key, 1),
+                                          int(value))
+                else:
+                    provenance[key] = provenance.get(key, 0) \
+                        + int(value)
+            trace_records += int(result.get("trace_records", 0))
+        return {
+            "jobs": jobs,
+            "latency": (merge_histograms(latencies)
+                        if latencies else None),
+            "sync": sync_totals,
+            "provenance": provenance or None,
+            "trace_records": trace_records,
+        }
+
     # ------------------------------------------------------------------
     # Dispatcher
     # ------------------------------------------------------------------
@@ -351,22 +441,26 @@ class JobService:
                 payload: Dict[str, Any]) -> None:
         with self._lock:
             record = self._store[job_id]
+            worker.counters["jobs"] += 1
             if kind == "ok":
                 record["status"] = "done"
                 record["result"] = payload
                 self.stats["completed"] += 1
+                worker.counters["ok"] += 1
             else:
                 # Deterministic scenario error: full traceback, no
                 # retry (the PR 7 sweep policy).
                 record["status"] = "error"
                 record["result"] = {"detail": payload}
                 self.stats["errors"] += 1
+                worker.counters["errors"] += 1
             worker.job_id = None
             self._done.notify_all()
 
     def _on_crash(self, worker: _Worker,
                   detail: Dict[str, Any]) -> None:
         self.stats["crashes"] += 1
+        worker.counters["crashes"] += 1
         self._on_failure(worker, "crash", detail)
 
     def _on_failure(self, worker: _Worker, kind: str,
@@ -374,17 +468,20 @@ class JobService:
         """Crash/timeout: respawn the worker, retry the job once."""
         if kind == "timeout":
             self.stats["timeouts"] += 1
+            worker.counters["timeouts"] += 1
         job_id, attempt = worker.job_id, worker.attempt
         self._replace(worker)
         with self._lock:
             record = self._store[job_id]
             if attempt < MAX_ATTEMPTS:
                 self.stats["retries"] += 1
+                worker.counters["retries"] += 1
                 record["status"] = "queued"
                 self._queue.insert(0, (job_id, attempt + 1))
             else:
                 record["status"] = kind
                 record["result"] = {"detail": detail}
+                worker.counters["jobs"] += 1
                 self._done.notify_all()
 
     def _replace(self, worker: _Worker) -> None:
@@ -393,7 +490,7 @@ class JobService:
         if worker.process.is_alive():
             worker.process.terminate()
             worker.process.join(timeout=5.0)
-        replacement = self._spawn()
+        replacement = self._spawn(worker.name)
         worker.process = replacement.process
         worker.conn = replacement.conn
         worker.job_id = None
@@ -460,6 +557,8 @@ class JobService:
             return {"ok": True, "job": record}
         if op == "status":
             return {"ok": True, "status": self.status()}
+        if op == "stats":
+            return {"ok": True, "stats": self.stats_snapshot()}
         if op == "shutdown":
             # Reply first, then trip the stop flag: serve_forever's
             # finally block performs the actual teardown.
@@ -515,6 +614,11 @@ class ServeClient:
     def status(self) -> Dict[str, Any]:
         """The service's status snapshot."""
         return self._call({"op": "status"})["status"]
+
+    def stats(self) -> Dict[str, Any]:
+        """The live STATS introspection payload (queue depth,
+        per-worker counters, merged completed-job telemetry)."""
+        return self._call({"op": "stats"})["stats"]
 
     def shutdown(self) -> None:
         """Ask the service to shut down."""

@@ -122,7 +122,14 @@ class TopologySpec:
             ``{"shard1": {"kind": "exit", "at_op": 40}}``.
         trace_dir: when set, every shard worker writes its JSONL
             decision trace to ``<trace_dir>/<shard-id>.trace.jsonl``
-            with the shard id stamped on every record.
+            with the shard id stamped on every record (local-mode
+            twins write ``<shard-id>.local.trace.jsonl`` so a
+            ``--mode both`` comparison keeps both sides).
+        observe: enable the metrics/provenance instruments inside
+            every shard.  Stimulus cells get coordinator-assigned
+            trace ids stamped into the op stream, each shard records
+            per-hop spans, and :func:`run_topology` collects and
+            merges the per-shard telemetry into the report.
     """
 
     shards: List[ShardSpec] = field(default_factory=lambda: [
@@ -137,6 +144,7 @@ class TopologySpec:
     max_inflight: int = 4
     inject: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     trace_dir: Optional[str] = None
+    observe: bool = False
 
     def __post_init__(self) -> None:
         """Validate the shard list and knobs; raises
@@ -186,7 +194,8 @@ class TopologySpec:
                     "drain_windows": self.drain_windows},
             "execution": {"transport": self.transport,
                           "max_batch": self.max_batch,
-                          "max_inflight": self.max_inflight},
+                          "max_inflight": self.max_inflight,
+                          "observe": self.observe},
         }
 
     # ------------------------------------------------------------------
@@ -221,7 +230,8 @@ class TopologySpec:
                  "run": {"cells", "seed", "window_slots",
                          "drain_windows"},
                  "execution": {"transport", "max_batch",
-                               "max_inflight", "trace_dir"}}
+                               "max_inflight", "trace_dir",
+                               "observe"}}
         for section, payload in (("topology", topology), ("run", run),
                                  ("execution", execution)):
             extra = set(payload) - known[section]
@@ -281,6 +291,8 @@ class TopologySpec:
             kwargs["max_inflight"] = int(execution["max_inflight"])
         if "trace_dir" in execution:
             kwargs["trace_dir"] = str(execution["trace_dir"])
+        if "observe" in execution:
+            kwargs["observe"] = bool(execution["observe"])
         return cls(**kwargs)
 
     @classmethod
@@ -343,6 +355,8 @@ class ShardedTopology:
         config = shard.config()
         if shard.id in self.spec.inject:
             config["inject"] = dict(self.spec.inject[shard.id])
+        if self.spec.observe:
+            config["observe"] = True
         if self.spec.trace_dir is not None:
             trace_dir = Path(self.spec.trace_dir)
             trace_dir.mkdir(parents=True, exist_ok=True)
@@ -467,8 +481,20 @@ class ShardedTopology:
 # ----------------------------------------------------------------------
 def _shard_events(spec: TopologySpec) -> List[List[tuple]]:
     """Seeded per-shard stimulus, pre-encoded for the wire: each entry
-    is ``("cell", slot, port, octets)`` or ``("tick", slot, 0, None)``
-    (octet encoding happens here, outside the timed region)."""
+    is ``("cell", slot, port, octets, tid)`` or ``("tick", slot, 0,
+    None, 0)`` (octet encoding happens here, outside the timed
+    region).
+
+    When the spec observes (``observe`` or ``trace_dir``), every
+    stimulus cell gets a coordinator-assigned trace id — sequential
+    from 1 across the whole topology, deterministic, so the local and
+    sharded replays of the same spec stamp identical ids and the
+    digests stay comparable.  Unobserved specs keep tid 0
+    (= unstamped): the encoder drops the all-zero column and the wire
+    frames stay octet-identical to a pre-telemetry coordinator's.
+    """
+    observing = spec.observe or spec.trace_dir is not None
+    next_tid = 1
     streams: List[List[tuple]] = []
     for index, shard in enumerate(spec.shards):
         rng = random.Random(spec.seed + 8111 * index)
@@ -479,10 +505,12 @@ def _shard_events(spec: TopologySpec) -> List[List[tuple]]:
         encoded = []
         for ev, slot, port, cell in events:
             if ev == "cell":
+                tid = next_tid if observing else 0
+                next_tid += 1
                 encoded.append((ev, slot, port,
-                                bytes(cell.to_octets())))
+                                bytes(cell.to_octets()), tid))
             else:
-                encoded.append((ev, slot, 0, None))
+                encoded.append((ev, slot, 0, None, 0))
         streams.append(encoded)
     return streams
 
@@ -490,11 +518,14 @@ def _shard_events(spec: TopologySpec) -> List[List[tuple]]:
 def _forward(src, dst, cursors: List[int], not_before: float) -> None:
     """Forward *src*'s fresh output cells into *dst*'s matching
     ingress ports, re-stamped ``max(output_time, not_before)`` so the
-    post can never land behind the downstream horizon."""
+    post can never land behind the downstream horizon.  The trace id
+    rides along, so an observed cell hopping shards keeps one
+    provenance chain."""
     for port in range(src.num_ports):
         count = src.output_count(port)
-        for when, octets in src.drain_outputs(port, cursors[port]):
-            dst.queue_cell(max(when, not_before), port, octets)
+        for when, octets, tid in src.drain_outputs(port,
+                                                   cursors[port]):
+            dst.queue_cell(max(when, not_before), port, octets, tid)
         cursors[port] = count
 
 
@@ -534,9 +565,22 @@ def run_topology(spec: TopologySpec,
         fleet = ShardedTopology(spec)
         handles: List[Any] = fleet.start()
     else:
-        handles = [LocalShardHandle(
-            shard.id, num_ports=shard.num_ports, level=shard.level,
-            accounting=shard.accounting) for shard in spec.shards]
+        handles = []
+        for shard in spec.shards:
+            trace = None
+            if spec.trace_dir is not None:
+                # Suffixed ``.local`` so a ``--mode both`` run keeps
+                # the worker-written traces next to the reference's.
+                trace_dir = Path(spec.trace_dir)
+                trace_dir.mkdir(parents=True, exist_ok=True)
+                from ..obs.trace import TraceWriter
+                trace = TraceWriter(
+                    trace_dir / f"{shard.id}.local.trace.jsonl",
+                    defaults={"shard": shard.id})
+            handles.append(LocalShardHandle(
+                shard.id, num_ports=shard.num_ports,
+                level=shard.level, accounting=shard.accounting,
+                observe=spec.observe, trace=trace))
 
     started = _time.perf_counter()
     try:
@@ -552,10 +596,10 @@ def run_topology(spec: TopologySpec,
                 cursor = cursors[index]
                 while (cursor < len(events)
                        and events[cursor][1] < window_end):
-                    ev, slot, port, octets = events[cursor]
+                    ev, slot, port, octets, tid = events[cursor]
                     t = slot * cell_s
                     if ev == "cell":
-                        handle.queue_cell(t, port, octets)
+                        handle.queue_cell(t, port, octets, tid)
                     else:
                         handle.queue_tick(t)
                     handle.queue_null(t)
@@ -585,6 +629,15 @@ def run_topology(spec: TopologySpec,
                 _forward(handles[index], handles[index + 1],
                          fwd_cursors[index], t_final)
         wall = _time.perf_counter() - started
+        telemetry: Optional[Dict[str, Any]] = None
+        if spec.observe or spec.trace_dir is not None:
+            # Telemetry collection rides the same frames as the data
+            # but *after* the timed region — observability overhead
+            # inside the measured window is the instruments only, not
+            # the shipping.
+            from ..obs.merge import merge_telemetry
+            telemetry = merge_telemetry(
+                handle.telemetry() for handle in handles)
     finally:
         if fleet is not None:
             fleet.close()
@@ -612,7 +665,7 @@ def run_topology(spec: TopologySpec,
     total_bytes = sum(s["exchange"]["bytes_sent"]
                       + s["exchange"]["bytes_received"]
                       for s in shards)
-    return {
+    report: Dict[str, Any] = {
         "benchmark": "shard_topology",
         "mode": mode,
         "spec": spec.as_dict(),
@@ -634,3 +687,6 @@ def run_topology(spec: TopologySpec,
         "wall_s": wall,
         "cycles_per_s": total_clocks / wall if wall > 0 else 0.0,
     }
+    if telemetry is not None:
+        report["telemetry"] = telemetry
+    return report

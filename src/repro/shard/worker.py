@@ -14,6 +14,9 @@ then serves frames until ``FRAME_CLOSE`` or transport EOF:
 * ``FRAME_FINISH t`` → drain/settle, answer ``FRAME_RESULT report``.
 * ``FRAME_SNAPSHOT`` → answer ``FRAME_RESULT`` with a live report,
   without finishing.
+* ``FRAME_TELEMETRY`` → answer ``FRAME_TELEMETRY`` with the group's
+  observability payload (instruments, provenance spans, coverage
+  counters) — valid mid-run and after the finish alike.
 * any replay exception → ``FRAME_ERROR`` carrying the *full* remote
   traceback (the PR 7 sweep policy applied to shards); the loop keeps
   serving so the coordinator chooses whether to retry or tear down.
@@ -146,6 +149,13 @@ def _serve(transport: Transport, config: Dict[str, Any]) -> None:
                     reply = (protocol.FRAME_RESULT, result)
                 elif kind == protocol.FRAME_SNAPSHOT:
                     reply = (protocol.FRAME_RESULT, group.result())
+                elif kind == protocol.FRAME_TELEMETRY:
+                    # Observability rides the same wire as the data
+                    # (SCE-MI's discipline): ship the registry
+                    # snapshot, span stream and coverage counters
+                    # through the tag codec — nothing pickled.
+                    reply = (protocol.FRAME_TELEMETRY,
+                             group.telemetry())
                 elif kind == protocol.FRAME_CLOSE:
                     return
                 else:

@@ -127,6 +127,43 @@ def test_serve_smoke_over_socket():
     assert service._workers == []  # pool reaped
 
 
+def test_serve_stats_live_introspection():
+    """The STATS handshake: per-worker counters, queue depth, and the
+    merged telemetry of every completed job (latency bucket-merged,
+    provenance totals summed)."""
+    service = JobService(jobs=2)
+    service.start()
+    thread = threading.Thread(target=service.serve_forever,
+                              daemon=True)
+    thread.start()
+    try:
+        with ServeClient(service.address) as client:
+            ids = [client.submit(run_payload(f"stats{i}"))
+                   for i in range(2)]
+            for job_id in ids:
+                client.result(job_id, wait=True, timeout=60)
+            stats = client.stats()
+            assert set(stats) == {"queue_depth", "running", "service",
+                                  "workers", "telemetry"}
+            assert stats["queue_depth"] == 0
+            assert stats["running"] == []
+            assert stats["service"]["completed"] == 2
+            workers = stats["workers"]
+            assert len(workers) == 2
+            assert all(w["alive"] and not w["busy"] for w in workers)
+            assert sum(w["counters"]["ok"] for w in workers) == 2
+            telemetry = stats["telemetry"]
+            assert telemetry["jobs"] == 2
+            # 8 cells per job, both jobs folded into one histogram
+            assert telemetry["latency"]["count"] == 16
+            assert telemetry["provenance"]["cells_seen"] == 16
+            assert telemetry["provenance"]["sample"] == 1  # max
+            client.shutdown()
+    finally:
+        thread.join(timeout=30)
+        service.shutdown()
+
+
 def test_wire_protocol_rejects_garbage():
     service = JobService(jobs=1)
     service.start()

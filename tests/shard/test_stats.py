@@ -1,0 +1,162 @@
+"""Exchange-counter aggregation: ShardHandle.stats() /
+Transport.stats() across every transport, the piggy-backed-ACK drain
+path, post-crash readout and the report-level totals."""
+
+import pytest
+
+from repro.shard import ShardError, ShardSpec, TopologySpec, run_topology
+from repro.shard.topology import ShardedTopology
+
+BEHAV2 = dict(shards=[ShardSpec("shard0", level="behav"),
+                      ShardSpec("shard1", level="behav")])
+
+STAT_KEYS = {"frames_sent", "frames_received",
+             "bytes_sent", "bytes_received", "ops_sent"}
+
+
+# ----------------------------------------------------------------------
+# Live-handle counters, every transport
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("transport", ["pipe", "socket", "shm"])
+def test_handle_stats_count_frames_and_octets(transport):
+    """Each exchange moves the frame AND octet counters on every
+    transport; ops_sent tracks exactly the ops queued."""
+    spec = TopologySpec(cells=4, seed=0, window_slots=32,
+                        transport=transport, **BEHAV2)
+    with ShardedTopology(spec) as topo:
+        handle = topo.handles[0]
+        start = handle.stats()
+        assert set(start) == STAT_KEYS
+        # the hello ready-signal is already on the receive counters
+        assert start["frames_received"] >= 1
+        assert start["ops_sent"] == 0
+
+        handle.queue_null(1e-4)
+        handle.queue_null(2e-4)
+        handle.barrier()
+        after = handle.stats()
+        assert after["ops_sent"] == 2
+        assert after["frames_sent"] > start["frames_sent"]
+        assert after["frames_received"] > start["frames_received"]
+        assert after["bytes_sent"] > start["bytes_sent"]
+        assert after["bytes_received"] > start["bytes_received"]
+
+        handle.finish(3e-4)
+        done = handle.stats()
+        # finish ships the remaining ops frame plus the finish
+        # request/summary exchange
+        assert done["frames_sent"] >= after["frames_sent"] + 1
+        assert done["frames_received"] >= after["frames_received"] + 1
+        # after the final barrier every shipped frame is acknowledged:
+        # received = hello + one ack per ops frame + finish summary
+        assert done["frames_received"] == done["frames_sent"] + 1
+
+
+def test_stats_snapshots_are_independent_dicts():
+    spec = TopologySpec(cells=4, seed=0, window_slots=32, **BEHAV2)
+    with ShardedTopology(spec) as topo:
+        handle = topo.handles[0]
+        before = handle.stats()
+        before["frames_sent"] = -999  # mutating a snapshot is safe
+        handle.queue_null(1e-4)
+        handle.barrier()
+        assert handle.stats()["frames_sent"] >= 0
+
+
+# ----------------------------------------------------------------------
+# The piggy-backed-ACK drain path
+# ----------------------------------------------------------------------
+def test_flush_drains_piggybacked_acks_when_pipeline_is_full():
+    """With max_inflight=1 and one-op batches, flush() itself must
+    drain the piggy-backed ACKs (it cannot pipeline), so the receive
+    counters advance before any explicit barrier."""
+    spec = TopologySpec(cells=4, seed=0, window_slots=32,
+                        max_batch=1, max_inflight=1, **BEHAV2)
+    with ShardedTopology(spec) as topo:
+        handle = topo.handles[0]
+        hello_frames = handle.stats()["frames_received"]
+        for slot in range(3):
+            handle.queue_null((slot + 1) * 1e-4)
+        handle.flush()
+        mid = handle.stats()
+        assert mid["frames_sent"] == 3
+        # at most one frame may still be unacknowledged
+        assert mid["frames_received"] - hello_frames >= 2
+        handle.barrier()
+        done = handle.stats()
+        assert done["frames_received"] - hello_frames == 3
+
+
+def test_tiny_pipeline_knobs_keep_the_run_byte_identical():
+    """Forcing the drain path (max_inflight=1, max_batch=1) must only
+    change the framing, never the replayed stream: same digest as the
+    default pipelining, far more frames on the wire."""
+    base = dict(cells=12, seed=3, chain=True, window_slots=32,
+                **BEHAV2)
+    roomy = run_topology(TopologySpec(**base), mode="sharded")
+    tight = run_topology(TopologySpec(max_batch=1, max_inflight=1,
+                                      **base), mode="sharded")
+    assert tight["digest"] == roomy["digest"]
+    assert tight["totals"]["frames"] > roomy["totals"]["frames"]
+
+
+# ----------------------------------------------------------------------
+# Post-crash readout
+# ----------------------------------------------------------------------
+def test_stats_remain_readable_after_a_shard_crash():
+    """A handle whose worker died must still hand back its exchange
+    counters — the post-mortem evidence of how far the run got."""
+    spec = TopologySpec(cells=4, seed=0, window_slots=32, max_batch=1,
+                        inject={"shard1": {"kind": "exit",
+                                           "at_op": 2}},
+                        **BEHAV2)
+    with ShardedTopology(spec) as topo:
+        handle = topo.handles[1]
+        for slot in range(6):
+            handle.queue_null((slot + 1) * 1e-4)
+        with pytest.raises(ShardError) as excinfo:
+            handle.barrier()
+        assert "shard1" in str(excinfo.value)
+        post = handle.stats()
+        assert set(post) == STAT_KEYS
+        assert post["ops_sent"] == 6
+        assert post["frames_sent"] > 0
+        assert post["bytes_sent"] > 0
+
+
+# ----------------------------------------------------------------------
+# Report-level aggregation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("transport", ["pipe", "socket", "shm"])
+def test_report_totals_sum_the_per_shard_exchanges(transport):
+    report = run_topology(
+        TopologySpec(cells=8, seed=1, window_slots=32,
+                     transport=transport, **BEHAV2),
+        mode="sharded")
+    exchanges = [shard["exchange"] for shard in report["shards"]]
+    assert all(set(ex) == STAT_KEYS for ex in exchanges)
+    assert all(ex["frames_sent"] > 0 and ex["bytes_sent"] > 0
+               for ex in exchanges)
+    assert report["totals"]["frames"] == sum(
+        ex["frames_sent"] + ex["frames_received"] for ex in exchanges)
+    assert report["totals"]["bytes"] == sum(
+        ex["bytes_sent"] + ex["bytes_received"] for ex in exchanges)
+
+
+def test_local_mode_exchange_counts_ops_but_no_wire_traffic():
+    """The in-process twin replays the identical op stream without a
+    transport: ops_sent matches the sharded run, wire counters are
+    structurally zero."""
+    base = dict(cells=8, seed=1, window_slots=32, **BEHAV2)
+    local = run_topology(TopologySpec(**base), mode="local")
+    sharded = run_topology(TopologySpec(**base), mode="sharded")
+    for shard_local, shard_wire in zip(local["shards"],
+                                       sharded["shards"]):
+        ex = shard_local["exchange"]
+        assert set(ex) == STAT_KEYS
+        assert ex["ops_sent"] == shard_wire["exchange"]["ops_sent"]
+        assert ex["ops_sent"] > 0
+        for key in STAT_KEYS - {"ops_sent"}:
+            assert ex[key] == 0
+    assert local["totals"]["frames"] == 0
+    assert local["totals"]["bytes"] == 0

@@ -1,0 +1,180 @@
+"""Distributed telemetry over the shard wire: tid columns,
+FRAME_TELEMETRY, cross-shard provenance and merged topology reports."""
+
+import json
+
+import pytest
+
+from repro.shard import ShardSpec, TopologySpec, run_topology
+from repro.shard.codec import (CELL_OCTETS, OpBatch, OutputBatch,
+                               decode_frame, encode_frame,
+                               parse_header)
+from repro.shard.protocol import FRAME_ACK, FRAME_OPS, FRAME_TELEMETRY
+from repro.shard.topology import ShardedTopology
+
+BEHAV2 = dict(shards=[ShardSpec("shard0", level="behav"),
+                      ShardSpec("shard1", level="behav")])
+
+
+def _cell(seed):
+    return bytes((seed + i) % 256 for i in range(CELL_OCTETS))
+
+
+# ----------------------------------------------------------------------
+# The optional tid column
+# ----------------------------------------------------------------------
+def test_ops_tid_column_round_trips():
+    batch = OpBatch()
+    batch.add_cell(1e-4, 0, _cell(1), tid=7)
+    batch.add_null(2e-4)
+    batch.add_cell(3e-4, 1, _cell(2), tid=9)
+    kind, (seq, packed) = decode_frame(
+        memoryview(encode_frame((FRAME_OPS, (5, batch)))))
+    assert (kind, seq) == (FRAME_OPS, 5)
+    assert list(packed.tids) == [7, 9]
+
+
+def test_ops_all_zero_tid_column_is_normalised_away():
+    """An unobserved batch (every tid 0) must encode octet-identical
+    to one that never carried tids — the byte-compat guarantee with
+    the pre-telemetry wire format."""
+    stamped_zero = OpBatch()
+    plain = OpBatch()
+    for target, tid in ((stamped_zero, 0), (plain, None)):
+        if tid is None:
+            target.add_cell(1e-4, 2, _cell(3))
+        else:
+            target.add_cell(1e-4, 2, _cell(3), tid=tid)
+        target.add_tick(2e-4)
+    assert encode_frame((FRAME_OPS, (1, stamped_zero))) == \
+        encode_frame((FRAME_OPS, (1, plain)))
+    _, (_, packed) = decode_frame(
+        memoryview(encode_frame((FRAME_OPS, (1, plain)))))
+    assert packed.tids is None
+
+
+def test_ack_tid_column_round_trips_and_zero_drops():
+    batch = OutputBatch()
+    batch.add(3, 1e-4, _cell(4), tid=11)
+    batch.add(0, 2e-4, _cell(5), tid=12)
+    kind, (seq, packed) = decode_frame(
+        memoryview(encode_frame((FRAME_ACK, (2, batch)))))
+    assert (kind, seq) == (FRAME_ACK, 2)
+    assert list(packed.tids) == [11, 12]
+
+    unstamped = OutputBatch()
+    unstamped.add(3, 1e-4, _cell(4), tid=0)
+    _, (_, packed) = decode_frame(
+        memoryview(encode_frame((FRAME_ACK, (3, unstamped)))))
+    assert packed.tids is None
+
+
+def test_telemetry_frame_kind_round_trips():
+    payload = {"schema": 1, "shard": "edge", "spans": [],
+               "instruments": {"counters": {"a": 1},
+                               "histograms": {}}}
+    buffer = encode_frame((FRAME_TELEMETRY, payload))
+    kind_code, length = parse_header(memoryview(buffer))
+    assert kind_code == 9  # the wire code assigned to telemetry
+    assert decode_frame(memoryview(buffer)) == \
+        (FRAME_TELEMETRY, payload)
+
+
+# ----------------------------------------------------------------------
+# Telemetry over a live worker wire
+# ----------------------------------------------------------------------
+def test_handle_telemetry_exchange_mid_run_and_after_finish():
+    spec = TopologySpec(cells=4, seed=0, observe=True,
+                        window_slots=32, **BEHAV2)
+    with ShardedTopology(spec) as topo:
+        handle = topo.handles[0]
+        handle.queue_null(1e-4)
+        mid = handle.telemetry()
+        assert mid["shard"] == "shard0"
+        assert mid["schema"] == 1
+        assert set(mid["coverage"]) == {"fsm_states", "sync_windows",
+                                        "hop_latency_tail",
+                                        "residual_backlog"}
+        handle.finish(2e-4)
+        done = handle.telemetry()
+        assert done["shard"] == "shard0"
+        assert done["level"] is not None
+
+
+# ----------------------------------------------------------------------
+# Topology-level telemetry
+# ----------------------------------------------------------------------
+def test_run_topology_observe_merges_telemetry():
+    spec = TopologySpec(cells=12, seed=3, chain=True, observe=True,
+                        window_slots=32, **BEHAV2)
+    report = run_topology(spec, mode="local")
+    telemetry = report["telemetry"]
+    assert telemetry["shards"] == ["shard0", "shard1"]
+    # ids are stamped coordinator-side, so shard trackers count
+    # sampled journeys (not ids assigned)
+    assert telemetry["provenance"]["cells_sampled"] > 0
+    assert telemetry["spans"], "no spans recorded"
+    assert all("shard" in span for span in telemetry["spans"])
+
+
+def test_observe_off_report_has_no_telemetry():
+    spec = TopologySpec(cells=8, seed=0, **BEHAV2)
+    assert "telemetry" not in run_topology(spec, mode="local")
+
+
+@pytest.mark.parametrize("transport", ["pipe", "socket", "shm"])
+def test_observed_sharded_run_stays_byte_identical(transport):
+    """Telemetry on, every transport: digests must match both the
+    local observed twin AND the unobserved baseline — observability
+    cannot perturb the simulation."""
+    base = dict(cells=12, seed=3, chain=True, window_slots=32,
+                transport=transport, **BEHAV2)
+    baseline = run_topology(TopologySpec(**base), mode="local")
+    observed = TopologySpec(observe=True, **base)
+    local = run_topology(observed, mode="local")
+    sharded = run_topology(observed, mode="sharded")
+    assert local["digest"] == sharded["digest"] == baseline["digest"]
+    assert len(local["telemetry"]["spans"]) == \
+        len(sharded["telemetry"]["spans"])
+
+
+def test_chained_cells_form_cross_shard_provenance_chains():
+    """A cell that leaves shard0 and enters shard1 must appear in
+    BOTH shards' span streams under one trace id, with the boundary
+    hops recorded."""
+    spec = TopologySpec(cells=12, seed=3, chain=True, observe=True,
+                        window_slots=32, **BEHAV2)
+    report = run_topology(spec, mode="sharded")
+    spans = report["telemetry"]["spans"]
+    by_cell = {}
+    for span in spans:
+        by_cell.setdefault(span["cell"], set()).add(span["shard"])
+    crossing = [tid for tid, shards in by_cell.items()
+                if len(shards) > 1]
+    assert crossing, "no cell crossed the shard boundary"
+    hops = {span["hop"] for span in spans}
+    assert {"shard_in", "shard_out"} <= hops
+    # every boundary-crossing cell has a connected in/out pair
+    for tid in crossing:
+        cell_hops = {s["hop"] for s in spans if s["cell"] == tid}
+        assert "shard_in" in cell_hops
+
+
+def test_local_mode_trace_files_carry_the_local_suffix(tmp_path):
+    """--mode both writes both sides into one directory: the local
+    replay must not clobber the worker traces."""
+    trace_dir = tmp_path / "traces"
+    spec = TopologySpec(cells=8, seed=0, window_slots=32,
+                        trace_dir=str(trace_dir), **BEHAV2)
+    run_topology(spec, mode="local")
+    run_topology(spec, mode="sharded")
+    for shard_id in ("shard0", "shard1"):
+        local = trace_dir / f"{shard_id}.local.trace.jsonl"
+        worker = trace_dir / f"{shard_id}.trace.jsonl"
+        assert local.is_file() and worker.is_file()
+        local_records = [json.loads(line) for line
+                         in local.read_text().splitlines()]
+        worker_records = [json.loads(line) for line
+                          in worker.read_text().splitlines()]
+        assert local_records == worker_records, \
+            "local replay traced different decisions"
